@@ -1,0 +1,80 @@
+//! End-to-end benchmarks: whole simulation runs per policy, and the sweep
+//! executor's scaling. These are the numbers that size the figure sweeps
+//! (each figure point is `REPLICATES` of these runs).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pas_core::{run, AdaptiveParams, Policy, RunConfig, Scenario};
+use pas_diffusion::RadialFront;
+use pas_geom::Vec2;
+use pas_sweep::{parallel_map_with, SweepOptions};
+
+fn field() -> RadialFront {
+    RadialFront::constant(Vec2::new(0.0, 0.0), 0.5)
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_run_30_nodes");
+    group.sample_size(20);
+    let f = field();
+    for (label, policy) in [
+        ("ns", Policy::Ns),
+        ("oracle", Policy::Oracle),
+        ("sas", Policy::sas_default()),
+        ("pas", Policy::pas_default()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let s = Scenario::paper_default(black_box(42));
+                black_box(run(&s, &f, &RunConfig::new(policy)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_nodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pas_run_scaling");
+    group.sample_size(10);
+    let f = field();
+    for n in [30usize, 100, 300] {
+        group.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
+            // Grow the region with the node count to hold density fixed.
+            let side = 40.0 * ((n as f64) / 30.0).sqrt();
+            let s = Scenario {
+                region: pas_geom::Aabb::from_size(side, side),
+                node_count: n,
+                ..Scenario::paper_default(7)
+            };
+            let policy = Policy::Pas(AdaptiveParams::default());
+            b.iter(|| black_box(run(&s, &f, &RunConfig::new(policy))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_16_runs");
+    group.sample_size(10);
+    let f = field();
+    let seeds: Vec<u64> = (0..16).collect();
+    for threads in [1usize, 4, 0 /* all cores */] {
+        let label = if threads == 0 {
+            "all_cores".to_string()
+        } else {
+            format!("{threads}_threads")
+        };
+        group.bench_function(&label, |b| {
+            b.iter(|| {
+                let out = parallel_map_with(&seeds, SweepOptions { threads }, |&seed| {
+                    let s = Scenario::paper_default(seed);
+                    run(&s, &f, &RunConfig::new(Policy::pas_default())).mean_energy_j()
+                });
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_run, bench_scaling_nodes, bench_sweep_parallelism);
+criterion_main!(benches);

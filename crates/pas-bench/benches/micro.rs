@@ -1,0 +1,151 @@
+//! Microbenchmarks of the hot paths identified in DESIGN.md: the event
+//! queue, neighbour queries, the FMM solver, and the PAS estimators.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pas_core::estimate;
+use pas_core::msg::Report;
+use pas_core::NodeState;
+use pas_diffusion::{EikonalField, SpeedGrid};
+use pas_geom::{Aabb, SpatialGrid, Vec2};
+use pas_sim::{Engine, EventQueue, Rng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            let mut rng = Rng::new(1);
+            let times: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 1e6)).collect();
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n);
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_secs(t), i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_dispatch(c: &mut Criterion) {
+    c.bench_function("engine/self_scheduling_chain_100k", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u32> = Engine::new();
+            eng.schedule_in(1.0, 0);
+            let mut count = 0u64;
+            eng.run_bounded(SimTime::NEVER, 100_000, |e, _| {
+                count += 1;
+                e.schedule_in(1.0, 0);
+            });
+            black_box(count)
+        });
+    });
+}
+
+fn bench_spatial_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial_grid");
+    for n in [100usize, 1_000, 10_000] {
+        // Build a deployment-like point set.
+        let mut rng = Rng::new(2);
+        let side = (n as f64).sqrt() * 10.0;
+        let pts: Vec<(usize, Vec2)> = (0..n)
+            .map(|i| {
+                (
+                    i,
+                    Vec2::new(rng.range_f64(0.0, side), rng.range_f64(0.0, side)),
+                )
+            })
+            .collect();
+        let grid = SpatialGrid::from_points(10.0, pts.iter().copied());
+        group.bench_with_input(BenchmarkId::new("query_radius_10m", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7) % pts.len();
+                black_box(grid.query_radius(pts[i].1, 10.0).count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eikonal_fmm");
+    group.sample_size(20);
+    for res in [64usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("solve", res), &res, |b, &res| {
+            let region = Aabb::from_size(100.0, 100.0);
+            b.iter(|| {
+                let grid =
+                    SpeedGrid::from_fn(region, res, res, |p| 0.5 + 0.01 * (p.x + p.y).abs());
+                black_box(EikonalField::solve(
+                    grid,
+                    &[Vec2::new(50.0, 50.0)],
+                    SimTime::ZERO,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    // A realistic neighbourhood: 8 reports around the receiver.
+    let mut rng = Rng::new(3);
+    let reports: Vec<Report> = (0..8)
+        .map(|i| Report {
+            pos: Vec2::new(rng.range_f64(-10.0, 10.0), rng.range_f64(-10.0, 10.0)),
+            state: if i % 2 == 0 {
+                NodeState::Covered
+            } else {
+                NodeState::Alert
+            },
+            velocity: Some(Vec2::new(rng.range_f64(0.1, 1.0), rng.range_f64(-0.5, 0.5))),
+            ref_time: SimTime::from_secs(rng.range_f64(0.0, 50.0)),
+        })
+        .collect();
+    let me = Vec2::new(12.0, 3.0);
+
+    c.bench_function("estimate/pas_expected_arrival_8nbrs", |b| {
+        b.iter(|| black_box(estimate::pas_expected_arrival(black_box(me), &reports)))
+    });
+    c.bench_function("estimate/sas_expected_arrival_8nbrs", |b| {
+        b.iter(|| black_box(estimate::sas_expected_arrival(black_box(me), &reports)))
+    });
+    c.bench_function("estimate/actual_velocity_8nbrs", |b| {
+        b.iter(|| {
+            black_box(estimate::actual_velocity(
+                black_box(me),
+                SimTime::from_secs(60.0),
+                &reports,
+            ))
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/next_f64_x1000", |b| {
+        let mut rng = Rng::new(4);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.next_f64();
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_engine_dispatch,
+    bench_spatial_grid,
+    bench_fmm,
+    bench_estimators,
+    bench_rng
+);
+criterion_main!(benches);

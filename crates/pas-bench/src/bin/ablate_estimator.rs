@@ -1,0 +1,53 @@
+//! **Ablation: estimator design.** Not a paper figure — quantifies the
+//! paper's §3.3 design choices by pitting the four schemes against each
+//! other at the Fig. 4 operating point:
+//!
+//! * `Oracle` — the §3.1 ideal (wake exactly at arrival): the bound.
+//! * `PAS` — directional, relayed prediction.
+//! * `SAS` — non-directional, covered-only (the degenerate case).
+//! * `NS`  — no prediction at all.
+//!
+//! Reading: the gap PAS closes between SAS and Oracle is the value of the
+//! directional `cos θ` term plus alert-ring relaying.
+
+use pas_bench::{delay_energy, paper_field, report, results_dir, FIG4_ALERT_S};
+use pas_core::{AdaptiveParams, Policy};
+
+fn main() {
+    let field = paper_field();
+    let mut points: Vec<(f64, Policy)> = Vec::new();
+    for &max_sleep in &[4.0, 8.0, 12.0, 16.0] {
+        let params = AdaptiveParams {
+            max_sleep_s: max_sleep,
+            alert_threshold_s: FIG4_ALERT_S,
+            ..AdaptiveParams::default()
+        };
+        points.push((max_sleep, Policy::Oracle));
+        points.push((max_sleep, Policy::Pas(params)));
+        points.push((
+            max_sleep,
+            Policy::Sas(AdaptiveParams {
+                alert_threshold_s: 2.0,
+                ..params
+            }),
+        ));
+        points.push((max_sleep, Policy::Ns));
+    }
+    let measured = delay_energy(&points, &field);
+    report(
+        "ablate_estimator",
+        "Ablation — estimator design: Oracle vs PAS vs SAS vs NS (delay)",
+        "max_sleep_s",
+        "delay_s",
+        &measured,
+        &results_dir(),
+    );
+    report(
+        "ablate_estimator_energy",
+        "Ablation — estimator design: Oracle vs PAS vs SAS vs NS (energy)",
+        "max_sleep_s",
+        "energy_j",
+        &measured,
+        &results_dir(),
+    );
+}

@@ -1,0 +1,66 @@
+//! **Figure 1 (schematic)** — "Stimulus spreading": the current boundary,
+//! per-spot spreading velocities, and the next boundary as their envelope.
+//!
+//! The paper's Fig. 1 is a hand drawing; we regenerate it from the actual
+//! models: an anisotropic front's boundary at `t`, the normal velocity at
+//! sampled boundary points, and the boundary at `t + Δ` — verifying
+//! numerically that advancing each sample by its velocity lands on the next
+//! boundary (the envelope construction the estimator assumes).
+
+use pas_bench::results_dir;
+use pas_diffusion::aniso::DirectionalGain;
+use pas_diffusion::{AnisotropicFront, SpeedProfile, StimulusField};
+use pas_geom::Vec2;
+use pas_metrics::Csv;
+use pas_sim::SimTime;
+
+fn main() {
+    let front = AnisotropicFront::new(
+        Vec2::new(0.0, 0.0),
+        SpeedProfile::Constant { speed: 0.5 },
+        DirectionalGain::CosineSkew { theta0: 0.6, k: 0.4 },
+    );
+    let t0 = SimTime::from_secs(30.0);
+    let dt = 5.0;
+    let t1 = t0 + dt;
+    let n = 64;
+
+    let mut csv = Csv::new(&["sample", "x_t0", "y_t0", "vx", "vy", "x_t1", "y_t1"]);
+    let b0 = front.boundary_at(t0, n);
+    let b1 = front.boundary_at(t1, n);
+    let mut max_err: f64 = 0.0;
+    for (i, (&p0, &p1)) in b0.iter().zip(&b1).enumerate() {
+        // Normal velocity at the boundary sample: outward, at the local
+        // nominal speed.
+        let dir = (p0 - Vec2::ZERO).normalize_or_zero();
+        let speed = front.nominal_speed(p0).unwrap_or(0.0);
+        let v = dir * speed;
+        // Envelope check: p0 + v·Δ should land on the t1 boundary.
+        let advanced = p0 + v * dt;
+        max_err = max_err.max(advanced.distance(p1));
+        csv.push_raw(vec![
+            format!("{i}"),
+            format!("{}", p0.x),
+            format!("{}", p0.y),
+            format!("{}", v.x),
+            format!("{}", v.y),
+            format!("{}", p1.x),
+            format!("{}", p1.y),
+        ]);
+    }
+    let path = results_dir().join("fig1_front.csv");
+    csv.write(&path).expect("write csv");
+
+    println!("Figure 1 (schematic) — spreading envelope, regenerated numerically");
+    println!(
+        "boundary at t={}s and t={}s sampled at {n} points; advancing each",
+        t0.as_secs(),
+        t1.as_secs()
+    );
+    println!(
+        "sample by its normal velocity lands on the next boundary with a"
+    );
+    println!("maximum error of {max_err:.3e} m (envelope construction verified).");
+    println!("wrote {}", path.display());
+    assert!(max_err < 1e-6, "envelope construction must hold exactly");
+}

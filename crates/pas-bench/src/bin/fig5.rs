@@ -1,0 +1,38 @@
+//! **Figure 5** — PAS detection delay vs alert-time threshold.
+//!
+//! Paper claim reproduced here: "the average detection delay decreases …
+//! when increasing the threshold of alert time from 10 s to 30 s. It
+//! demonstrates the adaptability of PAS" — a bigger alert ring wakes nodes
+//! further ahead of the front, trading energy (Fig. 7) for latency. NS and
+//! SAS have no such knob.
+
+use pas_bench::{
+    delay_energy, paper_field, report, results_dir, ALERT_AXIS, FIG5_MAX_SLEEP_S,
+};
+use pas_core::{AdaptiveParams, Policy};
+
+fn main() {
+    let field = paper_field();
+    let points: Vec<(f64, Policy)> = ALERT_AXIS
+        .iter()
+        .map(|&alert| {
+            (
+                alert,
+                Policy::Pas(AdaptiveParams {
+                    max_sleep_s: FIG5_MAX_SLEEP_S,
+                    alert_threshold_s: alert,
+                    ..AdaptiveParams::default()
+                }),
+            )
+        })
+        .collect();
+    let measured = delay_energy(&points, &field);
+    report(
+        "fig5",
+        "Figure 5 — PAS detection delay vs alert-time threshold",
+        "alert_threshold_s",
+        "delay_s",
+        &measured,
+        &results_dir(),
+    );
+}

@@ -1,0 +1,45 @@
+//! **Figure 6** — energy consumption vs maximum sleep interval, NS/SAS/PAS.
+//!
+//! Paper claims reproduced here: NS burns the most energy (never sleeps,
+//! flat in the sweep variable); SAS and PAS fall as the maximum sleep
+//! interval grows; PAS pays a small premium over SAS ("a PAS sensor
+//! activates not only its neighbors but also some far-away sensors;
+//! however, the difference is trivial").
+
+use pas_bench::{
+    delay_energy, paper_field, report, results_dir, FIG4_ALERT_S, MAX_SLEEP_AXIS,
+};
+use pas_core::{AdaptiveParams, Policy};
+
+fn main() {
+    let field = paper_field();
+    let mut points: Vec<(f64, Policy)> = Vec::new();
+    for &max_sleep in &MAX_SLEEP_AXIS {
+        points.push((max_sleep, Policy::Ns));
+        points.push((
+            max_sleep,
+            Policy::Sas(AdaptiveParams {
+                max_sleep_s: max_sleep,
+                alert_threshold_s: 2.0,
+                ..AdaptiveParams::default()
+            }),
+        ));
+        points.push((
+            max_sleep,
+            Policy::Pas(AdaptiveParams {
+                max_sleep_s: max_sleep,
+                alert_threshold_s: FIG4_ALERT_S,
+                ..AdaptiveParams::default()
+            }),
+        ));
+    }
+    let measured = delay_energy(&points, &field);
+    report(
+        "fig6",
+        "Figure 6 — mean per-node energy vs maximum sleep interval",
+        "max_sleep_s",
+        "energy_j",
+        &measured,
+        &results_dir(),
+    );
+}

@@ -1,0 +1,37 @@
+//! **Figure 7** — PAS energy consumption vs alert-time threshold.
+//!
+//! Paper claim reproduced here: "the energy consumption in PAS varies
+//! greatly when increasing the threshold of alert time" — the alert ring
+//! widens with the threshold, keeping more nodes awake for longer ahead of
+//! the front. Fig. 5's falling delay is bought here.
+
+use pas_bench::{
+    delay_energy, paper_field, report, results_dir, ALERT_AXIS, FIG5_MAX_SLEEP_S,
+};
+use pas_core::{AdaptiveParams, Policy};
+
+fn main() {
+    let field = paper_field();
+    let points: Vec<(f64, Policy)> = ALERT_AXIS
+        .iter()
+        .map(|&alert| {
+            (
+                alert,
+                Policy::Pas(AdaptiveParams {
+                    max_sleep_s: FIG5_MAX_SLEEP_S,
+                    alert_threshold_s: alert,
+                    ..AdaptiveParams::default()
+                }),
+            )
+        })
+        .collect();
+    let measured = delay_energy(&points, &field);
+    report(
+        "fig7",
+        "Figure 7 — PAS mean per-node energy vs alert-time threshold",
+        "alert_threshold_s",
+        "energy_j",
+        &measured,
+        &results_dir(),
+    );
+}

@@ -1,0 +1,119 @@
+//! Quick calibration probe: prints the headline metrics for each policy at
+//! a few parameter settings. Not one of the paper's figures — a sanity
+//! check that the workload produces the right orderings before running the
+//! full sweeps.
+
+use pas_bench::paper_scenario;
+use pas_core::{run, AdaptiveParams, Policy, RunConfig};
+use pas_diffusion::RadialFront;
+use pas_geom::Vec2;
+
+fn main() {
+    let speed: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    println!("front speed {speed} m/s");
+    let field = RadialFront::constant(Vec2::new(0.0, 0.0), speed);
+    println!("policy  max_sleep  alert  |  delay(s)  energy(J)  alerted  misses  events");
+    for (label, policy) in [
+        ("NS", Policy::Ns),
+        ("Oracle", Policy::Oracle),
+        (
+            "SAS",
+            Policy::Sas(AdaptiveParams {
+                max_sleep_s: 10.0,
+                alert_threshold_s: 2.0,
+                ..AdaptiveParams::default()
+            }),
+        ),
+        (
+            "PAS10",
+            Policy::Pas(AdaptiveParams {
+                max_sleep_s: 10.0,
+                alert_threshold_s: 10.0,
+                ..AdaptiveParams::default()
+            }),
+        ),
+        (
+            "PAS15",
+            Policy::Pas(AdaptiveParams {
+                max_sleep_s: 10.0,
+                alert_threshold_s: 15.0,
+                ..AdaptiveParams::default()
+            }),
+        ),
+        (
+            "PAS30",
+            Policy::Pas(AdaptiveParams {
+                max_sleep_s: 10.0,
+                alert_threshold_s: 30.0,
+                ..AdaptiveParams::default()
+            }),
+        ),
+    ] {
+        let mut d = 0.0;
+        let mut e = 0.0;
+        let mut alerted = 0;
+        let mut missed = 0;
+        let mut events = 0u64;
+        let seeds = 10;
+        for seed in 0..seeds {
+            let s = paper_scenario(20_070_910 + seed);
+            let r = run(&s, &field, &RunConfig::new(policy));
+            d += r.delay.mean_delay_s;
+            e += r.mean_energy_j();
+            alerted += r.alerted_ever;
+            missed += r.delay.missed;
+            events += r.events_processed;
+        }
+        let n = seeds as f64;
+        println!(
+            "{label:7} {:9} {:6} | {:8.3} {:9.3} {:8.1} {:7.1} {:7.0}",
+            "-",
+            "-",
+            d / n,
+            e / n,
+            alerted as f64 / n,
+            missed as f64 / n,
+            events as f64 / n,
+        );
+    }
+
+    // Max-sleep sweep at alert 15 (fig 4/6 shape).
+    println!("\nmax_sleep sweep (alert=15): delay PAS vs SAS");
+    for max_sleep in [2.0, 5.0, 10.0, 15.0, 20.0] {
+        let mut dp = 0.0;
+        let mut ds = 0.0;
+        let mut ep = 0.0;
+        let mut es = 0.0;
+        let seeds = 10;
+        for seed in 0..seeds {
+            let s = paper_scenario(20_070_910 + seed);
+            let pas = Policy::Pas(AdaptiveParams {
+                max_sleep_s: max_sleep,
+                alert_threshold_s: 15.0,
+                ..AdaptiveParams::default()
+            });
+            let sas = Policy::Sas(AdaptiveParams {
+                max_sleep_s: max_sleep,
+                alert_threshold_s: 2.0,
+                ..AdaptiveParams::default()
+            });
+            let rp = run(&s, &field, &RunConfig::new(pas));
+            let rs = run(&s, &field, &RunConfig::new(sas));
+            dp += rp.delay.mean_delay_s;
+            ds += rs.delay.mean_delay_s;
+            ep += rp.mean_energy_j();
+            es += rs.mean_energy_j();
+        }
+        let n = seeds as f64;
+        println!(
+            "  max_sleep {max_sleep:5}: PAS delay {:.3} energy {:.3} | SAS delay {:.3} energy {:.3}",
+            dp / n,
+            ep / n,
+            ds / n,
+            es / n
+        );
+    }
+}

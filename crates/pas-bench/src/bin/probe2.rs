@@ -1,0 +1,44 @@
+//! Calibration probe for the alert-threshold sweep (Figs. 5/7 anchors).
+//! Development aid, not one of the paper's figures.
+
+use pas_bench::paper_scenario;
+use pas_core::{run, AdaptiveParams, Policy, RunConfig};
+use pas_diffusion::RadialFront;
+use pas_geom::Vec2;
+
+fn main() {
+    let speed: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let max_sleep: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5.0);
+    let field = RadialFront::constant(Vec2::new(0.0, 0.0), speed);
+    println!("speed {speed} m/s, max_sleep {max_sleep}s — alert threshold sweep");
+    println!("alert  |  delay(s)  energy(J)  alerted");
+    for alert in [5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
+        let policy = Policy::Pas(AdaptiveParams {
+            max_sleep_s: max_sleep,
+            alert_threshold_s: alert,
+            ..AdaptiveParams::default()
+        });
+        let seeds = 20;
+        let (mut d, mut e, mut a) = (0.0, 0.0, 0usize);
+        for seed in 0..seeds {
+            let s = paper_scenario(20_070_910 + seed);
+            let r = run(&s, &field, &RunConfig::new(policy));
+            d += r.delay.mean_delay_s;
+            e += r.mean_energy_j();
+            a += r.alerted_ever;
+        }
+        let n = seeds as f64;
+        println!(
+            "{alert:5} | {:8.3} {:9.3} {:8.1}",
+            d / n,
+            e / n,
+            a as f64 / n
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! **Table 1** — the Telos power model the whole evaluation rests on.
+//!
+//! Prints the platform constants used by every other experiment, in the
+//! paper's layout, plus the derived quantities (frame airtimes, lifetime
+//! projections) that connect them to the metrics.
+
+use pas_bench::results_dir;
+use pas_metrics::Table;
+use pas_platform::{telos_profile, Battery, FrameSpec, MessageKind};
+
+fn main() {
+    let p = telos_profile();
+    let mut t = Table::new(
+        "Table 1 — Telos power model (paper values, exactly)",
+        &["quantity", "paper", "model"],
+    );
+    t.push_row(vec![
+        "Active power (mW)".into(),
+        "3".into(),
+        format!("{}", p.mcu_active_w * 1e3),
+    ]);
+    t.push_row(vec![
+        "Sleep power (uW)".into(),
+        "15".into(),
+        format!("{}", p.sleep_w * 1e6),
+    ]);
+    t.push_row(vec![
+        "Receive power (mW)".into(),
+        "38".into(),
+        format!("{}", p.radio_rx_w * 1e3),
+    ]);
+    t.push_row(vec![
+        "Transition/TX power (mW)".into(),
+        "35".into(),
+        format!("{}", p.radio_tx_w * 1e3),
+    ]);
+    t.push_row(vec![
+        "Data rate (kbps)".into(),
+        "250".into(),
+        format!("{}", p.data_rate_bps / 1e3),
+    ]);
+    t.push_row(vec![
+        "Total active power (mW)".into(),
+        "41".into(),
+        format!("{}", p.total_active_w() * 1e3),
+    ]);
+    print!("{}", t.render());
+    t.write_csv(results_dir().join("table1.csv")).expect("write table1.csv");
+
+    // Derived quantities (not in the paper's table, used by the model).
+    let spec = FrameSpec::default();
+    let mut d = Table::new("Derived radio/lifetime quantities", &["quantity", "value"]);
+    d.push_row(vec![
+        "REQUEST frame (bytes / airtime us)".into(),
+        format!(
+            "{} / {:.0}",
+            spec.frame_bytes(MessageKind::Request),
+            spec.airtime_s(MessageKind::Request, &p) * 1e6
+        ),
+    ]);
+    d.push_row(vec![
+        "RESPONSE frame (bytes / airtime us)".into(),
+        format!(
+            "{} / {:.0}",
+            spec.frame_bytes(MessageKind::Response),
+            spec.airtime_s(MessageKind::Response, &p) * 1e6
+        ),
+    ]);
+    let batt = Battery::two_aa();
+    d.push_row(vec![
+        "2xAA lifetime, always-on (days)".into(),
+        format!("{:.1}", batt.lifetime_days(p.total_active_w())),
+    ]);
+    d.push_row(vec![
+        "2xAA lifetime, 1% duty cycle (days)".into(),
+        format!(
+            "{:.0}",
+            batt.lifetime_days(p.total_active_w() * 0.01 + p.sleep_w * 0.99)
+        ),
+    ]);
+    print!("{}", d.render());
+    println!("wrote {}", results_dir().join("table1.csv").display());
+}

@@ -1,0 +1,36 @@
+//! Debug trace: per-node outcome for a single PAS run. Development aid,
+//! not one of the paper's figures.
+
+use pas_bench::{paper_field, paper_scenario};
+use pas_core::{run, AdaptiveParams, Policy, RunConfig};
+use pas_diffusion::StimulusField;
+
+fn main() {
+    let field = paper_field();
+    let s = paper_scenario(20_070_910);
+    let policy = Policy::Pas(AdaptiveParams {
+        max_sleep_s: 10.0,
+        alert_threshold_s: 30.0,
+        ..AdaptiveParams::default()
+    });
+    let r = run(&s, &field, &RunConfig::new(policy));
+    println!(
+        "duration {:.1}s  req {} resp {} delivered {} unheard {} alerted {}",
+        r.duration_s,
+        r.requests_sent,
+        r.responses_sent,
+        r.frames_delivered,
+        r.frames_unheard,
+        r.alerted_ever
+    );
+    let topo = s.topology();
+    println!("node  arrival  degree");
+    for (i, p) in topo.positions().iter().enumerate() {
+        let arr = field
+            .first_arrival_time(*p)
+            .map(|t| format!("{:7.1}", t.as_secs()))
+            .unwrap_or_else(|| "   none".into());
+        println!("{i:4} {arr} {:6}", topo.neighbors(i).len());
+    }
+    println!("mean delay {:.3}s  max {:.3}s", r.delay.mean_delay_s, r.delay.max_delay_s);
+}

@@ -1,0 +1,205 @@
+//! Shared experiment harness: the §4 workload and the sweep/report glue.
+//!
+//! ## Workload (paper §4.1–4.2, parameters we had to choose)
+//!
+//! The paper fixes 30 nodes and a 10 m transmission range; the region size,
+//! stimulus model and speed are not stated (the figures' axis labels are
+//! font-mangled in the PDF). We use a 40 m × 40 m region — at 30 nodes and
+//! 10 m range the network has mean degree ≈ 5, the connected multi-hop
+//! regime every mechanism in the paper presumes — and a constant-speed
+//! 0.5 m/s radial front released at the region corner. At that speed one
+//! radio hop of prediction relay extends the arrival horizon by
+//! range/speed = 20 s, so the paper's 10–30 s alert-threshold sweep spans
+//! zero to ~1.5 relay hops and both of its knobs bite. EXPERIMENTS.md
+//! records the paper-vs-measured anchors.
+
+use pas_core::{run, Policy, RunConfig, Scenario};
+use pas_diffusion::{RadialFront, StimulusField};
+use pas_geom::Vec2;
+use pas_metrics::{Csv, Table};
+use pas_sweep::{parallel_map, summarize, with_seeds, Summary};
+use std::path::Path;
+
+/// Replicate seeds per parameter point (mean ± stddev in the CSVs).
+pub const REPLICATES: u64 = 20;
+/// Base seed; replicate `k` uses `SEED_BASE + k`.
+pub const SEED_BASE: u64 = 20_070_910; // ICPP'07 workshop date
+
+/// The paper's §4 scenario for a given seed.
+pub fn paper_scenario(seed: u64) -> Scenario {
+    Scenario::paper_default(seed)
+}
+
+/// The workload stimulus: 0.5 m/s radial front from the region corner.
+pub fn paper_field() -> RadialFront {
+    RadialFront::constant(Vec2::new(0.0, 0.0), FRONT_SPEED_MPS)
+}
+
+/// Front speed of the standard workload (m/s).
+pub const FRONT_SPEED_MPS: f64 = 0.5;
+
+/// Maximum-sleep-interval axis of Figs. 4/6 (seconds).
+pub const MAX_SLEEP_AXIS: [f64; 9] = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0];
+
+/// Alert-threshold axis of Figs. 5/7 (seconds; the paper sweeps 10–30 s).
+pub const ALERT_AXIS: [f64; 5] = [10.0, 15.0, 20.0, 25.0, 30.0];
+
+/// Alert threshold used in the Figs. 4/6 sweep (seconds).
+pub const FIG4_ALERT_S: f64 = 15.0;
+
+/// Maximum sleep interval used in the Figs. 5/7 sweep (seconds).
+pub const FIG5_MAX_SLEEP_S: f64 = 12.0;
+
+/// One measured point of an experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentPoint {
+    /// X-axis value (max sleep interval or alert threshold, seconds).
+    pub x: f64,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Mean detection delay (s) over replicates.
+    pub delay_mean_s: f64,
+    /// Sample stddev of delay.
+    pub delay_std_s: f64,
+    /// Mean per-node energy (J) over replicates.
+    pub energy_mean_j: f64,
+    /// Sample stddev of energy.
+    pub energy_std_j: f64,
+    /// Replicates aggregated.
+    pub n: u64,
+}
+
+/// Run `policy` on the paper workload at `REPLICATES` seeds; return the
+/// (delay, energy) replicate values keyed for aggregation.
+pub fn delay_energy(
+    policy_points: &[(f64, Policy)],
+    field: &dyn StimulusField,
+) -> Vec<ExperimentPoint> {
+    /// `(x-axis value, policy label)` — the aggregation key of one point.
+    type PointKey = (f64, &'static str);
+
+    // Fan out (point × seed) and run everything in parallel.
+    let jobs = with_seeds(policy_points, SEED_BASE, REPLICATES);
+    let results: Vec<(PointKey, (f64, f64))> =
+        parallel_map(&jobs, |((x, policy), seed)| {
+            let scenario = paper_scenario(*seed);
+            let r = run(&scenario, field, &RunConfig::new(*policy));
+            (
+                (*x, policy.label()),
+                (r.delay.mean_delay_s, r.mean_energy_j()),
+            )
+        });
+
+    let delays: Vec<((f64, &'static str), f64)> =
+        results.iter().map(|(k, (d, _))| (*k, *d)).collect();
+    let energies: Vec<((f64, &'static str), f64)> =
+        results.iter().map(|(k, (_, e))| (*k, *e)).collect();
+    let delay_sum: Vec<Summary<(f64, &'static str)>> = summarize(&delays);
+    let energy_sum = summarize(&energies);
+
+    delay_sum
+        .into_iter()
+        .zip(energy_sum)
+        .map(|(d, e)| {
+            debug_assert_eq!(d.key, e.key);
+            ExperimentPoint {
+                x: d.key.0,
+                policy: d.key.1,
+                delay_mean_s: d.mean,
+                delay_std_s: d.std_dev,
+                energy_mean_j: e.mean,
+                energy_std_j: e.std_dev,
+                n: d.n,
+            }
+        })
+        .collect()
+}
+
+/// Print an experiment as a paper-style table and write its CSV.
+///
+/// `metric` selects the y-axis: `"delay"` or `"energy"`.
+pub fn report(
+    name: &str,
+    title: &str,
+    x_label: &str,
+    metric: &str,
+    points: &[ExperimentPoint],
+    out_dir: &Path,
+) {
+    let mut table = Table::new(
+        title,
+        &[x_label, "policy", metric, "stddev", "n"],
+    );
+    let mut csv = Csv::new(&[
+        x_label,
+        "policy",
+        "delay_mean_s",
+        "delay_std_s",
+        "energy_mean_j",
+        "energy_std_j",
+        "n",
+    ]);
+    for p in points {
+        let (m, s) = match metric {
+            "delay_s" => (p.delay_mean_s, p.delay_std_s),
+            "energy_j" => (p.energy_mean_j, p.energy_std_j),
+            other => panic!("unknown metric {other}"),
+        };
+        table.push_row(vec![
+            format!("{:.0}", p.x),
+            p.policy.to_string(),
+            format!("{m:.3}"),
+            format!("{s:.3}"),
+            format!("{}", p.n),
+        ]);
+        csv.push_raw(vec![
+            format!("{}", p.x),
+            p.policy.to_string(),
+            format!("{}", p.delay_mean_s),
+            format!("{}", p.delay_std_s),
+            format!("{}", p.energy_mean_j),
+            format!("{}", p.energy_std_j),
+            format!("{}", p.n),
+        ]);
+    }
+    print!("{}", table.render());
+    let path = out_dir.join(format!("{name}.csv"));
+    csv.write(&path).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("wrote {}\n", path.display());
+}
+
+/// Default results directory (`results/` at the workspace root).
+pub fn results_dir() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR = crates/pas-bench; results live two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_is_section4() {
+        let s = paper_scenario(1);
+        assert_eq!(s.node_count, 30);
+        assert_eq!(s.range_m, 10.0);
+    }
+
+    #[test]
+    fn delay_energy_aggregates_in_order() {
+        // Tiny smoke sweep: 2 points × REPLICATES seeds.
+        let field = paper_field();
+        let points = vec![(1.0, Policy::Ns), (2.0, Policy::Ns)];
+        let got = delay_energy(&points, &field);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].x, 1.0);
+        assert_eq!(got[1].x, 2.0);
+        assert_eq!(got[0].n, REPLICATES);
+        // NS delay is identically zero at every seed.
+        assert!(got[0].delay_mean_s < 1e-9);
+        assert!(got[0].delay_std_s < 1e-9);
+        assert!(got[0].energy_mean_j > 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # pas-bench — experiment harness for the PAS evaluation
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's experiment
+//! index), all built on the shared [`harness`] module: the paper's §4
+//! workload (30 nodes, 10 m range, corner-released radial front), seed
+//! fan-out through `pas-sweep`, and table/CSV reporting through
+//! `pas-metrics`.
+//!
+//! Run e.g. `cargo run --release -p pas-bench --bin fig4`; every binary
+//! prints the paper-style series and writes `results/<name>.csv`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    delay_energy, paper_field, paper_scenario, report, results_dir, ExperimentPoint,
+    ALERT_AXIS, FIG4_ALERT_S, FIG5_MAX_SLEEP_S, FRONT_SPEED_MPS, MAX_SLEEP_AXIS, REPLICATES,
+    SEED_BASE,
+};

@@ -1,0 +1,377 @@
+//! Spreading-velocity and arrival-time estimators (paper §3.3).
+//!
+//! ## Actual velocity (covered nodes)
+//!
+//! When node `X` detects the stimulus at `T_X`, it differences against
+//! covered neighbours `I` that detected at `T_I < T_X`:
+//!
+//! ```text
+//! v_X = (1/n) Σ_I  IX→ / t_I        with  t_I = T_X − T_I
+//! ```
+//!
+//! Each term is the displacement from `I` to `X` divided by the elapsed
+//! time — the front's apparent velocity along that chord; the vector mean
+//! fuses the chords into a local velocity estimate.
+//!
+//! ## Expected velocity (alert / safe nodes)
+//!
+//! The mean of the velocity vectors reported by covered and alert
+//! neighbours: `v_X = (1/n) Σ_I v_I`.
+//!
+//! ## Expected arrival time
+//!
+//! Each informing neighbour `I` contributes an arrival estimate using the
+//! locally planar front model: the front is a line through `I`'s position
+//! perpendicular to `v_I`, advancing at `|v_I|`. The time for it to cover
+//! the along-normal distance from `I` to `X` is
+//!
+//! ```text
+//! Δ_I = |IX| · cos θ_I / |v_I|      (θ_I = angle between v_I and IX→)
+//! ```
+//!
+//! added to the report's time base `ref_I` (detection time for covered
+//! senders, predicted arrival for alert senders — the paper's formula
+//! leaves the base implicit; see DESIGN.md §5). `cos θ_I ≤ 0` means `X` is
+//! on or behind the advancing front line from `I`'s vantage, i.e. due
+//! immediately: the projection clamps at zero rather than predicting the
+//! past. The node's estimate is the minimum over neighbours — the paper's
+//! `t_X = min_I (|IX| cos θ_I / v_I)`.
+//!
+//! ## The SAS estimator
+//!
+//! SAS (Ngan et al. 2005), per this paper's characterisation, uses only
+//! covered neighbours and no direction information:
+//! `t_X = min_I ( T_I + |IX| / |v_I| )`. Ignoring `cos θ` systematically
+//! *overestimates* time-to-arrival off-axis (|IX| ≥ |IX|·cosθ), which is
+//! exactly why SAS wakes nodes later than PAS and pays more detection
+//! delay — the effect Figs. 4–5 measure.
+
+use crate::msg::Report;
+use crate::state::NodeState;
+use pas_geom::angle::included_cos;
+use pas_geom::Vec2;
+use pas_sim::SimTime;
+
+/// Minimum speed (m/s) considered non-zero by the arrival estimators;
+/// slower reports cannot produce a finite, trustworthy arrival.
+pub const MIN_SPEED: f64 = 1e-6;
+
+/// Minimum detection-time difference (s) used in velocity differencing;
+/// below this the chord velocity is numerically meaningless.
+pub const MIN_DT: f64 = 1e-6;
+
+/// Actual velocity at a covered node (paper's first formula).
+///
+/// `my_pos`/`my_detect` describe node X; `covered` holds neighbour reports
+/// (only [`NodeState::Covered`] entries with `ref_time < my_detect`
+/// contribute). Returns `None` when no neighbour qualifies — the normal
+/// situation for the first node(s) the stimulus reaches.
+pub fn actual_velocity(my_pos: Vec2, my_detect: SimTime, covered: &[Report]) -> Option<Vec2> {
+    let mut sum = Vec2::ZERO;
+    let mut n = 0usize;
+    for r in covered {
+        if r.state != NodeState::Covered {
+            continue;
+        }
+        let dt = my_detect.since(r.ref_time);
+        if dt < MIN_DT {
+            continue; // simultaneous or future detection: no chord velocity
+        }
+        sum += (my_pos - r.pos) / dt;
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// Expected velocity at an alert/safe node: mean of neighbour velocities
+/// (covered and alert reports with a velocity estimate).
+pub fn expected_velocity(reports: &[Report]) -> Option<Vec2> {
+    let mut sum = Vec2::ZERO;
+    let mut n = 0usize;
+    for r in reports {
+        if matches!(r.state, NodeState::Covered | NodeState::Alert) {
+            if let Some(v) = r.velocity {
+                if v.norm() >= MIN_SPEED {
+                    sum += v;
+                    n += 1;
+                }
+            }
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// One neighbour's arrival estimate under the planar-front model (PAS).
+///
+/// Returns [`SimTime::NEVER`] when the report carries no usable velocity.
+pub fn arrival_from_report(my_pos: Vec2, r: &Report) -> SimTime {
+    let Some(v) = r.velocity else {
+        return SimTime::NEVER;
+    };
+    let speed = v.norm();
+    if speed < MIN_SPEED {
+        return SimTime::NEVER;
+    }
+    let ix = my_pos - r.pos;
+    let along = ix.norm() * included_cos(v, ix);
+    // Behind or on the front line: due immediately (clamp, don't predict
+    // the past).
+    r.ref_time + (along / speed).max(0.0)
+}
+
+/// PAS expected arrival: minimum over neighbour reports (covered + alert).
+///
+/// Returns [`SimTime::NEVER`] when nothing informs the estimate.
+pub fn pas_expected_arrival(my_pos: Vec2, reports: &[Report]) -> SimTime {
+    reports
+        .iter()
+        .filter(|r| matches!(r.state, NodeState::Covered | NodeState::Alert))
+        .map(|r| arrival_from_report(my_pos, r))
+        .min()
+        .unwrap_or(SimTime::NEVER)
+}
+
+/// SAS expected arrival: covered neighbours only, no direction term —
+/// `min_I (T_I + |IX| / |v_I|)`.
+pub fn sas_expected_arrival(my_pos: Vec2, reports: &[Report]) -> SimTime {
+    reports
+        .iter()
+        .filter(|r| r.state == NodeState::Covered)
+        .map(|r| {
+            let Some(v) = r.velocity else {
+                return SimTime::NEVER;
+            };
+            let speed = v.norm();
+            if speed < MIN_SPEED {
+                return SimTime::NEVER;
+            }
+            r.ref_time + my_pos.distance(r.pos) / speed
+        })
+        .min()
+        .unwrap_or(SimTime::NEVER)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn covered(pos: Vec2, detect: f64, velocity: Option<Vec2>) -> Report {
+        Report {
+            pos,
+            state: NodeState::Covered,
+            velocity,
+            ref_time: t(detect),
+        }
+    }
+
+    fn alert(pos: Vec2, eta: f64, velocity: Option<Vec2>) -> Report {
+        Report {
+            pos,
+            state: NodeState::Alert,
+            velocity,
+            ref_time: t(eta),
+        }
+    }
+
+    // --- actual velocity -------------------------------------------------
+
+    #[test]
+    fn actual_velocity_single_chord() {
+        // Neighbour at origin detected at 0, X at (2, 0) detected at 4:
+        // chord velocity (0.5, 0).
+        let v = actual_velocity(
+            Vec2::new(2.0, 0.0),
+            t(4.0),
+            &[covered(Vec2::ZERO, 0.0, None)],
+        )
+        .unwrap();
+        assert!((v - Vec2::new(0.5, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn actual_velocity_averages_chords() {
+        // Two neighbours symmetric about X's approach axis.
+        let x = Vec2::new(4.0, 0.0);
+        let v = actual_velocity(
+            x,
+            t(2.0),
+            &[
+                covered(Vec2::new(2.0, 1.0), 0.0, None), // chord (1, -0.5)
+                covered(Vec2::new(2.0, -1.0), 0.0, None), // chord (1, 0.5)
+            ],
+        )
+        .unwrap();
+        assert!((v - Vec2::new(1.0, 0.0)).norm() < 1e-12, "y cancels: {v}");
+    }
+
+    #[test]
+    fn actual_velocity_ignores_future_and_simultaneous() {
+        let x = Vec2::new(1.0, 0.0);
+        // Same detect time and a later detect time: no usable chord.
+        assert_eq!(
+            actual_velocity(
+                x,
+                t(5.0),
+                &[
+                    covered(Vec2::ZERO, 5.0, None),
+                    covered(Vec2::new(0.5, 0.0), 7.0, None)
+                ]
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn actual_velocity_ignores_non_covered() {
+        let x = Vec2::new(1.0, 0.0);
+        assert_eq!(
+            actual_velocity(x, t(5.0), &[alert(Vec2::ZERO, 1.0, Some(Vec2::UNIT_X))]),
+            None,
+            "alert reports carry predictions, not detections"
+        );
+    }
+
+    // --- expected velocity -----------------------------------------------
+
+    #[test]
+    fn expected_velocity_means_reports() {
+        let v = expected_velocity(&[
+            covered(Vec2::ZERO, 0.0, Some(Vec2::new(1.0, 0.0))),
+            alert(Vec2::ZERO, 0.0, Some(Vec2::new(0.0, 1.0))),
+        ])
+        .unwrap();
+        assert!((v - Vec2::new(0.5, 0.5)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn expected_velocity_skips_empty_and_zero() {
+        assert_eq!(expected_velocity(&[]), None);
+        assert_eq!(
+            expected_velocity(&[covered(Vec2::ZERO, 0.0, None)]),
+            None,
+            "no velocity reported"
+        );
+        assert_eq!(
+            expected_velocity(&[covered(Vec2::ZERO, 0.0, Some(Vec2::ZERO))]),
+            None,
+            "zero velocity is unusable"
+        );
+    }
+
+    #[test]
+    fn expected_velocity_ignores_safe_reports() {
+        let r = Report {
+            pos: Vec2::ZERO,
+            state: NodeState::Safe,
+            velocity: Some(Vec2::UNIT_X),
+            ref_time: t(0.0),
+        };
+        assert_eq!(expected_velocity(&[r]), None);
+    }
+
+    // --- PAS arrival -----------------------------------------------------
+
+    #[test]
+    fn arrival_head_on() {
+        // Front at origin moving +X at 2 m/s; X is 10 m downwind, detected
+        // at the neighbour at t=3: arrival 3 + 10/2 = 8.
+        let eta = arrival_from_report(
+            Vec2::new(10.0, 0.0),
+            &covered(Vec2::ZERO, 3.0, Some(Vec2::new(2.0, 0.0))),
+        );
+        assert!((eta.as_secs() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_oblique_uses_projection() {
+        // X off-axis at 45°: |IX| = √2·10, cos θ = 1/√2 ⇒ along = 10.
+        let eta = arrival_from_report(
+            Vec2::new(10.0, 10.0),
+            &covered(Vec2::ZERO, 0.0, Some(Vec2::new(2.0, 0.0))),
+        );
+        assert!((eta.as_secs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_behind_front_clamps_to_ref_time() {
+        // X is upstream (behind the front line through the neighbour).
+        let eta = arrival_from_report(
+            Vec2::new(-5.0, 0.0),
+            &covered(Vec2::ZERO, 3.0, Some(Vec2::new(2.0, 0.0))),
+        );
+        assert_eq!(eta, t(3.0), "due immediately, never in the past");
+    }
+
+    #[test]
+    fn arrival_without_velocity_is_never() {
+        let eta = arrival_from_report(Vec2::new(1.0, 0.0), &covered(Vec2::ZERO, 0.0, None));
+        assert_eq!(eta, SimTime::NEVER);
+        let eta = arrival_from_report(
+            Vec2::new(1.0, 0.0),
+            &covered(Vec2::ZERO, 0.0, Some(Vec2::ZERO)),
+        );
+        assert_eq!(eta, SimTime::NEVER);
+    }
+
+    #[test]
+    fn pas_takes_min_over_reports() {
+        let x = Vec2::new(10.0, 0.0);
+        let eta = pas_expected_arrival(
+            x,
+            &[
+                covered(Vec2::ZERO, 0.0, Some(Vec2::new(1.0, 0.0))), // eta 10
+                alert(Vec2::new(6.0, 0.0), 2.0, Some(Vec2::new(1.0, 0.0))), // eta 2+4=6
+            ],
+        );
+        assert!((eta.as_secs() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pas_empty_reports_never() {
+        assert_eq!(pas_expected_arrival(Vec2::ZERO, &[]), SimTime::NEVER);
+    }
+
+    #[test]
+    fn alert_relay_extends_reach() {
+        // X hears only the alert neighbour; prediction still possible —
+        // the mechanism that distinguishes PAS from SAS.
+        let x = Vec2::new(20.0, 0.0);
+        let only_alert = [alert(Vec2::new(12.0, 0.0), 12.0, Some(Vec2::new(1.0, 0.0)))];
+        let pas = pas_expected_arrival(x, &only_alert);
+        assert!((pas.as_secs() - 20.0).abs() < 1e-12);
+        let sas = sas_expected_arrival(x, &only_alert);
+        assert_eq!(sas, SimTime::NEVER, "SAS cannot use alert reports");
+    }
+
+    // --- SAS arrival -----------------------------------------------------
+
+    #[test]
+    fn sas_ignores_direction() {
+        // X perpendicular to the front motion. PAS: due immediately
+        // (cos θ = 0). SAS: |IX|/v in the future.
+        let x = Vec2::new(0.0, 8.0);
+        let reports = [covered(Vec2::ZERO, 2.0, Some(Vec2::new(2.0, 0.0)))];
+        let pas = pas_expected_arrival(x, &reports);
+        assert_eq!(pas, t(2.0));
+        let sas = sas_expected_arrival(x, &reports);
+        assert!((sas.as_secs() - 6.0).abs() < 1e-12); // 2 + 8/2
+        assert!(sas > pas, "SAS systematically predicts later");
+    }
+
+    #[test]
+    fn sas_never_earlier_than_pas() {
+        // Property spot-check across a ring of receiver positions.
+        let reports = [covered(Vec2::new(1.0, 2.0), 5.0, Some(Vec2::new(0.7, 0.4)))];
+        for i in 0..16 {
+            let a = core::f64::consts::TAU * i as f64 / 16.0;
+            let x = Vec2::new(1.0, 2.0) + Vec2::from_polar(9.0, a);
+            let pas = pas_expected_arrival(x, &reports);
+            let sas = sas_expected_arrival(x, &reports);
+            assert!(sas >= pas, "angle {a}: sas {sas} < pas {pas}");
+        }
+    }
+}

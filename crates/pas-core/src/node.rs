@@ -1,0 +1,294 @@
+//! Per-node runtime state.
+//!
+//! [`Node`] is pure data plus small invariant-preserving mutators; the
+//! protocol *logic* lives in [`crate::runner`], which owns the event loop
+//! and can see the whole world (field, radio, tracker) at once. Keeping the
+//! node passive avoids the callback-borrow tangles that plague DES node
+//! models and keeps the hot loop monomorphic.
+
+use crate::msg::Report;
+use crate::state::NodeState;
+use pas_geom::Vec2;
+use pas_platform::{EnergyBreakdown, EnergyMeter, NodeMode};
+use pas_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Why a node opened a listening window after broadcasting a REQUEST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Purpose {
+    /// A safe node's wake-up probe: decide alert vs longer sleep.
+    SafeProbe,
+    /// A freshly covered node gathering detect times for the actual
+    /// velocity estimate.
+    CoveredEstimate,
+    /// An overdue alert node re-probing before concluding misprediction:
+    /// sleeping blind at the predicted arrival instant is the one moment
+    /// duty-cycling must not happen.
+    AlertRefresh,
+}
+
+/// One sensor's runtime state.
+#[derive(Debug)]
+pub struct Node {
+    /// Node id (index into the topology).
+    pub id: usize,
+    /// Fixed position.
+    pub pos: Vec2,
+    /// Protocol state (paper Fig. 3).
+    pub state: NodeState,
+    /// `false` once the failure plan kills the node.
+    pub alive: bool,
+    /// `true` while the MCU+radio are up (can receive frames).
+    pub awake: bool,
+    /// Current sleep interval (s); grows by Δt per uneventful wake.
+    pub sleep_interval_s: f64,
+    /// Energy meter for this node.
+    pub meter: EnergyMeter,
+    /// Frozen energy at death (None while alive).
+    pub death_energy: Option<EnergyBreakdown>,
+    /// First detection time, if any.
+    pub detect_time: Option<SimTime>,
+    /// Current velocity estimate: actual (covered) or expected (alert).
+    pub velocity: Option<Vec2>,
+    /// Current predicted stimulus arrival ([`SimTime::NEVER`] = unknown).
+    pub expected_arrival: SimTime,
+    /// Latest report received per neighbour.
+    pub reports: BTreeMap<usize, Report>,
+    /// Open listening window, if any.
+    pub window: Option<Purpose>,
+    /// End of the last transmission (sender side).
+    pub last_tx_end: SimTime,
+    /// Time of the last broadcast this node originated (storm suppression).
+    pub last_broadcast: Option<SimTime>,
+    /// True if the node ever entered the Alert state (diagnostics).
+    pub alerted_ever: bool,
+    /// REQUEST frames sent.
+    pub requests_sent: u64,
+    /// RESPONSE frames sent.
+    pub responses_sent: u64,
+    /// Frames received while awake.
+    pub frames_received: u64,
+}
+
+impl Node {
+    /// A fresh node in the Safe state.
+    pub fn new(id: usize, pos: Vec2, meter: EnergyMeter, base_sleep_s: f64) -> Self {
+        Node {
+            id,
+            pos,
+            state: NodeState::Safe,
+            alive: true,
+            awake: !meter.mode().is_sleeping(),
+            sleep_interval_s: base_sleep_s,
+            meter,
+            death_energy: None,
+            detect_time: None,
+            velocity: None,
+            expected_arrival: SimTime::NEVER,
+            reports: BTreeMap::new(),
+            window: None,
+            last_tx_end: SimTime::ZERO,
+            last_broadcast: None,
+            alerted_ever: false,
+            requests_sent: 0,
+            responses_sent: 0,
+            frames_received: 0,
+        }
+    }
+
+    /// Transition the protocol state, enforcing the paper's Fig. 3 diagram.
+    ///
+    /// # Panics
+    /// Panics on an illegal transition — always a runner bug.
+    pub fn transition(&mut self, to: NodeState) {
+        assert!(
+            self.state.can_transition_to(to),
+            "illegal transition {} -> {} on node {}",
+            self.state,
+            to,
+            self.id
+        );
+        if to == NodeState::Alert {
+            self.alerted_ever = true;
+        }
+        self.state = to;
+    }
+
+    /// Wake the node at `t` (meter charges the sleep→active transition).
+    pub fn wake(&mut self, t: SimTime) {
+        debug_assert!(!self.awake, "waking an awake node {}", self.id);
+        self.meter.set_mode(t, NodeMode::ACTIVE_RX);
+        self.awake = true;
+    }
+
+    /// Put the node to sleep at `t`.
+    ///
+    /// # Panics
+    /// Panics (debug) if called while a transmission is in flight — the
+    /// runner must defer sleep past `last_tx_end`.
+    pub fn sleep(&mut self, t: SimTime) {
+        debug_assert!(self.awake, "sleeping an asleep node {}", self.id);
+        debug_assert!(
+            t >= self.last_tx_end,
+            "node {} sleeping mid-transmission",
+            self.id
+        );
+        self.meter.set_mode(t, NodeMode::SLEEP);
+        self.awake = false;
+        self.window = None;
+    }
+
+    /// The report this node would send right now.
+    ///
+    /// Covered nodes report their detection time and actual velocity; alert
+    /// nodes report their prediction. Safe nodes have nothing authoritative
+    /// to say — callers should not solicit them.
+    pub fn report(&self, now: SimTime) -> Report {
+        let ref_time = match self.state {
+            NodeState::Covered => self.detect_time.unwrap_or(now),
+            NodeState::Alert => {
+                if self.expected_arrival.is_finite() {
+                    self.expected_arrival
+                } else {
+                    now
+                }
+            }
+            NodeState::Safe => now,
+        };
+        Report {
+            pos: self.pos,
+            state: self.state,
+            velocity: self.velocity,
+            ref_time,
+        }
+    }
+
+    /// Store a neighbour's report (latest wins).
+    pub fn store_report(&mut self, from: usize, report: Report) {
+        self.reports.insert(from, report);
+    }
+
+    /// Snapshot of the neighbour reports for the estimators.
+    pub fn report_values(&self) -> Vec<Report> {
+        self.reports.values().copied().collect()
+    }
+
+    /// Final energy: frozen at death, else metered up to `end`.
+    pub fn final_energy(&mut self, end: SimTime) -> EnergyBreakdown {
+        match self.death_energy {
+            Some(e) => e,
+            None => self.meter.sample(end),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_platform::telos_profile;
+
+    fn node_at(pos: Vec2, awake: bool) -> Node {
+        let mode = if awake {
+            NodeMode::ACTIVE_RX
+        } else {
+            NodeMode::SLEEP
+        };
+        let meter = EnergyMeter::new(telos_profile(), mode, SimTime::ZERO);
+        Node::new(0, pos, meter, 1.0)
+    }
+
+    #[test]
+    fn fresh_node_is_safe() {
+        let n = node_at(Vec2::ZERO, false);
+        assert_eq!(n.state, NodeState::Safe);
+        assert!(!n.awake);
+        assert!(n.alive);
+        assert_eq!(n.expected_arrival, SimTime::NEVER);
+    }
+
+    #[test]
+    fn legal_transition_chain() {
+        let mut n = node_at(Vec2::ZERO, true);
+        n.transition(NodeState::Alert);
+        assert!(n.alerted_ever);
+        n.transition(NodeState::Covered);
+        n.transition(NodeState::Safe);
+        assert_eq!(n.state, NodeState::Safe);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal transition")]
+    fn illegal_transition_panics() {
+        let mut n = node_at(Vec2::ZERO, true);
+        n.transition(NodeState::Covered);
+        n.transition(NodeState::Alert); // Covered -> Alert is not in Fig. 3
+    }
+
+    #[test]
+    fn wake_sleep_cycle_meters_energy() {
+        let mut n = node_at(Vec2::ZERO, false);
+        n.wake(SimTime::from_secs(10.0));
+        assert!(n.awake);
+        n.sleep(SimTime::from_secs(11.0));
+        assert!(!n.awake);
+        let e = n.final_energy(SimTime::from_secs(20.0));
+        // 10 s sleep + 1 s active + 9 s sleep + 1 wake transition.
+        let p = telos_profile();
+        let want = 19.0 * p.sleep_w
+            + 1.0 * p.total_active_w()
+            + p.total_active_w() * p.wake_transition_s;
+        assert!((e.total_j() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_reflects_state() {
+        let mut n = node_at(Vec2::new(1.0, 2.0), true);
+        let now = SimTime::from_secs(5.0);
+        // Safe: ref_time falls back to now.
+        assert_eq!(n.report(now).ref_time, now);
+
+        n.transition(NodeState::Alert);
+        n.expected_arrival = SimTime::from_secs(9.0);
+        n.velocity = Some(Vec2::UNIT_X);
+        let r = n.report(now);
+        assert_eq!(r.state, NodeState::Alert);
+        assert_eq!(r.ref_time, SimTime::from_secs(9.0));
+        assert_eq!(r.velocity, Some(Vec2::UNIT_X));
+
+        n.transition(NodeState::Covered);
+        n.detect_time = Some(SimTime::from_secs(6.0));
+        let r = n.report(SimTime::from_secs(7.0));
+        assert_eq!(r.state, NodeState::Covered);
+        assert_eq!(r.ref_time, SimTime::from_secs(6.0));
+    }
+
+    #[test]
+    fn reports_latest_wins() {
+        let mut n = node_at(Vec2::ZERO, true);
+        let r1 = Report {
+            pos: Vec2::UNIT_X,
+            state: NodeState::Alert,
+            velocity: None,
+            ref_time: SimTime::from_secs(1.0),
+        };
+        let r2 = Report {
+            ref_time: SimTime::from_secs(2.0),
+            ..r1
+        };
+        n.store_report(7, r1);
+        n.store_report(7, r2);
+        assert_eq!(n.reports.len(), 1);
+        assert_eq!(n.reports[&7].ref_time, SimTime::from_secs(2.0));
+        assert_eq!(n.report_values().len(), 1);
+    }
+
+    #[test]
+    fn death_freezes_energy() {
+        let mut n = node_at(Vec2::ZERO, true);
+        let at_death = n.meter.sample(SimTime::from_secs(5.0));
+        n.death_energy = Some(at_death);
+        n.alive = false;
+        let e = n.final_energy(SimTime::from_secs(100.0));
+        assert_eq!(e.total_j(), at_death.total_j(), "no post-mortem drain");
+    }
+}

@@ -1,0 +1,233 @@
+//! Sleep policies: NS, SAS, PAS and the Oracle bound.
+//!
+//! [`AdaptiveParams`] carries the knobs shared by the adaptive schemes;
+//! [`Policy`] selects the scheme. The paper's two swept parameters map to
+//! [`AdaptiveParams::max_sleep_s`] (Figs. 4/6 x-axis) and
+//! [`AdaptiveParams::alert_threshold_s`] (Figs. 5/7 x-axis).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the adaptive (SAS/PAS) sleeping mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveParams {
+    /// Initial sleep interval (s); the interval resets to this on
+    /// alert → safe fallback.
+    pub base_sleep_s: f64,
+    /// Linear increment Δt added to the sleep interval per uneventful
+    /// wake-up (§3.4 "a linearly increasing sleeping time").
+    pub delta_t_s: f64,
+    /// Maximum sleep interval (s) — the Figs. 4/6 sweep variable.
+    pub max_sleep_s: f64,
+    /// Alert-time threshold (s): go Alert when the predicted arrival is
+    /// within this horizon — the Figs. 5/7 sweep variable.
+    pub alert_threshold_s: f64,
+    /// How long an awake prober listens for RESPONSEs before deciding (s).
+    pub response_window_s: f64,
+    /// Relative change in predicted arrival that triggers an unsolicited
+    /// RESPONSE re-broadcast from an alert node (§3.2 "if the difference
+    /// between the expectations has changed significantly").
+    pub rebroadcast_rel_change: f64,
+    /// Minimum spacing between a node's broadcasts (s) — storm suppression.
+    pub min_broadcast_gap_s: f64,
+    /// How often an alert node re-examines its state (s).
+    pub alert_review_interval_s: f64,
+    /// How long past its predicted arrival an alert node waits before
+    /// concluding a misprediction and falling back to safe (s).
+    pub alert_overdue_timeout_s: f64,
+    /// Covered nodes re-sense at this period; if the stimulus has receded
+    /// they return to safe after `detection_timeout_s` (§3.2 "the sensor
+    /// will wait for a detection timeout").
+    pub detection_timeout_s: f64,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        AdaptiveParams {
+            base_sleep_s: 1.0,
+            delta_t_s: 1.0,
+            max_sleep_s: 10.0,
+            alert_threshold_s: 15.0,
+            response_window_s: 0.1,
+            rebroadcast_rel_change: 0.2,
+            min_broadcast_gap_s: 0.25,
+            alert_review_interval_s: 2.0,
+            alert_overdue_timeout_s: 10.0,
+            detection_timeout_s: 5.0,
+        }
+    }
+}
+
+impl AdaptiveParams {
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics on non-positive or inconsistent parameters.
+    pub fn validate(&self) {
+        assert!(self.base_sleep_s > 0.0, "base_sleep_s must be > 0");
+        assert!(self.delta_t_s >= 0.0, "delta_t_s must be >= 0");
+        assert!(
+            self.max_sleep_s >= self.base_sleep_s,
+            "max_sleep_s must be >= base_sleep_s"
+        );
+        assert!(self.alert_threshold_s >= 0.0, "alert_threshold_s >= 0");
+        assert!(self.response_window_s > 0.0, "response_window_s > 0");
+        assert!(
+            self.rebroadcast_rel_change > 0.0,
+            "rebroadcast_rel_change > 0"
+        );
+        assert!(self.min_broadcast_gap_s >= 0.0, "min_broadcast_gap_s >= 0");
+        assert!(
+            self.alert_review_interval_s > 0.0,
+            "alert_review_interval_s > 0"
+        );
+        assert!(
+            self.alert_overdue_timeout_s > 0.0,
+            "alert_overdue_timeout_s > 0"
+        );
+        assert!(self.detection_timeout_s > 0.0, "detection_timeout_s > 0");
+    }
+
+    /// The next sleep interval after an uneventful wake-up: grow linearly,
+    /// saturate at the maximum (§3.4).
+    pub fn grown_interval(&self, current: f64) -> f64 {
+        (current + self.delta_t_s).min(self.max_sleep_s)
+    }
+}
+
+/// Which sleeping mechanism a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// No sleeping: every node awake for the whole run (paper's NS).
+    Ns,
+    /// Stimulus-based adaptive sleeping (Ngan et al. 2005), reconstructed:
+    /// covered-neighbour-only information, non-directional arrival
+    /// estimate, minimal alert ring.
+    Sas(AdaptiveParams),
+    /// Prediction-based adaptive sleeping — the paper's contribution.
+    Pas(AdaptiveParams),
+    /// The §3.1 ideal: each node sleeps until exactly its ground-truth
+    /// arrival time. Zero delay at near-zero energy; the unreachable lower
+    /// bound for both metrics.
+    Oracle,
+}
+
+impl Policy {
+    /// Default-parameter SAS with the degenerate alert threshold.
+    pub fn sas_default() -> Policy {
+        Policy::Sas(AdaptiveParams {
+            // "By greatly reducing the threshold value of alert time, PAS
+            // can degenerate into SAS" — SAS's effective alert horizon is
+            // the time to ride out one probe cycle, not a prediction window.
+            alert_threshold_s: 2.0,
+            ..AdaptiveParams::default()
+        })
+    }
+
+    /// Default-parameter PAS.
+    pub fn pas_default() -> Policy {
+        Policy::Pas(AdaptiveParams::default())
+    }
+
+    /// The adaptive parameters, if this policy has them.
+    pub fn params(&self) -> Option<&AdaptiveParams> {
+        match self {
+            Policy::Sas(p) | Policy::Pas(p) => Some(p),
+            Policy::Ns | Policy::Oracle => None,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::Ns => "NS",
+            Policy::Sas(_) => "SAS",
+            Policy::Pas(_) => "PAS",
+            Policy::Oracle => "Oracle",
+        }
+    }
+
+    /// `true` if nodes under this policy relay predictions through the
+    /// alert ring (the PAS-only mechanism).
+    pub fn relays_predictions(&self) -> bool {
+        matches!(self, Policy::Pas(_))
+    }
+
+    /// Validate any embedded parameters.
+    pub fn validate(&self) {
+        if let Some(p) = self.params() {
+            p.validate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        AdaptiveParams::default().validate();
+        Policy::sas_default().validate();
+        Policy::pas_default().validate();
+        Policy::Ns.validate();
+        Policy::Oracle.validate();
+    }
+
+    #[test]
+    fn growth_saturates() {
+        let p = AdaptiveParams {
+            base_sleep_s: 1.0,
+            delta_t_s: 2.0,
+            max_sleep_s: 6.0,
+            ..AdaptiveParams::default()
+        };
+        assert_eq!(p.grown_interval(1.0), 3.0);
+        assert_eq!(p.grown_interval(5.0), 6.0);
+        assert_eq!(p.grown_interval(6.0), 6.0);
+    }
+
+    #[test]
+    fn growth_with_zero_delta_is_fixed() {
+        let p = AdaptiveParams {
+            delta_t_s: 0.0,
+            ..AdaptiveParams::default()
+        };
+        assert_eq!(p.grown_interval(4.0), 4.0);
+    }
+
+    #[test]
+    fn labels_and_relay() {
+        assert_eq!(Policy::Ns.label(), "NS");
+        assert_eq!(Policy::sas_default().label(), "SAS");
+        assert_eq!(Policy::pas_default().label(), "PAS");
+        assert_eq!(Policy::Oracle.label(), "Oracle");
+        assert!(Policy::pas_default().relays_predictions());
+        assert!(!Policy::sas_default().relays_predictions());
+        assert!(!Policy::Ns.relays_predictions());
+    }
+
+    #[test]
+    fn params_accessor() {
+        assert!(Policy::Ns.params().is_none());
+        assert!(Policy::Oracle.params().is_none());
+        assert_eq!(
+            Policy::pas_default().params().unwrap().alert_threshold_s,
+            15.0
+        );
+        assert_eq!(
+            Policy::sas_default().params().unwrap().alert_threshold_s,
+            2.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_sleep_s")]
+    fn validate_rejects_max_below_base() {
+        AdaptiveParams {
+            base_sleep_s: 5.0,
+            max_sleep_s: 1.0,
+            ..AdaptiveParams::default()
+        }
+        .validate();
+    }
+}

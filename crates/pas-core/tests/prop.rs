@@ -1,0 +1,111 @@
+//! Property-based tests for the PAS estimators and run invariants.
+
+use pas_core::estimate::{
+    actual_velocity, arrival_from_report, pas_expected_arrival, sas_expected_arrival,
+};
+use pas_core::msg::Report;
+use pas_core::{run, NodeState, Policy, RunConfig, Scenario};
+use pas_diffusion::RadialFront;
+use pas_geom::Vec2;
+use pas_sim::SimTime;
+use proptest::prelude::*;
+
+fn small_vec2() -> impl Strategy<Value = Vec2> {
+    (-30.0..30.0f64, -30.0..30.0f64).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+fn covered_report() -> impl Strategy<Value = Report> {
+    (small_vec2(), 0.0..100.0f64, small_vec2()).prop_map(|(pos, t, v)| Report {
+        pos,
+        state: NodeState::Covered,
+        velocity: (v.norm() > 1e-3).then_some(v),
+        ref_time: SimTime::from_secs(t),
+    })
+}
+
+proptest! {
+    /// The arrival estimate from any report is never before the report's
+    /// own time base (the front cannot arrive before it was observed).
+    #[test]
+    fn arrival_never_precedes_ref_time(me in small_vec2(), r in covered_report()) {
+        let eta = arrival_from_report(me, &r);
+        prop_assert!(eta >= r.ref_time);
+    }
+
+    /// SAS (no cos θ) never predicts earlier than PAS on the same report:
+    /// |IX| >= |IX|·cos θ. This is the systematic bias the paper exploits.
+    #[test]
+    fn sas_never_earlier_than_pas(
+        me in small_vec2(),
+        reports in prop::collection::vec(covered_report(), 1..8),
+    ) {
+        let pas = pas_expected_arrival(me, &reports);
+        let sas = sas_expected_arrival(me, &reports);
+        prop_assert!(sas >= pas, "sas {sas} < pas {pas}");
+    }
+
+    /// Adding a report can only move the min-estimate earlier (or keep it).
+    #[test]
+    fn more_reports_never_later(
+        me in small_vec2(),
+        reports in prop::collection::vec(covered_report(), 1..8),
+        extra in covered_report(),
+    ) {
+        let before = pas_expected_arrival(me, &reports);
+        let mut more = reports.clone();
+        more.push(extra);
+        let after = pas_expected_arrival(me, &more);
+        prop_assert!(after <= before);
+    }
+
+    /// Actual velocity is translation-invariant: shifting every position by
+    /// the same offset leaves the estimate unchanged.
+    #[test]
+    fn actual_velocity_translation_invariant(
+        me in small_vec2(),
+        detect in 10.0..100.0f64,
+        reports in prop::collection::vec(covered_report(), 1..6),
+        shift in small_vec2(),
+    ) {
+        let t = SimTime::from_secs(detect);
+        let v1 = actual_velocity(me, t, &reports);
+        let shifted: Vec<Report> = reports
+            .iter()
+            .map(|r| Report { pos: r.pos + shift, ..*r })
+            .collect();
+        let v2 = actual_velocity(me + shift, t, &shifted);
+        match (v1, v2) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert!((a - b).norm() < 1e-6),
+            _ => prop_assert!(false, "translation changed estimability"),
+        }
+    }
+
+    /// Run-level invariants hold across random workloads: accounting adds
+    /// up, energies are positive and bounded by always-on, NS detects all.
+    #[test]
+    fn run_invariants_random_scenarios(
+        seed in 0u64..1000,
+        speed in 0.3..2.0f64,
+        sx in 0.0..40.0f64,
+        sy in 0.0..40.0f64,
+    ) {
+        let scenario = Scenario::paper_default(seed);
+        let field = RadialFront::constant(Vec2::new(sx, sy), speed);
+        for policy in [Policy::Ns, Policy::pas_default()] {
+            let r = run(&scenario, &field, &RunConfig::new(policy));
+            prop_assert_eq!(r.delay.detected + r.delay.missed, r.delay.reached);
+            prop_assert!(r.delay.mean_delay_s >= 0.0);
+            let always_on = 0.041 * r.duration_s;
+            for e in &r.per_node_energy {
+                prop_assert!(e.total_j() > 0.0);
+                // Always-on + a couple of wake transitions is a hard cap.
+                prop_assert!(e.total_j() <= always_on * 1.05 + 0.01);
+            }
+            if matches!(policy, Policy::Ns) {
+                prop_assert_eq!(r.delay.missed, 0);
+                prop_assert!(r.delay.mean_delay_s < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Marching-squares contour extraction.
+//!
+//! Extracts the iso-line of a scalar field sampled on a regular grid — used
+//! to materialise the stimulus *boundary* (the grey line of the paper's
+//! Fig. 1) from an [`crate::EikonalField`] arrival grid or any sampled
+//! field, for visualisation and distance-to-front diagnostics.
+//!
+//! The classic 16-case marching-squares table with linear interpolation
+//! along edges; ambiguous saddle cases (5 and 10) are resolved with the cell
+//! centre average, which avoids self-crossing contours.
+
+use pas_geom::{Polyline, Segment, Vec2};
+use std::collections::HashMap;
+
+/// A scalar field sampled on a regular grid (row-major).
+#[derive(Debug, Clone)]
+pub struct ScalarGrid {
+    /// Columns.
+    pub nx: usize,
+    /// Rows.
+    pub ny: usize,
+    /// Position of node (0, 0).
+    pub origin: Vec2,
+    /// Node spacing along x.
+    pub dx: f64,
+    /// Node spacing along y.
+    pub dy: f64,
+    /// Row-major values, `values[iy * nx + ix]`.
+    pub values: Vec<f64>,
+}
+
+impl ScalarGrid {
+    /// Build by sampling `f` at the grid nodes.
+    ///
+    /// # Panics
+    /// Panics on resolutions < 2 or non-positive spacing.
+    pub fn from_fn<F: Fn(Vec2) -> f64>(
+        origin: Vec2,
+        nx: usize,
+        ny: usize,
+        dx: f64,
+        dy: f64,
+        f: F,
+    ) -> Self {
+        assert!(nx >= 2 && ny >= 2, "grid needs at least 2x2 nodes");
+        assert!(dx > 0.0 && dy > 0.0, "spacing must be positive");
+        let mut values = Vec::with_capacity(nx * ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                values.push(f(origin + Vec2::new(ix as f64 * dx, iy as f64 * dy)));
+            }
+        }
+        ScalarGrid {
+            nx,
+            ny,
+            origin,
+            dx,
+            dy,
+            values,
+        }
+    }
+
+    #[inline]
+    fn value(&self, ix: usize, iy: usize) -> f64 {
+        self.values[iy * self.nx + ix]
+    }
+
+    #[inline]
+    fn pos(&self, ix: usize, iy: usize) -> Vec2 {
+        self.origin + Vec2::new(ix as f64 * self.dx, iy as f64 * self.dy)
+    }
+}
+
+/// Extract the raw iso-segments at `iso` (marching squares, unjoined).
+pub fn extract_segments(grid: &ScalarGrid, iso: f64) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    // Interpolate the crossing point between two nodes.
+    let interp = |pa: Vec2, va: f64, pb: Vec2, vb: f64| -> Vec2 {
+        let denom = vb - va;
+        let t = if denom.abs() < 1e-300 {
+            0.5
+        } else {
+            ((iso - va) / denom).clamp(0.0, 1.0)
+        };
+        pa.lerp(pb, t)
+    };
+
+    for iy in 0..grid.ny - 1 {
+        for ix in 0..grid.nx - 1 {
+            // Corners: 0=bottom-left, 1=bottom-right, 2=top-right, 3=top-left.
+            let p = [
+                grid.pos(ix, iy),
+                grid.pos(ix + 1, iy),
+                grid.pos(ix + 1, iy + 1),
+                grid.pos(ix, iy + 1),
+            ];
+            let v = [
+                grid.value(ix, iy),
+                grid.value(ix + 1, iy),
+                grid.value(ix + 1, iy + 1),
+                grid.value(ix, iy + 1),
+            ];
+            // Unreachable cells (infinite arrival) are treated as "above".
+            let inside = |x: f64| x < iso;
+            let mut case = 0usize;
+            for (bit, &val) in v.iter().enumerate() {
+                if inside(val) {
+                    case |= 1 << bit;
+                }
+            }
+            if case == 0 || case == 15 {
+                continue;
+            }
+            // Edge crossing points (edge i connects corner i and i+1 mod 4).
+            let e = |i: usize| -> Vec2 {
+                let j = (i + 1) % 4;
+                interp(p[i], v[i], p[j], v[j])
+            };
+            let mut emit = |a: Vec2, b: Vec2| segments.push(Segment::new(a, b));
+            match case {
+                1 => emit(e(3), e(0)),
+                2 => emit(e(0), e(1)),
+                3 => emit(e(3), e(1)),
+                4 => emit(e(1), e(2)),
+                6 => emit(e(0), e(2)),
+                7 => emit(e(3), e(2)),
+                8 => emit(e(2), e(3)),
+                9 => emit(e(2), e(0)),
+                11 => emit(e(2), e(1)),
+                12 => emit(e(1), e(3)),
+                13 => emit(e(1), e(0)),
+                14 => emit(e(0), e(3)),
+                5 | 10 => {
+                    // Saddle: disambiguate with the centre average.
+                    let centre_inside = inside(v.iter().sum::<f64>() / 4.0);
+                    if (case == 5) == centre_inside {
+                        emit(e(3), e(0));
+                        emit(e(1), e(2));
+                    } else {
+                        emit(e(0), e(1));
+                        emit(e(2), e(3));
+                    }
+                }
+                _ => unreachable!("cases 0 and 15 continue above"),
+            }
+        }
+    }
+    segments
+}
+
+/// Extract iso-contours at `iso` as joined polylines.
+///
+/// Segments are chained by matching endpoints (quantised to half the grid
+/// spacing × 1e-6); closed loops come back as polylines whose first and last
+/// points coincide.
+pub fn extract_contours(grid: &ScalarGrid, iso: f64) -> Vec<Polyline> {
+    let segments = extract_segments(grid, iso);
+    join_segments(&segments, (grid.dx.min(grid.dy)) * 1e-6)
+}
+
+/// Chain a segment soup into polylines, matching endpoints within `tol`.
+pub fn join_segments(segments: &[Segment], tol: f64) -> Vec<Polyline> {
+    assert!(tol > 0.0, "tolerance must be positive");
+    let quantise = |p: Vec2| -> (i64, i64) {
+        ((p.x / tol).round() as i64, (p.y / tol).round() as i64)
+    };
+
+    // Adjacency: endpoint key -> (segment index, is_start)
+    let mut endpoints: HashMap<(i64, i64), Vec<(usize, bool)>> = HashMap::new();
+    for (i, s) in segments.iter().enumerate() {
+        endpoints.entry(quantise(s.a)).or_default().push((i, true));
+        endpoints.entry(quantise(s.b)).or_default().push((i, false));
+    }
+
+    let mut used = vec![false; segments.len()];
+    let mut contours = Vec::new();
+
+    for start in 0..segments.len() {
+        if used[start] {
+            continue;
+        }
+        used[start] = true;
+        let mut chain = vec![segments[start].a, segments[start].b];
+
+        // Extend forward from the tail, then backward from the head.
+        for forward in [true, false] {
+            loop {
+                let tip = if forward {
+                    *chain.last().expect("chain non-empty")
+                } else {
+                    chain[0]
+                };
+                let Some(cands) = endpoints.get(&quantise(tip)) else {
+                    break;
+                };
+                let next = cands.iter().find(|&&(i, _)| !used[i]).copied();
+                let Some((i, at_start)) = next else { break };
+                used[i] = true;
+                let other = if at_start { segments[i].b } else { segments[i].a };
+                if forward {
+                    chain.push(other);
+                } else {
+                    chain.insert(0, other);
+                }
+            }
+        }
+        contours.push(Polyline::new(chain));
+    }
+    contours
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_geom::float::approx_eq_eps;
+
+    /// Distance-from-centre field: iso-contour at r is a circle of radius r.
+    fn radial_grid() -> ScalarGrid {
+        ScalarGrid::from_fn(Vec2::new(-10.0, -10.0), 81, 81, 0.25, 0.25, |p| p.norm())
+    }
+
+    #[test]
+    fn circle_contour_radius() {
+        let grid = radial_grid();
+        let contours = extract_contours(&grid, 5.0);
+        assert!(!contours.is_empty());
+        // All contour points lie near radius 5.
+        let mut total_pts = 0;
+        for c in &contours {
+            for &p in &c.points {
+                assert!(
+                    approx_eq_eps(p.norm(), 5.0, 0.05),
+                    "contour point {p} radius {}",
+                    p.norm()
+                );
+                total_pts += 1;
+            }
+        }
+        assert!(total_pts > 40, "circle should produce a dense contour");
+    }
+
+    #[test]
+    fn circle_contour_closes() {
+        let grid = radial_grid();
+        let contours = extract_contours(&grid, 4.0);
+        // The dominant contour should be (nearly) closed.
+        let longest = contours
+            .iter()
+            .max_by(|a, b| a.length().partial_cmp(&b.length()).unwrap())
+            .unwrap();
+        let gap = longest.points[0].distance(*longest.points.last().unwrap());
+        assert!(gap < 0.5, "closed loop should rejoin, gap {gap}");
+        // Length approximates the circumference 2π·4 ≈ 25.13.
+        let circ = core::f64::consts::TAU * 4.0;
+        assert!(
+            (longest.length() - circ).abs() / circ < 0.03,
+            "length {} vs circumference {circ}",
+            longest.length()
+        );
+    }
+
+    #[test]
+    fn no_contour_outside_range() {
+        let grid = radial_grid();
+        // Values span [0, ~14]; iso 100 produces nothing.
+        assert!(extract_segments(&grid, 100.0).is_empty());
+        assert!(extract_contours(&grid, 100.0).is_empty());
+    }
+
+    #[test]
+    fn linear_field_straight_contour() {
+        let grid = ScalarGrid::from_fn(Vec2::ZERO, 11, 11, 1.0, 1.0, |p| p.x);
+        let contours = extract_contours(&grid, 4.5);
+        assert_eq!(contours.len(), 1);
+        let c = &contours[0];
+        for &p in &c.points {
+            assert!(approx_eq_eps(p.x, 4.5, 1e-9), "x = {}", p.x);
+        }
+        // Vertical line spanning the grid: length = 10.
+        assert!(approx_eq_eps(c.length(), 10.0, 1e-6));
+    }
+
+    #[test]
+    fn segments_respect_iso_side() {
+        // Every extracted segment midpoint should be near the iso value.
+        let grid = radial_grid();
+        for s in extract_segments(&grid, 6.0) {
+            let mid = s.midpoint();
+            assert!(
+                approx_eq_eps(mid.norm(), 6.0, 0.1),
+                "midpoint {} radius {}",
+                mid,
+                mid.norm()
+            );
+        }
+    }
+
+    #[test]
+    fn infinite_values_treated_as_outside() {
+        // Inner disk finite, outer ring infinite (unreachable region).
+        let grid = ScalarGrid::from_fn(Vec2::new(-5.0, -5.0), 21, 21, 0.5, 0.5, |p| {
+            if p.norm() < 3.0 {
+                p.norm()
+            } else {
+                f64::INFINITY
+            }
+        });
+        // Contour at 2.0 lies inside the finite region and still extracts.
+        let contours = extract_contours(&grid, 2.0);
+        assert!(!contours.is_empty());
+        for c in &contours {
+            for &p in &c.points {
+                assert!(p.norm() < 3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn join_segments_chains_in_order() {
+        let segs = vec![
+            Segment::new(Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0)),
+            Segment::new(Vec2::new(1.0, 0.0), Vec2::new(2.0, 0.0)),
+            Segment::new(Vec2::new(2.0, 0.0), Vec2::new(3.0, 0.0)),
+            // Disconnected island.
+            Segment::new(Vec2::new(10.0, 0.0), Vec2::new(11.0, 0.0)),
+        ];
+        let mut polys = join_segments(&segs, 1e-9);
+        polys.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        assert_eq!(polys.len(), 2);
+        assert_eq!(polys[0].len(), 4);
+        assert_eq!(polys[1].len(), 2);
+    }
+}

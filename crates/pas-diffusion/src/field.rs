@@ -1,0 +1,122 @@
+//! The stimulus-field abstraction.
+//!
+//! A [`StimulusField`] answers the two questions the simulator asks:
+//!
+//! 1. *Coverage*: is point `p` inside the stimulus at time `t`? Sensors call
+//!    this whenever they sample their environment (on wake-up and while
+//!    active).
+//! 2. *Ground truth first arrival*: when did/will the stimulus first reach
+//!    `p`? The paper's **average detection delay** metric is
+//!    `detect_time − first_arrival`, so the field itself must expose the
+//!    oracle.
+//!
+//! Coverage need not be monotone — a plume can drift past a sensor (the
+//! paper's covered→safe transition after a "detection timeout") — but
+//! `first_arrival_time` always refers to the *first* time coverage begins.
+
+use pas_geom::Vec2;
+use pas_sim::SimTime;
+
+/// A spatio-temporal stimulus: the phenomenon being monitored.
+///
+/// Implementations must be deterministic: the same `(p, t)` always yields the
+/// same answer. The trait is object-safe so heterogeneous fields can be
+/// combined (see [`crate::MultiSourceField`]).
+pub trait StimulusField: Send + Sync {
+    /// First time the stimulus reaches `p`, or `None` if it never does.
+    fn first_arrival_time(&self, p: Vec2) -> Option<SimTime>;
+
+    /// Whether `p` is covered by the stimulus at time `t`.
+    ///
+    /// The default assumes coverage is permanent once the front passes
+    /// (valid for monotone fronts); models with receding coverage override.
+    fn is_covered(&self, p: Vec2, t: SimTime) -> bool {
+        match self.first_arrival_time(p) {
+            Some(arrival) => arrival <= t,
+            None => false,
+        }
+    }
+
+    /// Nominal local front speed at `p` in m/s, if the model can state one.
+    ///
+    /// Used only by oracle baselines and diagnostics, never by the PAS
+    /// estimator (which must infer speed from detections, as in the paper).
+    fn nominal_speed(&self, p: Vec2) -> Option<f64>;
+
+    /// The stimulus source location(s) — diagnostic only.
+    fn sources(&self) -> Vec<Vec2>;
+}
+
+/// Blanket impl so `Box<dyn StimulusField>` is itself a field.
+impl StimulusField for Box<dyn StimulusField> {
+    fn first_arrival_time(&self, p: Vec2) -> Option<SimTime> {
+        (**self).first_arrival_time(p)
+    }
+    fn is_covered(&self, p: Vec2, t: SimTime) -> bool {
+        (**self).is_covered(p, t)
+    }
+    fn nominal_speed(&self, p: Vec2) -> Option<f64> {
+        (**self).nominal_speed(p)
+    }
+    fn sources(&self) -> Vec<Vec2> {
+        (**self).sources()
+    }
+}
+
+/// A field that never produces any stimulus — the quiescent baseline used to
+/// measure pure duty-cycling energy (no detections, no alerts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullField;
+
+impl StimulusField for NullField {
+    fn first_arrival_time(&self, _p: Vec2) -> Option<SimTime> {
+        None
+    }
+    fn nominal_speed(&self, _p: Vec2) -> Option<f64> {
+        None
+    }
+    fn sources(&self) -> Vec<Vec2> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_field_never_covers() {
+        let f = NullField;
+        assert_eq!(f.first_arrival_time(Vec2::ZERO), None);
+        assert!(!f.is_covered(Vec2::ZERO, SimTime::from_secs(1e9)));
+        assert_eq!(f.nominal_speed(Vec2::ZERO), None);
+        assert!(f.sources().is_empty());
+    }
+
+    #[test]
+    fn boxed_field_delegates() {
+        let f: Box<dyn StimulusField> = Box::new(NullField);
+        assert_eq!(f.first_arrival_time(Vec2::new(1.0, 2.0)), None);
+        assert!(!f.is_covered(Vec2::ZERO, SimTime::ZERO));
+    }
+
+    #[test]
+    fn default_coverage_follows_arrival() {
+        struct At5;
+        impl StimulusField for At5 {
+            fn first_arrival_time(&self, _p: Vec2) -> Option<SimTime> {
+                Some(SimTime::from_secs(5.0))
+            }
+            fn nominal_speed(&self, _p: Vec2) -> Option<f64> {
+                None
+            }
+            fn sources(&self) -> Vec<Vec2> {
+                vec![]
+            }
+        }
+        let f = At5;
+        assert!(!f.is_covered(Vec2::ZERO, SimTime::from_secs(4.9)));
+        assert!(f.is_covered(Vec2::ZERO, SimTime::from_secs(5.0)));
+        assert!(f.is_covered(Vec2::ZERO, SimTime::from_secs(100.0)));
+    }
+}

@@ -1,0 +1,139 @@
+//! Union of independent stimulus sources.
+//!
+//! A multi-source incident (several simultaneous leaks) is the union of its
+//! member fields: a point is covered when any member covers it, and first
+//! arrival is the minimum over members.
+
+use crate::field::StimulusField;
+use pas_geom::Vec2;
+use pas_sim::SimTime;
+
+/// The union of several stimulus fields.
+pub struct MultiSourceField {
+    fields: Vec<Box<dyn StimulusField>>,
+}
+
+impl MultiSourceField {
+    /// Build from boxed member fields.
+    ///
+    /// # Panics
+    /// Panics if `fields` is empty — an empty union is almost certainly a
+    /// configuration bug; use [`crate::field::NullField`] for "no stimulus".
+    pub fn new(fields: Vec<Box<dyn StimulusField>>) -> Self {
+        assert!(!fields.is_empty(), "MultiSourceField needs >= 1 member");
+        MultiSourceField { fields }
+    }
+
+    /// Number of member fields.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` if there are no members (unreachable via constructor).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+impl StimulusField for MultiSourceField {
+    fn first_arrival_time(&self, p: Vec2) -> Option<SimTime> {
+        self.fields
+            .iter()
+            .filter_map(|f| f.first_arrival_time(p))
+            .min()
+    }
+
+    fn is_covered(&self, p: Vec2, t: SimTime) -> bool {
+        // Must delegate (not use arrival) so receding members stay correct.
+        self.fields.iter().any(|f| f.is_covered(p, t))
+    }
+
+    fn nominal_speed(&self, p: Vec2) -> Option<f64> {
+        // Speed of the member that arrives first (the front a sensor sees).
+        self.fields
+            .iter()
+            .filter_map(|f| f.first_arrival_time(p).map(|t| (t, f)))
+            .min_by_key(|(t, _)| *t)
+            .and_then(|(_, f)| f.nominal_speed(p))
+    }
+
+    fn sources(&self) -> Vec<Vec2> {
+        self.fields.iter().flat_map(|f| f.sources()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radial::RadialFront;
+    use pas_geom::float::approx_eq;
+
+    fn two_sources() -> MultiSourceField {
+        MultiSourceField::new(vec![
+            Box::new(RadialFront::constant(Vec2::new(0.0, 0.0), 1.0)),
+            Box::new(RadialFront::constant(Vec2::new(20.0, 0.0), 2.0)),
+        ])
+    }
+
+    #[test]
+    fn arrival_is_min_over_members() {
+        let f = two_sources();
+        // Point at x=15: source A arrives at 15s, source B at 2.5s.
+        let t = f.first_arrival_time(Vec2::new(15.0, 0.0)).unwrap();
+        assert!(approx_eq(t.as_secs(), 2.5));
+        // Point at x=2: A at 2s, B at 9s.
+        let t = f.first_arrival_time(Vec2::new(2.0, 0.0)).unwrap();
+        assert!(approx_eq(t.as_secs(), 2.0));
+    }
+
+    #[test]
+    fn coverage_is_union() {
+        let f = two_sources();
+        let t = SimTime::from_secs(3.0);
+        assert!(f.is_covered(Vec2::new(1.0, 0.0), t)); // A's disk
+        assert!(f.is_covered(Vec2::new(16.0, 0.0), t)); // B's disk
+        assert!(!f.is_covered(Vec2::new(10.0, 0.0), t)); // between, uncovered
+    }
+
+    #[test]
+    fn nominal_speed_from_first_arriver() {
+        let f = two_sources();
+        // x=15 is reached first by B (speed 2).
+        assert!(approx_eq(f.nominal_speed(Vec2::new(15.0, 0.0)).unwrap(), 2.0));
+        // x=2 reached first by A (speed 1).
+        assert!(approx_eq(f.nominal_speed(Vec2::new(2.0, 0.0)).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn sources_concatenated() {
+        let f = two_sources();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.sources().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn rejects_empty() {
+        let _ = MultiSourceField::new(vec![]);
+    }
+
+    #[test]
+    fn never_reached_by_any_member() {
+        use crate::profile::SpeedProfile;
+        let f = MultiSourceField::new(vec![
+            Box::new(RadialFront::new(
+                Vec2::ZERO,
+                SpeedProfile::Decaying { v0: 1.0, tau: 2.0 }, // max radius 2
+            )),
+            Box::new(RadialFront::new(
+                Vec2::new(10.0, 0.0),
+                SpeedProfile::Decaying { v0: 1.0, tau: 3.0 }, // max radius 3
+            )),
+        ]);
+        assert_eq!(f.first_arrival_time(Vec2::new(5.0, 0.0)), None);
+        assert!(f.first_arrival_time(Vec2::new(1.5, 0.0)).is_some());
+        assert!(f.first_arrival_time(Vec2::new(8.0, 0.0)).is_some());
+    }
+}

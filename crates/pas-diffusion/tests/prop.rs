@@ -1,0 +1,140 @@
+//! Property-based tests for the stimulus models.
+
+use pas_diffusion::aniso::DirectionalGain;
+use pas_diffusion::{
+    AnisotropicFront, EikonalField, GaussianPlume, RadialFront, SpeedGrid, SpeedProfile,
+    StimulusField,
+};
+use pas_geom::{Aabb, Vec2};
+use pas_sim::SimTime;
+use proptest::prelude::*;
+
+fn small_vec2() -> impl Strategy<Value = Vec2> {
+    (-50.0..50.0f64, -50.0..50.0f64).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+fn profile() -> impl Strategy<Value = SpeedProfile> {
+    prop_oneof![
+        (0.1..5.0f64).prop_map(|speed| SpeedProfile::Constant { speed }),
+        (0.1..3.0f64, 0.01..1.0f64)
+            .prop_map(|(v0, accel)| SpeedProfile::LinearRamp { v0, accel }),
+        (0.2..3.0f64, 1.0..30.0f64).prop_map(|(v0, tau)| SpeedProfile::Decaying { v0, tau }),
+    ]
+}
+
+proptest! {
+    // --- speed profiles -----------------------------------------------------
+
+    #[test]
+    fn radius_is_monotone(p in profile(), t1 in 0.0..100.0f64, dt in 0.0..100.0f64) {
+        prop_assert!(p.radius_at(t1 + dt) >= p.radius_at(t1) - 1e-9);
+    }
+
+    #[test]
+    fn inversion_roundtrips(p in profile(), dist in 0.0..50.0f64) {
+        if let Some(t) = p.time_to_radius(dist) {
+            let r = p.radius_at(t);
+            prop_assert!((r - dist).abs() < 1e-6 * (1.0 + dist), "r={r} dist={dist}");
+        }
+    }
+
+    #[test]
+    fn speed_nonnegative(p in profile(), t in 0.0..200.0f64) {
+        prop_assert!(p.speed_at(t) >= 0.0);
+    }
+
+    // --- radial front ----------------------------------------------------------
+
+    #[test]
+    fn radial_arrival_monotone_in_distance(
+        src in small_vec2(),
+        speed in 0.1..5.0f64,
+        dir in 0.0..std::f64::consts::TAU,
+        d1 in 0.0..40.0f64,
+        d2 in 0.0..40.0f64,
+    ) {
+        let f = RadialFront::constant(src, speed);
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let p_near = src + Vec2::from_polar(near, dir);
+        let p_far = src + Vec2::from_polar(far, dir);
+        let t_near = f.first_arrival_time(p_near).unwrap();
+        let t_far = f.first_arrival_time(p_far).unwrap();
+        prop_assert!(t_near <= t_far);
+    }
+
+    #[test]
+    fn radial_coverage_consistent_with_arrival(
+        src in small_vec2(),
+        speed in 0.1..5.0f64,
+        p in small_vec2(),
+        t in 0.0..200.0f64,
+    ) {
+        let f = RadialFront::constant(src, speed);
+        let arrival = f.first_arrival_time(p).unwrap();
+        let now = SimTime::from_secs(t);
+        prop_assert_eq!(f.is_covered(p, now), arrival <= now);
+    }
+
+    // --- anisotropic front --------------------------------------------------------
+
+    #[test]
+    fn aniso_gain_positive_and_arrival_finite(
+        src in small_vec2(),
+        k in -0.9..0.9f64,
+        theta0 in 0.0..std::f64::consts::TAU,
+        p in small_vec2(),
+    ) {
+        let gain = DirectionalGain::CosineSkew { theta0, k };
+        for a in 0..8 {
+            let g = gain.gain(a as f64);
+            prop_assert!(g > 0.0);
+        }
+        let f = AnisotropicFront::new(src, SpeedProfile::Constant { speed: 1.0 }, gain);
+        // Constant profile covers the whole plane eventually.
+        prop_assert!(f.first_arrival_time(p).is_some());
+    }
+
+    // --- plume -------------------------------------------------------------------
+
+    #[test]
+    fn plume_concentration_nonneg_and_extinction_holds(
+        mass in 10.0..5000.0f64,
+        d in 0.05..5.0f64,
+        ux in -1.0..1.0f64,
+        p in small_vec2(),
+        t in 0.0..500.0f64,
+    ) {
+        let plume = GaussianPlume::new(Vec2::ZERO, mass, d, Vec2::new(ux, 0.0), 1.0);
+        let c = plume.concentration(p, SimTime::from_secs(t));
+        prop_assert!(c >= 0.0);
+        prop_assert!(!plume.is_covered(p, plume.extinction_time() + 1.0));
+        // First arrival, when it exists, implies coverage just after.
+        if let Some(arr) = plume.first_arrival_time(p) {
+            prop_assert!(plume.is_covered(p, arr + 1e-6));
+        }
+    }
+
+    // --- eikonal ----------------------------------------------------------------
+
+    #[test]
+    fn fmm_at_least_straight_line_time(
+        sx in 5.0..35.0f64,
+        sy in 5.0..35.0f64,
+        px in 1.0..39.0f64,
+        py in 1.0..39.0f64,
+        fast in 0.5..2.0f64,
+    ) {
+        // Speed <= `fast` everywhere, so arrival >= distance / fast.
+        let region = Aabb::from_size(40.0, 40.0);
+        let grid = SpeedGrid::from_fn(region, 41, 41, |p| {
+            if p.x > 20.0 { fast * 0.5 } else { fast }
+        });
+        let src = Vec2::new(sx, sy);
+        let field = EikonalField::solve(grid, &[src], SimTime::ZERO);
+        let probe = Vec2::new(px, py);
+        let t = field.first_arrival_time(probe).unwrap().as_secs();
+        let lower = src.distance(probe) / fast;
+        // Allow grid discretisation slack: source snapping + bilinear interp.
+        prop_assert!(t >= lower - 2.0 / fast, "t={t} lower={lower}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Floating-point helpers: approximate comparison and total ordering.
+//!
+//! Simulation code compares `f64` times and distances constantly; the helpers
+//! here centralise the tolerance conventions so every crate agrees on what
+//! "equal" means, and provide a total order (NaN-hostile) used by the event
+//! queue and the fast-marching solver.
+
+/// Default absolute/relative tolerance used by [`approx_eq`].
+///
+/// Positions are metres and times are seconds in this workspace; 1e-9 is far
+/// below any physically meaningful difference while staying well above f64
+/// rounding noise for the magnitudes we simulate (< 1e6).
+pub const EPS: f64 = 1e-9;
+
+/// `true` if `a` and `b` are equal within [`EPS`], scaled by magnitude.
+///
+/// Uses the standard mixed absolute/relative test:
+/// `|a - b| <= EPS * max(1, |a|, |b|)`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, EPS)
+}
+
+/// [`approx_eq`] with a caller-supplied tolerance.
+#[inline]
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= eps * scale
+}
+
+/// `true` if `a <= b` within tolerance (i.e. `a < b` or `approx_eq`).
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a < b || approx_eq(a, b)
+}
+
+/// `true` if `a >= b` within tolerance.
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a > b || approx_eq(a, b)
+}
+
+/// Total-order comparison for `f64` that panics on NaN.
+///
+/// The simulator forbids NaN everywhere (times, distances, energies); hitting
+/// one is a logic error we want to fail loudly on rather than silently
+/// mis-order a heap.
+#[inline]
+pub fn cmp_f64(a: f64, b: f64) -> core::cmp::Ordering {
+    assert!(!a.is_nan() && !b.is_nan(), "NaN reached an ordered context");
+    a.partial_cmp(&b).expect("non-NaN floats always compare")
+}
+
+/// Minimum by [`cmp_f64`]; panics on NaN.
+#[inline]
+pub fn min_f64(a: f64, b: f64) -> f64 {
+    match cmp_f64(a, b) {
+        core::cmp::Ordering::Greater => b,
+        _ => a,
+    }
+}
+
+/// Maximum by [`cmp_f64`]; panics on NaN.
+#[inline]
+pub fn max_f64(a: f64, b: f64) -> f64 {
+    match cmp_f64(a, b) {
+        core::cmp::Ordering::Less => b,
+        _ => a,
+    }
+}
+
+/// Clamp `x` into `[lo, hi]` (requires `lo <= hi`).
+#[inline]
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi, "clamp: lo must not exceed hi");
+    x.max(lo).min(hi)
+}
+
+/// Linear interpolation `a + t (b - a)`; `t` outside `[0,1]` extrapolates.
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + t * (b - a)
+}
+
+/// Inverse of [`lerp`]: the `t` with `lerp(a, b, t) == x`.
+///
+/// Returns 0 when `a == b` (degenerate interval).
+#[inline]
+pub fn inv_lerp(a: f64, b: f64, x: f64) -> f64 {
+    let d = b - a;
+    if d == 0.0 {
+        0.0
+    } else {
+        (x - a) / d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::cmp::Ordering;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn approx_eq_scales_with_magnitude() {
+        // 1e9 and 1e9 + 0.5 differ by 5e-10 relative — within tolerance.
+        assert!(approx_eq(1.0e9, 1.0e9 + 0.5));
+        assert!(!approx_eq(1.0e9, 1.0e9 + 10.0));
+    }
+
+    #[test]
+    fn approx_le_ge() {
+        assert!(approx_le(1.0, 1.0 + 1e-12));
+        assert!(approx_le(0.9, 1.0));
+        assert!(!approx_le(1.1, 1.0));
+        assert!(approx_ge(1.0 + 1e-12, 1.0));
+        assert!(approx_ge(1.1, 1.0));
+        assert!(!approx_ge(0.9, 1.0));
+    }
+
+    #[test]
+    fn cmp_orders() {
+        assert_eq!(cmp_f64(1.0, 2.0), Ordering::Less);
+        assert_eq!(cmp_f64(2.0, 1.0), Ordering::Greater);
+        assert_eq!(cmp_f64(1.0, 1.0), Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn cmp_rejects_nan() {
+        let _ = cmp_f64(f64::NAN, 0.0);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(min_f64(1.0, 2.0), 1.0);
+        assert_eq!(max_f64(1.0, 2.0), 2.0);
+        assert_eq!(min_f64(-0.0, 0.0), -0.0);
+    }
+
+    #[test]
+    fn clamp_and_lerp() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+        assert_eq!(lerp(0.0, 10.0, 0.25), 2.5);
+        assert_eq!(inv_lerp(0.0, 10.0, 2.5), 0.25);
+        assert_eq!(inv_lerp(3.0, 3.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn lerp_inv_lerp_roundtrip() {
+        for i in 0..=10 {
+            let t = i as f64 / 10.0;
+            let x = lerp(-4.0, 9.0, t);
+            assert!(approx_eq(inv_lerp(-4.0, 9.0, x), t));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Convex hull (Andrew's monotone chain).
+//!
+//! The paper's Fig. 1 constructs the next front boundary as the envelope of
+//! velocity vectors anchored on the current boundary; the hull is the convex
+//! core of that construction and is also used by analysis tooling to bound
+//! covered regions.
+
+use crate::polyline::Polygon;
+use crate::vec2::Vec2;
+
+/// Compute the convex hull of a point set.
+///
+/// Returns vertices in counter-clockwise order with no duplicates. Fewer than
+/// three distinct non-collinear points yield a degenerate result: the distinct
+/// points in sorted order (possibly 0, 1 or 2 of them).
+pub fn convex_hull(points: &[Vec2]) -> Vec<Vec2> {
+    let mut pts: Vec<Vec2> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("NaN in hull input")
+            .then(a.y.partial_cmp(&b.y).expect("NaN in hull input"))
+    });
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    // cross(o->a, o->b) > 0 means b is CCW of a around o.
+    let cross = |o: Vec2, a: Vec2, b: Vec2| (a - o).cross(b - o);
+
+    let mut hull: Vec<Vec2> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    hull
+}
+
+/// Convex hull as a [`Polygon`], or `None` if the hull is degenerate
+/// (fewer than 3 vertices).
+pub fn convex_hull_polygon(points: &[Vec2]) -> Option<Polygon> {
+    let hull = convex_hull(points);
+    if hull.len() >= 3 {
+        Some(Polygon::new(hull))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn square_hull() {
+        let pts = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(0.5, 0.5), // interior point must be dropped
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!(!h.contains(&Vec2::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let pts = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.5),
+            Vec2::new(3.0, 2.0),
+            Vec2::new(1.0, 3.0),
+            Vec2::new(-1.0, 1.0),
+            Vec2::new(1.0, 1.0),
+        ];
+        let poly = convex_hull_polygon(&pts).unwrap();
+        assert!(poly.signed_area() > 0.0, "hull must wind CCW");
+    }
+
+    #[test]
+    fn collinear_points_degenerate() {
+        let pts = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(2.0, 2.0),
+            Vec2::new(3.0, 3.0),
+        ];
+        let h = convex_hull(&pts);
+        // Strictly convex hull of collinear points keeps only the extremes.
+        assert_eq!(h.len(), 2);
+        assert!(convex_hull_polygon(&pts).is_none());
+    }
+
+    #[test]
+    fn small_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Vec2::ZERO]), vec![Vec2::ZERO]);
+        let two = vec![Vec2::ZERO, Vec2::UNIT_X];
+        assert_eq!(convex_hull(&two).len(), 2);
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let pts = vec![Vec2::ZERO, Vec2::ZERO, Vec2::UNIT_X, Vec2::UNIT_X];
+        assert_eq!(convex_hull(&pts).len(), 2);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        // Deterministic pseudo-random scatter.
+        let mut pts = Vec::new();
+        let mut s: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..200 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((s >> 33) as f64) / (u32::MAX as f64) * 10.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = ((s >> 33) as f64) / (u32::MAX as f64) * 10.0;
+            pts.push(Vec2::new(x, y));
+        }
+        let poly = convex_hull_polygon(&pts).unwrap();
+        for &p in &pts {
+            // Interior or within epsilon of the boundary.
+            assert!(
+                poly.contains(p) || poly.distance_to_boundary(p) < 1e-9,
+                "hull must contain {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn hull_area_of_regular_polygon_preserved() {
+        // The hull of a convex polygon is itself.
+        let poly = Polygon::regular(Vec2::new(1.0, 1.0), 3.0, 32);
+        let hull = convex_hull_polygon(&poly.points).unwrap();
+        assert_eq!(hull.len(), 32);
+        assert!(approx_eq(hull.area(), poly.area()));
+    }
+}

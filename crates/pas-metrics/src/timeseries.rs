@@ -1,0 +1,174 @@
+//! Sampled time series.
+//!
+//! Time-resolved traces (awake-node count over time, cumulative energy,
+//! covered fraction) back the figure generators and sanity plots. A
+//! [`TimeSeries`] is append-only with non-decreasing timestamps.
+
+use pas_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// An append-only `(time, value)` trace with non-decreasing time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// With pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        TimeSeries {
+            times: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Append a sample.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the last sample or `value` is NaN.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        assert!(!value.is_nan(), "NaN sample");
+        let secs = t.as_secs();
+        if let Some(&last) = self.times.last() {
+            assert!(secs >= last, "time series must be non-decreasing");
+        }
+        self.times.push(secs);
+        self.values.push(value);
+    }
+
+    /// Sample timestamps in seconds.
+    #[inline]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterate `(time_secs, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Last value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Value at time `t` under zero-order hold (the value of the latest
+    /// sample at or before `t`); `None` before the first sample.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        let secs = t.as_secs();
+        // partition_point: first index with times[i] > secs.
+        let idx = self.times.partition_point(|&x| x <= secs);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.values[idx - 1])
+        }
+    }
+
+    /// Time integral by zero-order hold over the sampled span
+    /// (`Σ value[i] · (t[i+1] − t[i])`, last sample contributes 0).
+    pub fn integrate(&self) -> f64 {
+        self.times
+            .windows(2)
+            .zip(&self.values)
+            .map(|(w, v)| v * (w[1] - w[0]))
+            .sum()
+    }
+
+    /// Time-weighted mean over the sampled span (0 if < 2 samples).
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.len() < 2 {
+            return 0.0;
+        }
+        let span = self.times.last().unwrap() - self.times.first().unwrap();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.integrate() / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn push_and_read() {
+        let mut s = TimeSeries::with_capacity(4);
+        s.push(t(0.0), 1.0);
+        s.push(t(1.0), 2.0);
+        s.push(t(1.0), 3.0); // equal time allowed
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last_value(), Some(3.0));
+        assert_eq!(s.iter().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn time_reversal_panics() {
+        let mut s = TimeSeries::new();
+        s.push(t(2.0), 1.0);
+        s.push(t(1.0), 1.0);
+    }
+
+    #[test]
+    fn zero_order_hold_lookup() {
+        let mut s = TimeSeries::new();
+        s.push(t(1.0), 10.0);
+        s.push(t(3.0), 20.0);
+        assert_eq!(s.value_at(t(0.5)), None);
+        assert_eq!(s.value_at(t(1.0)), Some(10.0));
+        assert_eq!(s.value_at(t(2.9)), Some(10.0));
+        assert_eq!(s.value_at(t(3.0)), Some(20.0));
+        assert_eq!(s.value_at(t(100.0)), Some(20.0));
+    }
+
+    #[test]
+    fn integration_zero_order_hold() {
+        let mut s = TimeSeries::new();
+        s.push(t(0.0), 2.0); // 2 for 1 s
+        s.push(t(1.0), 4.0); // 4 for 2 s
+        s.push(t(3.0), 0.0);
+        assert_eq!(s.integrate(), 2.0 + 8.0);
+        assert!((s.time_weighted_mean() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_integrals() {
+        let mut s = TimeSeries::new();
+        assert_eq!(s.integrate(), 0.0);
+        assert_eq!(s.time_weighted_mean(), 0.0);
+        s.push(t(1.0), 5.0);
+        assert_eq!(s.integrate(), 0.0);
+        assert_eq!(s.time_weighted_mean(), 0.0);
+    }
+}

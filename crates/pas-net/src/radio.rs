@@ -1,0 +1,195 @@
+//! Broadcast planning.
+//!
+//! A [`Radio`] turns "node `s` broadcasts a REQUEST at time `t`" into the
+//! list of physical deliveries: which in-range nodes the channel lets the
+//! frame reach, and at what time (send time + airtime + per-receiver jitter).
+//!
+//! What the radio does *not* decide is whether the receiver is awake — a
+//! frame physically arrives at a sleeping node's antenna and is simply not
+//! heard. That filter belongs to the node layer (`pas-core`), which knows
+//! power states; keeping it there also lets the energy meter charge RX time
+//! only for awake nodes.
+
+use crate::channel::ChannelModel;
+use crate::topology::Topology;
+use pas_platform::{FrameSpec, MessageKind, PowerProfile};
+use pas_sim::{Rng, SimTime};
+
+/// A physical frame delivery to one receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Receiving node id.
+    pub to: usize,
+    /// Time the frame is fully received.
+    pub at: SimTime,
+}
+
+/// Broadcast planner bundling topology, channel, framing and rate.
+pub struct Radio<C: ChannelModel> {
+    topology: Topology,
+    channel: C,
+    frame_spec: FrameSpec,
+    profile: PowerProfile,
+}
+
+impl<C: ChannelModel> Radio<C> {
+    /// Assemble a radio layer.
+    pub fn new(topology: Topology, channel: C, frame_spec: FrameSpec, profile: PowerProfile) -> Self {
+        profile.validate();
+        Radio {
+            topology,
+            channel,
+            frame_spec,
+            profile,
+        }
+    }
+
+    /// The underlying topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The frame layout in use.
+    #[inline]
+    pub fn frame_spec(&self) -> &FrameSpec {
+        &self.frame_spec
+    }
+
+    /// The platform profile in use.
+    #[inline]
+    pub fn profile(&self) -> &PowerProfile {
+        &self.profile
+    }
+
+    /// Airtime of `kind` on this radio.
+    #[inline]
+    pub fn airtime_s(&self, kind: MessageKind) -> f64 {
+        self.frame_spec.airtime_s(kind, &self.profile)
+    }
+
+    /// TX airtime window for the sender: `[now, now + airtime]`. The caller
+    /// meters TX energy over this window.
+    pub fn tx_window(&self, now: SimTime, kind: MessageKind) -> (SimTime, SimTime) {
+        (now, now + self.airtime_s(kind))
+    }
+
+    /// Plan the deliveries of a broadcast of `kind` from `sender` at `now`.
+    ///
+    /// Deliveries are returned in ascending neighbour id order (the
+    /// deterministic iteration contract); the per-receiver arrival is
+    /// `now + airtime + channel jitter`. Lost frames are simply absent.
+    pub fn plan_broadcast(
+        &self,
+        sender: usize,
+        kind: MessageKind,
+        now: SimTime,
+        rng: &mut Rng,
+    ) -> Vec<Delivery> {
+        let airtime = self.airtime_s(kind);
+        let range = self.topology.range();
+        let sender_pos = self.topology.position(sender);
+        let neighbors = self.topology.neighbors(sender);
+        let mut out = Vec::with_capacity(neighbors.len());
+        for &to in neighbors {
+            let dist = sender_pos.distance(self.topology.position(to));
+            if self.channel.delivers(dist, range, rng) {
+                let jitter = self.channel.extra_delay_s(rng);
+                out.push(Delivery {
+                    to,
+                    at: now + airtime + jitter,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{IidLossChannel, PerfectChannel};
+    use pas_geom::Vec2;
+    use pas_platform::telos_profile;
+
+    fn three_node_radio() -> Radio<PerfectChannel> {
+        // 0 -- 1 -- 2 in a line, range 10, spacing 8.
+        let topo = Topology::new(
+            vec![
+                Vec2::new(0.0, 0.0),
+                Vec2::new(8.0, 0.0),
+                Vec2::new(16.0, 0.0),
+            ],
+            10.0,
+        );
+        Radio::new(topo, PerfectChannel, FrameSpec::default(), telos_profile())
+    }
+
+    #[test]
+    fn broadcast_reaches_neighbors_only() {
+        let radio = three_node_radio();
+        let mut rng = Rng::new(1);
+        let d = radio.plan_broadcast(1, MessageKind::Request, SimTime::ZERO, &mut rng);
+        let ids: Vec<usize> = d.iter().map(|x| x.to).collect();
+        assert_eq!(ids, vec![0, 2]);
+        // Node 0's broadcast misses node 2 (16 m > 10 m).
+        let d0 = radio.plan_broadcast(0, MessageKind::Request, SimTime::ZERO, &mut rng);
+        assert_eq!(d0.len(), 1);
+        assert_eq!(d0[0].to, 1);
+    }
+
+    #[test]
+    fn arrival_after_airtime() {
+        let radio = three_node_radio();
+        let mut rng = Rng::new(2);
+        let airtime = radio.airtime_s(MessageKind::Response);
+        let now = SimTime::from_secs(5.0);
+        for d in radio.plan_broadcast(1, MessageKind::Response, now, &mut rng) {
+            let latency = d.at.since(now);
+            assert!(latency >= airtime, "latency {latency} < airtime {airtime}");
+            assert!(latency <= airtime + 2.1e-3, "jitter bounded");
+        }
+    }
+
+    #[test]
+    fn tx_window_spans_airtime() {
+        let radio = three_node_radio();
+        let (start, end) = radio.tx_window(SimTime::from_secs(1.0), MessageKind::Request);
+        assert_eq!(start, SimTime::from_secs(1.0));
+        assert!((end.since(start) - radio.airtime_s(MessageKind::Request)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lossy_channel_drops_some() {
+        let topo = Topology::new(
+            (0..21)
+                .map(|i| Vec2::new((i % 5) as f64 * 2.0, (i / 5) as f64 * 2.0))
+                .collect(),
+            50.0, // everyone hears everyone
+        );
+        let radio = Radio::new(
+            topo,
+            IidLossChannel::new(0.5),
+            FrameSpec::default(),
+            telos_profile(),
+        );
+        let mut rng = Rng::new(3);
+        let mut total = 0usize;
+        let rounds = 200;
+        for _ in 0..rounds {
+            total += radio
+                .plan_broadcast(0, MessageKind::Request, SimTime::ZERO, &mut rng)
+                .len();
+        }
+        let rate = total as f64 / (rounds * 20) as f64;
+        assert!((rate - 0.5).abs() < 0.05, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_given_same_rng() {
+        let radio = three_node_radio();
+        let a = radio.plan_broadcast(1, MessageKind::Request, SimTime::ZERO, &mut Rng::new(7));
+        let b = radio.plan_broadcast(1, MessageKind::Request, SimTime::ZERO, &mut Rng::new(7));
+        assert_eq!(a, b);
+    }
+}

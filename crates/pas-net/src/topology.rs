@@ -1,0 +1,271 @@
+//! Unit-disk network topology.
+//!
+//! The paper's setup: "each node has a transmission range of 10m" — the
+//! classic unit-disk model. [`Topology`] owns the node positions and the
+//! range, precomputes each node's neighbour list once (every broadcast needs
+//! it), and provides the diagnostics WSN papers report: degree statistics
+//! and connectivity.
+
+use pas_geom::{SpatialGrid, Vec2};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Static unit-disk topology: positions, range, precomputed neighbours.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    positions: Vec<Vec2>,
+    range: f64,
+    /// Sorted neighbour ids per node (excluding the node itself).
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Build from positions and a transmission range.
+    ///
+    /// # Panics
+    /// Panics if `positions` is empty, the range is not positive-finite, or
+    /// any position is non-finite.
+    pub fn new(positions: Vec<Vec2>, range: f64) -> Self {
+        assert!(!positions.is_empty(), "topology needs >= 1 node");
+        assert!(
+            range > 0.0 && range.is_finite(),
+            "transmission range must be positive"
+        );
+        for (i, p) in positions.iter().enumerate() {
+            assert!(p.is_finite(), "node {i} has non-finite position {p}");
+        }
+        // Spatial hash sized to the query radius (guide idiom: cell ≈ range).
+        let grid = SpatialGrid::from_points(
+            range,
+            positions.iter().copied().enumerate(),
+        );
+        let neighbors = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let mut ns: Vec<usize> = grid
+                    .query_radius(p, range)
+                    .map(|(id, _)| id)
+                    .filter(|&id| id != i)
+                    .collect();
+                ns.sort_unstable();
+                ns
+            })
+            .collect();
+        Topology {
+            positions,
+            range,
+            neighbors,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the topology has no nodes (unreachable via constructor).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Transmission range in metres.
+    #[inline]
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Position of node `i`.
+    #[inline]
+    pub fn position(&self, i: usize) -> Vec2 {
+        self.positions[i]
+    }
+
+    /// All positions.
+    #[inline]
+    pub fn positions(&self) -> &[Vec2] {
+        &self.positions
+    }
+
+    /// Sorted neighbour ids of node `i` (excluding `i`).
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.neighbors[i]
+    }
+
+    /// Euclidean distance between nodes `a` and `b`.
+    #[inline]
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        self.positions[a].distance(self.positions[b])
+    }
+
+    /// `true` if nodes `a` and `b` are within range of each other.
+    pub fn in_range(&self, a: usize, b: usize) -> bool {
+        a != b && self.distance(a, b) <= self.range
+    }
+
+    /// Degree (neighbour count) of node `i`.
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        self.neighbors[i].len()
+    }
+
+    /// (min, mean, max) node degree.
+    pub fn degree_stats(&self) -> (usize, f64, usize) {
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        for ns in &self.neighbors {
+            min = min.min(ns.len());
+            max = max.max(ns.len());
+            sum += ns.len();
+        }
+        (min, sum as f64 / self.len() as f64, max)
+    }
+
+    /// `true` if the network is connected (single BFS component).
+    pub fn is_connected(&self) -> bool {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::with_capacity(n);
+        seen[0] = true;
+        queue.push_back(0usize);
+        let mut visited = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.neighbors[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    visited += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Hop distance between two nodes by BFS, or `None` if disconnected.
+    pub fn hop_distance(&self, from: usize, to: usize) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let n = self.len();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[from] = 0;
+        queue.push_back(from);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.neighbors[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    if v == to {
+                        return Some(dist[v]);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Five nodes on a line, spacing 8, range 10: a path graph.
+    fn line_topology() -> Topology {
+        let positions = (0..5).map(|i| Vec2::new(i as f64 * 8.0, 0.0)).collect();
+        Topology::new(positions, 10.0)
+    }
+
+    #[test]
+    fn neighbors_symmetric_and_sorted() {
+        let t = line_topology();
+        assert_eq!(t.neighbors(0), &[1]);
+        assert_eq!(t.neighbors(1), &[0, 2]);
+        assert_eq!(t.neighbors(4), &[3]);
+        for i in 0..t.len() {
+            for &j in t.neighbors(i) {
+                assert!(t.neighbors(j).contains(&i), "asymmetric {i}-{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_range_boundary_inclusive() {
+        let t = Topology::new(vec![Vec2::ZERO, Vec2::new(10.0, 0.0)], 10.0);
+        assert!(t.in_range(0, 1), "exactly at range is in range");
+        assert!(!t.in_range(0, 0), "self is never a neighbour");
+        let t2 = Topology::new(vec![Vec2::ZERO, Vec2::new(10.01, 0.0)], 10.0);
+        assert!(!t2.in_range(0, 1));
+        assert_eq!(t2.degree(0), 0);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let t = line_topology();
+        let (min, mean, max) = t.degree_stats();
+        assert_eq!(min, 1);
+        assert_eq!(max, 2);
+        assert!((mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(line_topology().is_connected());
+        // Break the line: move node 2 far away.
+        let mut positions: Vec<Vec2> = (0..5).map(|i| Vec2::new(i as f64 * 8.0, 0.0)).collect();
+        positions[2] = Vec2::new(1000.0, 0.0);
+        let t = Topology::new(positions, 10.0);
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn hop_distance_on_path() {
+        let t = line_topology();
+        assert_eq!(t.hop_distance(0, 0), Some(0));
+        assert_eq!(t.hop_distance(0, 1), Some(1));
+        assert_eq!(t.hop_distance(0, 4), Some(4));
+        assert_eq!(t.hop_distance(4, 0), Some(4));
+    }
+
+    #[test]
+    fn hop_distance_disconnected_is_none() {
+        let t = Topology::new(vec![Vec2::ZERO, Vec2::new(100.0, 0.0)], 10.0);
+        assert_eq!(t.hop_distance(0, 1), None);
+    }
+
+    #[test]
+    fn single_node() {
+        let t = Topology::new(vec![Vec2::ZERO], 10.0);
+        assert!(t.is_connected());
+        assert_eq!(t.degree(0), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_layout() {
+        let mut rng = pas_sim::Rng::new(5);
+        let positions = crate::deploy::uniform(
+            pas_geom::Aabb::from_size(60.0, 60.0),
+            80,
+            &mut rng,
+        );
+        let t = Topology::new(positions.clone(), 12.0);
+        for i in 0..positions.len() {
+            let mut want: Vec<usize> = (0..positions.len())
+                .filter(|&j| j != i && positions[i].distance(positions[j]) <= 12.0)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(t.neighbors(i), want.as_slice(), "node {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_range() {
+        let _ = Topology::new(vec![Vec2::ZERO], 0.0);
+    }
+}

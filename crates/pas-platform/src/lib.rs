@@ -1,0 +1,45 @@
+//! # pas-platform — Telos mote hardware model
+//!
+//! The paper's simulation "is based on the hardware characteristics of Telos
+//! \[10\], the popular used wireless sensor platform" and its Table 1 gives the
+//! power figures the energy metric is computed from. This crate is that
+//! hardware model:
+//!
+//! * [`telos`] — the Table 1 constants (and the Telos datasheet numbers the
+//!   table abbreviates), as a [`PowerProfile`] value so alternative platforms
+//!   can be swapped in.
+//! * [`power`] — the node power-state machine: MCU active/sleep × radio
+//!   off/rx/tx, mapped to a wattage.
+//! * [`energy`] — [`EnergyMeter`]: integrates power over state residency,
+//!   keeping a per-component breakdown (the paper's "controllers' and
+//!   communication energy consumption").
+//! * [`frame`] — 802.15.4-style frame sizing and airtime at 250 kbps, which
+//!   sets both transmission latency and TX/RX energy.
+//! * [`battery`] — capacity and lifetime projection (how the paper's §1
+//!   "working period" claim is quantified).
+//!
+//! Everything is deterministic arithmetic — no randomness, no I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod energy;
+pub mod frame;
+pub mod power;
+pub mod telos;
+
+pub use battery::Battery;
+pub use energy::{EnergyBreakdown, EnergyMeter};
+pub use frame::{FrameSpec, MessageKind};
+pub use power::{McuMode, NodeMode, PowerProfile, RadioMode};
+pub use telos::telos_profile;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::battery::Battery;
+    pub use crate::energy::{EnergyBreakdown, EnergyMeter};
+    pub use crate::frame::{FrameSpec, MessageKind};
+    pub use crate::power::{McuMode, NodeMode, PowerProfile, RadioMode};
+    pub use crate::telos::telos_profile;
+}

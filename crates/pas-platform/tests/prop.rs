@@ -1,0 +1,101 @@
+//! Property-based tests for the hardware model.
+
+use pas_platform::{telos_profile, Battery, EnergyMeter, FrameSpec, MessageKind, NodeMode};
+use pas_sim::SimTime;
+use proptest::prelude::*;
+
+fn any_mode() -> impl Strategy<Value = NodeMode> {
+    prop_oneof![
+        Just(NodeMode::SLEEP),
+        Just(NodeMode::ACTIVE_RX),
+        Just(NodeMode::ACTIVE_TX),
+        Just(NodeMode::ACTIVE_RADIO_OFF),
+    ]
+}
+
+proptest! {
+    /// Splitting a residency interval at any point never changes the total.
+    #[test]
+    fn metering_is_interval_additive(
+        mode in any_mode(),
+        total in 0.01..1.0e4f64,
+        frac in 0.0..1.0f64,
+    ) {
+        let p = telos_profile();
+        let split = total * frac;
+
+        let mut whole = EnergyMeter::new(p.clone(), mode, SimTime::ZERO);
+        let e_whole = whole.sample(SimTime::from_secs(total));
+
+        let mut parts = EnergyMeter::new(p, mode, SimTime::ZERO);
+        let _ = parts.sample(SimTime::from_secs(split));
+        let e_parts = parts.sample(SimTime::from_secs(total));
+
+        prop_assert!((e_whole.total_j() - e_parts.total_j()).abs() < 1e-9);
+    }
+
+    /// Energy is monotone in time regardless of the mode schedule.
+    #[test]
+    fn energy_monotone_under_any_schedule(
+        modes in prop::collection::vec((any_mode(), 0.001..100.0f64), 1..20),
+    ) {
+        let p = telos_profile();
+        let mut meter = EnergyMeter::new(p, NodeMode::SLEEP, SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        let mut last_total = 0.0;
+        for (mode, dwell) in modes {
+            now += dwell;
+            meter.set_mode(now, mode);
+            let e = meter.sample(now).total_j();
+            prop_assert!(e >= last_total - 1e-12);
+            last_total = e;
+        }
+    }
+
+    /// Mode power ordering: sleep < mcu-only < mcu+radio, always.
+    #[test]
+    fn power_ordering_invariant(dwell in 0.1..1000.0f64) {
+        let p = telos_profile();
+        let energy_of = |mode: NodeMode| {
+            let mut m = EnergyMeter::new(p.clone(), mode, SimTime::ZERO);
+            m.sample(SimTime::from_secs(dwell)).total_j()
+        };
+        let sleep = energy_of(NodeMode::SLEEP);
+        let mcu = energy_of(NodeMode::ACTIVE_RADIO_OFF);
+        let rx = energy_of(NodeMode::ACTIVE_RX);
+        let tx = energy_of(NodeMode::ACTIVE_TX);
+        prop_assert!(sleep < mcu && mcu < tx && tx < rx);
+    }
+
+    /// Frame airtime is linear in payload size and inversely linear in rate.
+    #[test]
+    fn airtime_scales_with_bits(extra_mac in 0usize..64) {
+        let p = telos_profile();
+        let base = FrameSpec::default();
+        let bigger = FrameSpec {
+            mac_header_bytes: base.mac_header_bytes + extra_mac,
+            ..base
+        };
+        let d = bigger.airtime_s(MessageKind::Request, &p) - base.airtime_s(MessageKind::Request, &p);
+        let want = (extra_mac * 8) as f64 / p.data_rate_bps;
+        prop_assert!((d - want).abs() < 1e-12);
+    }
+
+    /// Battery drain order does not matter; lifetime scales inversely with power.
+    #[test]
+    fn battery_drain_commutes(
+        drains in prop::collection::vec(0.0..100.0f64, 0..20),
+    ) {
+        let mut fwd = Battery::new(10_000.0);
+        for &d in &drains {
+            fwd.drain(d);
+        }
+        let mut rev = Battery::new(10_000.0);
+        for &d in drains.iter().rev() {
+            rev.drain(d);
+        }
+        prop_assert!((fwd.remaining_j() - rev.remaining_j()).abs() < 1e-9);
+        prop_assert!(fwd.remaining_j() <= 10_000.0);
+        prop_assert!(fwd.remaining_fraction() >= 0.0);
+    }
+}

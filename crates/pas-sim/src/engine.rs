@@ -1,0 +1,323 @@
+//! The simulation engine: pop, advance the clock, dispatch.
+//!
+//! [`Engine`] owns the clock and the event queue. The handler closure gets
+//! `&mut Engine` back so it can schedule follow-up events — the standard
+//! inversion that keeps the hot loop monomorphic (no boxed callbacks).
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The time horizon was reached (next event is strictly after it).
+    HorizonReached,
+    /// The event budget was exhausted.
+    BudgetExhausted,
+    /// The handler requested a stop via [`Engine::request_stop`].
+    Requested,
+}
+
+/// A discrete-event simulation engine over event type `E`.
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+    max_queue_len: usize,
+    stop_requested: bool,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Create an engine with the clock at zero.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+            max_queue_len: 0,
+            stop_requested: false,
+        }
+    }
+
+    /// Create an engine with pre-allocated queue capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Engine {
+            queue: EventQueue::with_capacity(cap),
+            ..Engine::new()
+        }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// High-water mark of the pending-event queue.
+    #[inline]
+    pub fn max_queue_len(&self) -> usize {
+        self.max_queue_len
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` at the absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before [`Engine::now`]) — causality
+    /// violations are logic errors we refuse to mask.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+        self.max_queue_len = self.max_queue_len.max(self.queue.len());
+    }
+
+    /// Schedule `event` after a non-negative delay in seconds.
+    pub fn schedule_in(&mut self, delay_secs: f64, event: E) {
+        assert!(
+            delay_secs >= 0.0 && !delay_secs.is_nan(),
+            "delay must be non-negative, got {delay_secs}"
+        );
+        self.queue.push(self.now + delay_secs, event);
+        self.max_queue_len = self.max_queue_len.max(self.queue.len());
+    }
+
+    /// Ask the current run loop to stop after this event's handler returns.
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Pop the next event and advance the clock to it.
+    ///
+    /// Returns `None` when the queue is empty. Most callers want
+    /// [`Engine::run`] or [`Engine::run_until`] instead.
+    pub fn step(&mut self) -> Option<E> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue yielded a past event");
+        self.now = t;
+        self.processed += 1;
+        Some(e)
+    }
+
+    /// Run until the queue is empty, dispatching every event to `handler`.
+    pub fn run<F>(&mut self, mut handler: F) -> StopReason
+    where
+        F: FnMut(&mut Engine<E>, E),
+    {
+        self.run_inner(SimTime::NEVER, u64::MAX, &mut handler)
+    }
+
+    /// Run until the queue is empty or the next event is strictly after
+    /// `horizon`. The clock never advances past the last dispatched event.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F) -> StopReason
+    where
+        F: FnMut(&mut Engine<E>, E),
+    {
+        self.run_inner(horizon, u64::MAX, &mut handler)
+    }
+
+    /// Run with both a horizon and a maximum number of dispatched events —
+    /// the budget guards against runaway self-scheduling loops in tests.
+    pub fn run_bounded<F>(
+        &mut self,
+        horizon: SimTime,
+        max_events: u64,
+        mut handler: F,
+    ) -> StopReason
+    where
+        F: FnMut(&mut Engine<E>, E),
+    {
+        self.run_inner(horizon, max_events, &mut handler)
+    }
+
+    fn run_inner<F>(&mut self, horizon: SimTime, max_events: u64, handler: &mut F) -> StopReason
+    where
+        F: FnMut(&mut Engine<E>, E),
+    {
+        self.stop_requested = false;
+        let mut dispatched: u64 = 0;
+        loop {
+            if dispatched >= max_events {
+                return StopReason::BudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return StopReason::QueueEmpty,
+                Some(t) if t > horizon => return StopReason::HorizonReached,
+                Some(_) => {}
+            }
+            let event = self.step().expect("peeked non-empty queue");
+            handler(self, event);
+            dispatched += 1;
+            if self.stop_requested {
+                return StopReason::Requested;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Chain(u32),
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_in(2.0, Ev::Tick(1));
+        eng.schedule_in(1.0, Ev::Tick(0));
+        let mut log = Vec::new();
+        let reason = eng.run(|e, ev| log.push((e.now().as_secs(), ev)));
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(log, vec![(1.0, Ev::Tick(0)), (2.0, Ev::Tick(1))]);
+        assert_eq!(eng.processed(), 2);
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1.0), Ev::Chain(3));
+        let mut fired = Vec::new();
+        eng.run(|e, ev| {
+            if let Ev::Chain(n) = ev {
+                fired.push((e.now().as_secs(), n));
+                if n > 0 {
+                    e.schedule_in(1.0, Ev::Chain(n - 1));
+                }
+            }
+        });
+        assert_eq!(
+            fired,
+            vec![(1.0, 3), (2.0, 2), (3.0, 1), (4.0, 0)]
+        );
+    }
+
+    #[test]
+    fn horizon_stops_before_later_events() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_in(1.0, Ev::Tick(1));
+        eng.schedule_in(10.0, Ev::Tick(2));
+        let mut count = 0;
+        let reason = eng.run_until(SimTime::from_secs(5.0), |_, _| count += 1);
+        assert_eq!(reason, StopReason::HorizonReached);
+        assert_eq!(count, 1);
+        // Clock sits at the last dispatched event, not the horizon.
+        assert_eq!(eng.now(), SimTime::from_secs(1.0));
+        assert_eq!(eng.pending(), 1);
+    }
+
+    #[test]
+    fn horizon_inclusive() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_in(5.0, Ev::Tick(1));
+        let mut count = 0;
+        eng.run_until(SimTime::from_secs(5.0), |_, _| count += 1);
+        assert_eq!(count, 1, "events exactly at the horizon must dispatch");
+    }
+
+    #[test]
+    fn budget_limits_dispatch() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_in(0.0, Ev::Chain(0));
+        // Self-perpetuating chain at fixed timestamps.
+        let reason = eng.run_bounded(SimTime::NEVER, 10, |e, _| {
+            e.schedule_in(1.0, Ev::Chain(0));
+        });
+        assert_eq!(reason, StopReason::BudgetExhausted);
+        assert_eq!(eng.processed(), 10);
+    }
+
+    #[test]
+    fn request_stop_exits_immediately() {
+        let mut eng: Engine<Ev> = Engine::new();
+        for i in 0..10 {
+            eng.schedule_in(i as f64, Ev::Tick(i));
+        }
+        let mut count = 0;
+        let reason = eng.run(|e, ev| {
+            count += 1;
+            if ev == Ev::Tick(3) {
+                e.request_stop();
+            }
+        });
+        assert_eq!(reason, StopReason::Requested);
+        assert_eq!(count, 4);
+        assert_eq!(eng.pending(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_in(5.0, Ev::Tick(0));
+        eng.run(|e, _| {
+            // now == 5.0; scheduling at 1.0 is a causality violation.
+            e.schedule_at(SimTime::from_secs(1.0), Ev::Tick(9));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delay_panics() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_in(-1.0, Ev::Tick(0));
+    }
+
+    #[test]
+    fn queue_stats_tracked() {
+        let mut eng: Engine<Ev> = Engine::with_capacity(16);
+        for i in 0..8 {
+            eng.schedule_in(i as f64, Ev::Tick(i));
+        }
+        assert_eq!(eng.max_queue_len(), 8);
+        eng.run(|_, _| {});
+        assert_eq!(eng.max_queue_len(), 8);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // Two identical engines dispatch identical sequences.
+        let build = || {
+            let mut eng: Engine<Ev> = Engine::new();
+            eng.schedule_in(1.0, Ev::Tick(1));
+            eng.schedule_in(1.0, Ev::Tick(2));
+            eng.schedule_in(0.5, Ev::Tick(3));
+            eng
+        };
+        let collect = |mut eng: Engine<Ev>| {
+            let mut v = Vec::new();
+            eng.run(|e, ev| v.push((e.now().as_secs(), ev)));
+            v
+        };
+        assert_eq!(collect(build()), collect(build()));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the DES kernel and PRNG.
+
+use pas_sim::{Engine, EventQueue, Rng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    // --- event queue ---------------------------------------------------------
+
+    #[test]
+    fn queue_pops_in_nondecreasing_time(times in prop::collection::vec(0.0..1.0e6f64, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn equal_times_pop_fifo(n in 1usize..100, t in 0.0..100.0f64) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(SimTime::from_secs(t), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn engine_dispatches_everything_once(delays in prop::collection::vec(0.0..1.0e3f64, 0..100)) {
+        let mut eng: Engine<usize> = Engine::new();
+        for (i, &d) in delays.iter().enumerate() {
+            eng.schedule_in(d, i);
+        }
+        let mut seen = vec![false; delays.len()];
+        eng.run(|_, i| {
+            assert!(!seen[i], "event {i} dispatched twice");
+            seen[i] = true;
+        });
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(eng.processed(), delays.len() as u64);
+    }
+
+    #[test]
+    fn horizon_never_overrun(delays in prop::collection::vec(0.0..100.0f64, 1..50), horizon in 0.0..100.0f64) {
+        let mut eng: Engine<usize> = Engine::new();
+        for (i, &d) in delays.iter().enumerate() {
+            eng.schedule_in(d, i);
+        }
+        let h = SimTime::from_secs(horizon);
+        eng.run_until(h, |e, _| {
+            assert!(e.now() <= h, "dispatched past the horizon");
+        });
+        prop_assert!(eng.now() <= h);
+    }
+
+    // --- sim time --------------------------------------------------------------
+
+    #[test]
+    fn simtime_order_matches_f64(a in 0.0..1.0e9f64, b in 0.0..1.0e9f64) {
+        let (ta, tb) = (SimTime::from_secs(a), SimTime::from_secs(b));
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert_eq!(ta == tb, a == b);
+        prop_assert!(ta < SimTime::NEVER);
+    }
+
+    #[test]
+    fn simtime_add_then_since_roundtrips(base in 0.0..1.0e6f64, d in 0.0..1.0e6f64) {
+        let t = SimTime::from_secs(base);
+        let u = t + d;
+        prop_assert!((u.since(t) - d).abs() < 1e-6 * (1.0 + d));
+    }
+
+    // --- rng ----------------------------------------------------------------------
+
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>()) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_f64_always_in_unit(seed in any::<u64>()) {
+        let mut r = Rng::new(seed);
+        for _ in 0..256 {
+            let x = r.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut r = Rng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(r.next_below(n) < n);
+        }
+    }
+
+    #[test]
+    fn range_f64_respects_bounds(seed in any::<u64>(), lo in -1.0e3..1.0e3f64, width in 0.0..1.0e3f64) {
+        let mut r = Rng::new(seed);
+        let hi = lo + width;
+        for _ in 0..64 {
+            let x = r.range_f64(lo, hi);
+            prop_assert!(x >= lo && (x < hi || width == 0.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), n in 0usize..64) {
+        let mut r = Rng::new(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn substreams_differ_from_parent(seed in any::<u64>(), label in 1u64..1000) {
+        let mut parent = Rng::new(seed);
+        let mut sub = Rng::substream(seed, label);
+        // Not a proof of independence, but catches accidental identity.
+        let same = (0..32).filter(|_| parent.next_u64() == sub.next_u64()).count();
+        prop_assert!(same < 4);
+    }
+}

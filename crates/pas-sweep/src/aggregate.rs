@@ -1,0 +1,109 @@
+//! Replicate aggregation: mean ± sample standard deviation per group.
+//!
+//! A sweep produces one scalar (delay, energy) per `(parameter point,
+//! seed)`. [`summarize`] reduces the replicates of each point, preserving
+//! the first-appearance order of the points so tables come out in sweep
+//! order.
+
+use pas_metrics::OnlineStats;
+
+/// Aggregated replicates of one parameter point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary<K> {
+    /// The parameter point.
+    pub key: K,
+    /// Number of replicates.
+    pub n: u64,
+    /// Replicate mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single replicate).
+    pub std_dev: f64,
+    /// Smallest replicate.
+    pub min: f64,
+    /// Largest replicate.
+    pub max: f64,
+}
+
+/// Group `(key, value)` observations by key and reduce each group.
+///
+/// Keys keep their first-appearance order — sweeps emit points in axis
+/// order and the tables should too.
+pub fn summarize<K: PartialEq + Clone>(observations: &[(K, f64)]) -> Vec<Summary<K>> {
+    let mut keys: Vec<K> = Vec::new();
+    let mut stats: Vec<OnlineStats> = Vec::new();
+    for (k, v) in observations {
+        match keys.iter().position(|x| x == k) {
+            Some(i) => stats[i].push(*v),
+            None => {
+                keys.push(k.clone());
+                let mut s = OnlineStats::new();
+                s.push(*v);
+                stats.push(s);
+            }
+        }
+    }
+    keys.into_iter()
+        .zip(stats)
+        .map(|(key, s)| Summary {
+            key,
+            n: s.count(),
+            mean: s.mean(),
+            std_dev: s.sample_std_dev(),
+            min: s.min(),
+            max: s.max(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_by_key_in_first_appearance_order() {
+        let obs = vec![
+            ("b", 1.0),
+            ("a", 10.0),
+            ("b", 3.0),
+            ("a", 20.0),
+            ("c", 5.0),
+        ];
+        let got = summarize(&obs);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].key, "b");
+        assert_eq!(got[1].key, "a");
+        assert_eq!(got[2].key, "c");
+        assert_eq!(got[0].mean, 2.0);
+        assert_eq!(got[0].n, 2);
+        assert_eq!(got[1].mean, 15.0);
+        assert_eq!(got[2].std_dev, 0.0, "single replicate");
+    }
+
+    #[test]
+    fn sample_std_dev() {
+        let obs: Vec<((), f64)> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .map(|&v| ((), v))
+            .collect();
+        let got = summarize(&obs);
+        assert_eq!(got.len(), 1);
+        assert!((got[0].std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(got[0].min, 2.0);
+        assert_eq!(got[0].max, 9.0);
+    }
+
+    #[test]
+    fn tuple_keys() {
+        let obs = vec![(("PAS", 10), 1.0), (("SAS", 10), 2.0), (("PAS", 10), 3.0)];
+        let got = summarize(&obs);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].key, ("PAS", 10));
+        assert_eq!(got[0].mean, 2.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let got = summarize::<u32>(&[]);
+        assert!(got.is_empty());
+    }
+}

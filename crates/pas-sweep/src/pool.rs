@@ -1,0 +1,232 @@
+//! Order-preserving parallel map over a work list.
+//!
+//! Workers claim indices from an atomic cursor and emit `(index, result)`
+//! pairs; the merge step scatters them back into input order. For
+//! similar-cost tasks (simulation runs) this is within noise of
+//! work-stealing and has no unsafe code and no per-task allocation beyond
+//! the result itself.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sweep execution options.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct SweepOptions {
+    /// Worker thread count; 0 = one per available core.
+    pub threads: usize,
+}
+
+
+impl SweepOptions {
+    /// Resolve the effective thread count for `n_items` work items.
+    pub fn effective_threads(&self, n_items: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let t = if self.threads == 0 { hw } else { self.threads };
+        t.clamp(1, n_items.max(1))
+    }
+}
+
+/// Apply `f` to every item in parallel, returning results in input order.
+///
+/// `f` must be deterministic per item for the sweep to be reproducible —
+/// all PAS runs are (they derive their randomness from per-item seeds).
+pub fn parallel_map<P, R, F>(items: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    parallel_map_with(items, SweepOptions::default(), f)
+}
+
+/// [`parallel_map`] with explicit options.
+pub fn parallel_map_with<P, R, F>(items: &[P], opts: SweepOptions, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    parallel_map_progress(items, opts, f, |_, _| {})
+}
+
+/// [`parallel_map_with`] plus a progress callback.
+///
+/// `on_progress(done, total)` fires after every completed item, from
+/// whichever worker finished it — callbacks must be cheap and thread-safe
+/// (printing a counter, bumping an external progress bar).
+pub fn parallel_map_progress<P, R, F, C>(
+    items: &[P],
+    opts: SweepOptions,
+    f: F,
+    on_progress: C,
+) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+    C: Fn(usize, usize) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = opts.effective_threads(n);
+    if threads == 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let r = f(p);
+                on_progress(i + 1, n);
+                r
+            })
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                // Batch locally; lock once per worker, not per item.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    on_progress(finished, n);
+                }
+                collected.lock().extend(local);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let mut pairs = collected.into_inner();
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), n);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let got = parallel_map(&items, |&x| x * 2);
+        let want: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_sequential_with_uneven_costs() {
+        let items: Vec<u64> = (0..200).collect();
+        let work = |&x: &u64| -> u64 {
+            // Deterministic but uneven spin.
+            let mut acc = x;
+            for _ in 0..(x % 17) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let par = parallel_map(&items, work);
+        let seq: Vec<u64> = items.iter().map(work).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn single_thread_option() {
+        let items: Vec<u32> = (0..50).collect();
+        let got = parallel_map_with(&items, SweepOptions { threads: 1 }, |&x| x + 1);
+        assert_eq!(got[49], 50);
+    }
+
+    #[test]
+    fn explicit_thread_counts() {
+        for threads in [2, 3, 8] {
+            let items: Vec<u32> = (0..100).collect();
+            let got = parallel_map_with(&items, SweepOptions { threads }, |&x| x * x);
+            assert_eq!(got.len(), 100);
+            assert_eq!(got[10], 100);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let got: Vec<u32> = parallel_map(&Vec::<u32>::new(), |&x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn effective_threads_clamping() {
+        let o = SweepOptions { threads: 64 };
+        assert_eq!(o.effective_threads(4), 4, "never more threads than items");
+        assert_eq!(o.effective_threads(0), 1, "at least one thread");
+        let auto = SweepOptions::default();
+        assert!(auto.effective_threads(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn progress_reports_every_item() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<u32> = (0..64).collect();
+        let calls = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        let got = parallel_map_progress(
+            &items,
+            SweepOptions { threads: 4 },
+            |&x| x + 1,
+            |done, total| {
+                assert_eq!(total, 64);
+                assert!((1..=64).contains(&done));
+                calls.fetch_add(1, Ordering::Relaxed);
+                max_seen.fetch_max(done, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(got.len(), 64);
+        assert_eq!(calls.load(Ordering::Relaxed), 64);
+        assert_eq!(max_seen.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn progress_sequential_path() {
+        let items: Vec<u32> = (0..5).collect();
+        let log = std::sync::Mutex::new(Vec::new());
+        let got = parallel_map_progress(
+            &items,
+            SweepOptions { threads: 1 },
+            |&x| x,
+            |done, _| log.lock().unwrap().push(done),
+        );
+        assert_eq!(got, items);
+        assert_eq!(*log.lock().unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn actually_runs_concurrently() {
+        // Smoke check: with 4 threads, 4 long tasks finish well under 4x
+        // a single task's wall time. Generous bounds to stay CI-safe.
+        use std::time::{Duration, Instant};
+        let items = [0u32; 4];
+        let start = Instant::now();
+        let _ = parallel_map_with(&items, SweepOptions { threads: 4 }, |_| {
+            std::thread::sleep(Duration::from_millis(100));
+        });
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(350),
+            "4x100ms tasks took {elapsed:?} — not parallel?"
+        );
+    }
+}

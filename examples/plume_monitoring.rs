@@ -1,0 +1,99 @@
+//! # River pollutant plume — receding coverage and detection timeouts
+//!
+//! The paper's motivating application is "a liquid pollutant [that] spreads
+//! from the source". This example models an instantaneous chemical release
+//! into a river: a Gaussian puff advected downstream while diffusing. The
+//! plume *passes over* sensors and moves on — coverage recedes — which
+//! exercises the paper's covered → (detection timeout) → safe transition
+//! that monotone fronts never trigger.
+//!
+//! A Poisson-disk sensor grid lines the river reach; we compare policies on
+//! delay and energy, then show PAS's per-component energy breakdown.
+//!
+//! **Expect an honest negative result here.** PAS's estimator assumes a
+//! persistently advancing front; an advected puff violates that (the
+//! upstream edge recedes, fringe expansion is glacial), so its predictions
+//! flip-flop and its delay can land *above* SAS's on this stimulus. The
+//! paper never evaluates receding stimuli — this example maps the boundary
+//! of its assumptions.
+//!
+//! ```text
+//! cargo run --release --example plume_monitoring
+//! ```
+
+use pas::prelude::*;
+
+fn main() {
+    // A 100 m × 40 m river reach; 60 sensors at >= 6 m separation.
+    let scenario = Scenario {
+        region: Aabb::from_size(100.0, 40.0),
+        node_count: 60,
+        range_m: 12.0,
+        deployment: DeploymentKind::PoissonDisk { min_dist: 6.0 },
+        seed: 7,
+    };
+
+    // Release at the upstream end: 2 kg-equivalent mass, diffusivity
+    // 0.8 m²/s, 0.6 m/s downstream current, detection threshold 1 unit.
+    let plume = GaussianPlume::new(
+        Vec2::new(5.0, 20.0),
+        2000.0,
+        0.8,
+        Vec2::new(0.6, 0.0),
+        1.0,
+    );
+    println!(
+        "River plume: extinction at {:.0} s; {} sensors over {} m reach\n",
+        plume.extinction_time().as_secs(),
+        scenario.node_count,
+        scenario.region.width(),
+    );
+
+    println!(
+        "{:<8} {:>8} {:>9} {:>10} {:>7} {:>7} {:>9}",
+        "policy", "reached", "delay(s)", "energy(J)", "missed", "alerted", "covered@T"
+    );
+    for policy in [Policy::Ns, Policy::sas_default(), Policy::pas_default()] {
+        let result = run(&scenario, &plume, &RunConfig::new(policy));
+        println!(
+            "{:<8} {:>8} {:>9.3} {:>10.3} {:>7} {:>7} {:>9}",
+            result.policy_label,
+            result.delay.reached,
+            result.delay.mean_delay_s,
+            result.mean_energy_j(),
+            result.delay.missed,
+            result.alerted_ever,
+            result.covered_final,
+        );
+    }
+
+    // PAS energy breakdown: where do the joules actually go?
+    let pas = run(&scenario, &plume, &RunConfig::new(Policy::pas_default()));
+    let b = pas.mean_breakdown();
+    println!("\nPAS per-node energy breakdown (mean over {} nodes):", pas.node_count);
+    println!("  MCU active   {:>9.4} J", b.mcu_active_j);
+    println!("  radio RX     {:>9.4} J", b.radio_rx_j);
+    println!("  radio TX     {:>9.4} J", b.radio_tx_j);
+    println!("  sleep        {:>9.4} J", b.sleep_j);
+    println!("  transitions  {:>9.4} J", b.transition_j);
+    println!("  total        {:>9.4} J", b.total_j());
+    println!(
+        "  controller/comms split: {:.1}% / {:.1}%",
+        100.0 * b.controller_j() / b.total_j(),
+        100.0 * b.comms_j() / b.total_j()
+    );
+
+    // Because the plume recedes, covered nodes return to safe and resume
+    // duty-cycling — covered@T above should be far below `reached`.
+    assert!(
+        pas.covered_final < pas.delay.reached,
+        "plume must have receded from most covered sensors"
+    );
+
+    println!(
+        "\nNote: on this advected, receding stimulus PAS's directional\n\
+         predictions misfire (alert flip-flop on the upstream edge), and its\n\
+         delay can exceed SAS's — the boundary of the paper's front-advance\n\
+         assumption, not a bug. See DESIGN.md §5."
+    );
+}

@@ -1,0 +1,135 @@
+//! # Wildfire front over heterogeneous terrain — FMM ground truth,
+//! failures, and a lossy channel, all at once
+//!
+//! The hardest scenario in this repository: a fire front crossing terrain
+//! whose local spread rate varies (grassland fast, rock slow, a damp creek
+//! bed nearly stalls it). The ground truth is the eikonal first-arrival
+//! field solved by Fast Marching — the paper's "spreads along the boundary
+//! normal" assumption generalised to heterogeneous media. On top we enable
+//! both of the paper's §5 future-work stressors: sensors destroyed by the
+//! fire itself (failure injection) and a degraded radio channel.
+//!
+//! ```text
+//! cargo run --release --example wildfire_front
+//! ```
+
+use pas::prelude::*;
+use pas_core::AdaptiveParams;
+
+fn main() {
+    let region = Aabb::from_size(120.0, 120.0);
+
+    // Terrain-dependent spread rate (m/s): fast grass in the open, a slow
+    // rocky band, and a damp creek that nearly stops the front.
+    let speed_map = |p: Vec2| -> f64 {
+        let rocky = p.x > 60.0 && p.x < 80.0;
+        let creek = (p.y - 70.0).abs() < 6.0 && p.x > 30.0;
+        if creek {
+            0.05
+        } else if rocky {
+            0.15
+        } else {
+            0.6
+        }
+    };
+    let grid = SpeedGrid::from_fn(region, 121, 121, speed_map);
+    let fire = EikonalField::solve(grid, &[Vec2::new(5.0, 5.0)], SimTime::ZERO);
+
+    // 90 sensors dropped by air (uniform), 18 m radio range.
+    let scenario = Scenario {
+        region,
+        node_count: 90,
+        range_m: 18.0,
+        deployment: DeploymentKind::Uniform,
+        seed: 1234,
+    };
+
+    // The fire destroys sensors ~30 s after the front passes them.
+    let kills: Vec<(usize, SimTime)> = scenario
+        .positions()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| {
+            fire.first_arrival_time(p)
+                .map(|t| (i, t + 30.0))
+        })
+        .collect();
+    let failures = FailurePlan::targeted(scenario.node_count, &kills);
+
+    println!("Wildfire over heterogeneous terrain — FMM fronts + failures + loss\n");
+    println!(
+        "{:<28} {:>9} {:>10} {:>7} {:>8}",
+        "configuration", "delay(s)", "energy(J)", "missed", "alerted"
+    );
+
+    let pas = Policy::Pas(AdaptiveParams {
+        alert_threshold_s: 25.0,
+        max_sleep_s: 15.0,
+        ..AdaptiveParams::default()
+    });
+
+    let configs: Vec<(&str, RunConfig)> = vec![
+        ("PAS, clean channel", RunConfig::new(pas)),
+        (
+            "PAS + fire kills sensors",
+            RunConfig::new(pas).with_failures(failures.clone()),
+        ),
+        (
+            "PAS + kills + 20% loss",
+            RunConfig::new(pas)
+                .with_failures(failures.clone())
+                .with_channel(ChannelKind::IidLoss(0.20)),
+        ),
+        (
+            "PAS + kills + grey region",
+            RunConfig::new(pas)
+                .with_failures(failures)
+                .with_channel(ChannelKind::DistanceLoss(0.6, 0.8)),
+        ),
+    ];
+
+    for (label, cfg) in &configs {
+        let result = run(&scenario, &fire, cfg);
+        println!(
+            "{:<28} {:>9.3} {:>10.3} {:>7} {:>8}",
+            label,
+            result.delay.mean_delay_s,
+            result.mean_energy_j(),
+            result.delay.missed,
+            result.alerted_ever,
+        );
+    }
+
+    // Terrain sanity: the creek shields the far bank for a long time.
+    let near_bank = fire.first_arrival_time(Vec2::new(60.0, 60.0));
+    let far_bank = fire.first_arrival_time(Vec2::new(60.0, 80.0));
+    println!(
+        "\nTerrain check: front reaches (60,60) at {:.0} s, but the far side\n\
+         of the creek (60,80) only at {:.0} s — the damp band buys {:.0} s.",
+        near_bank.unwrap().as_secs(),
+        far_bank.unwrap().as_secs(),
+        far_bank.unwrap().as_secs() - near_bank.unwrap().as_secs()
+    );
+
+    // Extract and summarise the front line at t = 120 s (marching squares
+    // over the arrival field) — what a command dashboard would draw.
+    let arrival_grid = pas_diffusion::contour::ScalarGrid::from_fn(
+        region.min,
+        121,
+        121,
+        1.0,
+        1.0,
+        |p| {
+            fire.first_arrival_time(p)
+                .map(|t| t.as_secs())
+                .unwrap_or(f64::INFINITY)
+        },
+    );
+    let contours = extract_contours(&arrival_grid, 120.0);
+    let total_len: f64 = contours.iter().map(|c| c.length()).sum();
+    println!(
+        "Front line at t = 120 s: {} contour segment(s), {:.0} m total length.",
+        contours.len(),
+        total_len
+    );
+}

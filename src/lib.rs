@@ -1,0 +1,60 @@
+//! # PAS — Prediction-based Adaptive Sleeping for environment monitoring
+//!
+//! A complete, from-scratch reproduction of *Yang, Xu, Dai, Gu: "PAS:
+//! Prediction-based Adaptive Sleeping for Environment Monitoring in Sensor
+//! Networks"* (ICPP Workshops 2007), as a production-quality Rust workspace.
+//!
+//! This facade crate re-exports the whole public API:
+//!
+//! | Crate | What it provides |
+//! |-------|------------------|
+//! | [`geom`] | 2-D vectors, shapes, polylines, hulls, spatial hashing |
+//! | [`sim`] | deterministic discrete-event engine + seedable PRNG |
+//! | [`diffusion`] | stimulus ground truth: fronts, plumes, eikonal/FMM |
+//! | [`platform`] | Telos power model, energy metering, frame sizing |
+//! | [`net`] | deployments, unit-disk topology, channels, broadcast |
+//! | [`core`] | the PAS algorithm, SAS/NS/Oracle baselines, the runner |
+//! | [`metrics`] | delay/energy metrics, statistics, tables, CSV |
+//! | [`sweep`] | parallel parameter sweeps with ordered, seeded results |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pas::prelude::*;
+//!
+//! // The paper's setup: 30 nodes, 10 m range; a pollutant front spreading
+//! // at 0.5 m/s from the region corner.
+//! let scenario = Scenario::paper_default(42);
+//! let field = RadialFront::constant(Vec2::new(0.0, 0.0), 0.5);
+//!
+//! let result = run(&scenario, &field, &RunConfig::new(Policy::pas_default()));
+//! assert!(result.delay.mean_delay_s < 10.0);
+//! assert!(result.mean_energy_j() > 0.0);
+//! ```
+//!
+//! See `examples/` for full scenarios and `crates/pas-bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pas_core as core;
+pub use pas_diffusion as diffusion;
+pub use pas_geom as geom;
+pub use pas_metrics as metrics;
+pub use pas_net as net;
+pub use pas_platform as platform;
+pub use pas_sim as sim;
+pub use pas_sweep as sweep;
+
+/// One-stop import for applications.
+pub mod prelude {
+    pub use pas_core::prelude::*;
+    pub use pas_diffusion::prelude::*;
+    pub use pas_geom::prelude::*;
+    pub use pas_metrics::prelude::*;
+    pub use pas_net::prelude::*;
+    pub use pas_platform::prelude::*;
+    pub use pas_sim::prelude::*;
+    pub use pas_sweep::prelude::*;
+}

@@ -1,0 +1,185 @@
+//! Integration tests across crate boundaries: determinism end-to-end,
+//! alternative stimulus models driving the runner, energy conservation,
+//! and the future-work extensions (failures, lossy channels) composed
+//! together.
+
+use pas::prelude::*;
+use pas_platform::telos_profile;
+
+fn radial() -> RadialFront {
+    RadialFront::constant(Vec2::new(0.0, 0.0), 0.5)
+}
+
+/// The whole pipeline — deployment, topology, stimulus, protocol, metrics —
+/// is bit-deterministic in the seed.
+#[test]
+fn end_to_end_determinism() {
+    let f = radial();
+    for policy in [Policy::Ns, Policy::sas_default(), Policy::pas_default(), Policy::Oracle] {
+        let s = Scenario::paper_default(77);
+        let cfg = RunConfig::new(policy);
+        let a = run(&s, &f, &cfg);
+        let b = run(&s, &f, &cfg);
+        assert_eq!(a.delay.mean_delay_s.to_bits(), b.delay.mean_delay_s.to_bits());
+        assert_eq!(a.mean_energy_j().to_bits(), b.mean_energy_j().to_bits());
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.requests_sent, b.requests_sent);
+        assert_eq!(a.responses_sent, b.responses_sent);
+    }
+}
+
+/// Different seeds produce different topologies and different outcomes
+/// (the sweep actually samples randomness).
+#[test]
+fn seeds_vary_outcomes() {
+    let f = radial();
+    let r1 = run(
+        &Scenario::paper_default(1),
+        &f,
+        &RunConfig::new(Policy::pas_default()),
+    );
+    let r2 = run(
+        &Scenario::paper_default(2),
+        &f,
+        &RunConfig::new(Policy::pas_default()),
+    );
+    assert_ne!(
+        r1.delay.mean_delay_s, r2.delay.mean_delay_s,
+        "distinct seeds should (generically) differ"
+    );
+}
+
+/// An eikonal (FMM) field can drive the full simulation, and slow terrain
+/// shows up as later detections.
+#[test]
+fn eikonal_field_drives_runner() {
+    let region = Aabb::from_size(40.0, 40.0);
+    let grid = SpeedGrid::from_fn(region, 41, 41, |p| if p.x < 20.0 { 1.0 } else { 0.25 });
+    let field = EikonalField::solve(grid, &[Vec2::new(1.0, 20.0)], SimTime::ZERO);
+    let s = Scenario::paper_default(5);
+    let r = run(&s, &field, &RunConfig::new(Policy::pas_default()));
+    assert!(r.delay.reached > 0, "front must reach nodes");
+    assert_eq!(
+        r.delay.detected + r.delay.missed,
+        r.delay.reached,
+        "every reached node is either detected or missed"
+    );
+    assert!(r.duration_s > 40.0, "slow half stretches the event");
+}
+
+/// A multi-source incident (union field) reaches nodes earlier than either
+/// of its members alone.
+#[test]
+fn multi_source_arrives_earlier() {
+    let a = RadialFront::constant(Vec2::new(0.0, 0.0), 0.5);
+    let b = RadialFront::constant(Vec2::new(40.0, 40.0), 0.5);
+    let both = MultiSourceField::new(vec![
+        Box::new(RadialFront::constant(Vec2::new(0.0, 0.0), 0.5)),
+        Box::new(RadialFront::constant(Vec2::new(40.0, 40.0), 0.5)),
+    ]);
+    let s = Scenario::paper_default(11);
+    let cfg = RunConfig::new(Policy::Ns);
+    let ra = run(&s, &a, &cfg);
+    let rb = run(&s, &b, &cfg);
+    let rboth = run(&s, &both, &cfg);
+    // Union event ends no later than the earlier-ending single event.
+    assert!(rboth.duration_s <= ra.duration_s.min(rb.duration_s) + 1e-9);
+    assert_eq!(rboth.delay.reached, 30);
+}
+
+/// Energy bookkeeping: per-node totals equal the component sums, and an
+/// NS node's energy equals power × duration exactly.
+#[test]
+fn energy_accounting_is_conservative() {
+    let f = radial();
+    let s = Scenario::paper_default(3);
+    let r = run(&s, &f, &RunConfig::new(Policy::pas_default()));
+    for e in &r.per_node_energy {
+        let component_sum =
+            e.mcu_active_j + e.sleep_j + e.radio_rx_j + e.radio_tx_j + e.transition_j;
+        assert!((e.total_j() - component_sum).abs() < 1e-12);
+        assert!(e.total_j() > 0.0, "every node consumes something");
+    }
+    let ns = run(&s, &f, &RunConfig::new(Policy::Ns));
+    let p = telos_profile();
+    for e in &ns.per_node_energy {
+        assert!((e.total_j() - p.total_active_w() * ns.duration_s).abs() < 1e-9);
+    }
+}
+
+/// Future-work extensions compose: failures + lossy channel in one run,
+/// without losing metric invariants.
+#[test]
+fn failures_and_loss_compose() {
+    let f = radial();
+    let s = Scenario::paper_default(13);
+    let mut rng = pas_sim::Rng::substream(13, 0xFA11);
+    let failures = FailurePlan::random(s.node_count, 0.3, 60.0, &mut rng);
+    let expected_dead = failures.failing_count();
+    let cfg = RunConfig::new(Policy::pas_default())
+        .with_failures(failures)
+        .with_channel(ChannelKind::IidLoss(0.2));
+    let r = run(&s, &f, &cfg);
+    assert_eq!(r.delay.detected + r.delay.missed, r.delay.reached);
+    assert!(expected_dead > 0);
+    assert!(
+        r.delay.missed <= expected_dead,
+        "only dead nodes can miss on a non-receding front"
+    );
+}
+
+/// The sweep executor reproduces sequential results exactly across the
+/// crate boundary (parallelism does not perturb simulations).
+#[test]
+fn parallel_sweep_matches_sequential() {
+    let f = radial();
+    let seeds: Vec<u64> = (0..12).collect();
+    let job = |&seed: &u64| {
+        let s = Scenario::paper_default(seed);
+        let r = run(&s, &f, &RunConfig::new(Policy::pas_default()));
+        (r.delay.mean_delay_s.to_bits(), r.mean_energy_j().to_bits())
+    };
+    let par = parallel_map(&seeds, job);
+    let seq: Vec<_> = seeds.iter().map(job).collect();
+    assert_eq!(par, seq);
+}
+
+/// Every stimulus model satisfies the StimulusField contract the runner
+/// relies on: coverage at the reported first arrival.
+#[test]
+fn stimulus_models_honour_contract() {
+    let fields: Vec<Box<dyn StimulusField>> = vec![
+        Box::new(RadialFront::constant(Vec2::new(5.0, 5.0), 0.7)),
+        Box::new(AnisotropicFront::new(
+            Vec2::new(5.0, 5.0),
+            SpeedProfile::Constant { speed: 0.7 },
+            pas_diffusion::aniso::DirectionalGain::CosineSkew { theta0: 1.0, k: 0.4 },
+        )),
+        Box::new(GaussianPlume::new(
+            Vec2::new(5.0, 5.0),
+            1000.0,
+            1.0,
+            Vec2::new(0.2, 0.0),
+            1.0,
+        )),
+    ];
+    let probes = [
+        Vec2::new(8.0, 5.0),
+        Vec2::new(15.0, 12.0),
+        Vec2::new(2.0, 9.0),
+    ];
+    for field in &fields {
+        for &p in &probes {
+            if let Some(t) = field.first_arrival_time(p) {
+                assert!(
+                    field.is_covered(p, t + 1e-6),
+                    "point must be covered just after first arrival"
+                );
+                assert!(
+                    !field.is_covered(p, SimTime::from_secs((t.as_secs() - 1e-3).max(0.0))),
+                    "point must be uncovered just before first arrival"
+                );
+            }
+        }
+    }
+}

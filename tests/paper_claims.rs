@@ -1,0 +1,212 @@
+//! Integration tests: every behavioural claim the paper makes, asserted
+//! end-to-end on the real simulator (not on mocks). These are the
+//! regression gates for the reproduction — if one fails, a figure has
+//! stopped reproducing.
+
+use pas::prelude::*;
+use pas_core::AdaptiveParams;
+
+const SEEDS: u64 = 8;
+
+fn field() -> RadialFront {
+    RadialFront::constant(Vec2::new(0.0, 0.0), 0.5)
+}
+
+fn mean_over_seeds(policy: Policy) -> (f64, f64) {
+    let f = field();
+    let mut delay = 0.0;
+    let mut energy = 0.0;
+    for seed in 0..SEEDS {
+        let s = Scenario::paper_default(1000 + seed);
+        let r = run(&s, &f, &RunConfig::new(policy));
+        delay += r.delay.mean_delay_s;
+        energy += r.mean_energy_j();
+    }
+    (delay / SEEDS as f64, energy / SEEDS as f64)
+}
+
+/// §4.2: "NS sensors have zero delay since they always keep active."
+#[test]
+fn claim_ns_zero_delay() {
+    let (delay, _) = mean_over_seeds(Policy::Ns);
+    assert!(delay < 1e-9, "NS delay must be exactly zero, got {delay}");
+}
+
+/// Fig. 4: PAS delay < SAS delay at the operating point.
+#[test]
+fn claim_pas_beats_sas_delay() {
+    let pas = Policy::Pas(AdaptiveParams {
+        max_sleep_s: 12.0,
+        alert_threshold_s: 15.0,
+        ..AdaptiveParams::default()
+    });
+    let sas = Policy::Sas(AdaptiveParams {
+        max_sleep_s: 12.0,
+        alert_threshold_s: 2.0,
+        ..AdaptiveParams::default()
+    });
+    let (pas_delay, _) = mean_over_seeds(pas);
+    let (sas_delay, _) = mean_over_seeds(sas);
+    assert!(
+        pas_delay < 0.85 * sas_delay,
+        "PAS {pas_delay:.3} s must clearly undercut SAS {sas_delay:.3} s"
+    );
+}
+
+/// Fig. 6: NS consumes the most; PAS pays only a small premium over SAS
+/// ("the difference is trivial").
+#[test]
+fn claim_energy_ordering() {
+    let pas = Policy::Pas(AdaptiveParams {
+        max_sleep_s: 12.0,
+        alert_threshold_s: 15.0,
+        ..AdaptiveParams::default()
+    });
+    let sas = Policy::Sas(AdaptiveParams {
+        max_sleep_s: 12.0,
+        alert_threshold_s: 2.0,
+        ..AdaptiveParams::default()
+    });
+    let (_, ns_e) = mean_over_seeds(Policy::Ns);
+    let (_, sas_e) = mean_over_seeds(sas);
+    let (_, pas_e) = mean_over_seeds(pas);
+    assert!(ns_e > pas_e && ns_e > sas_e, "NS must be the most expensive");
+    assert!(pas_e >= sas_e, "PAS pays for its alert ring: {pas_e} vs {sas_e}");
+    assert!(
+        pas_e < 1.35 * sas_e,
+        "but the premium is small: PAS {pas_e:.3} J vs SAS {sas_e:.3} J"
+    );
+    assert!(
+        pas_e < 0.65 * ns_e,
+        "and both adaptive schemes save big over NS"
+    );
+}
+
+/// Fig. 4 shape: SAS/PAS delay is monotone non-decreasing in the maximum
+/// sleep interval (up to averaging noise), then saturates.
+#[test]
+fn claim_delay_grows_with_max_sleep() {
+    for make in [
+        |ms: f64| {
+            Policy::Pas(AdaptiveParams {
+                max_sleep_s: ms,
+                alert_threshold_s: 15.0,
+                ..AdaptiveParams::default()
+            })
+        },
+        |ms: f64| {
+            Policy::Sas(AdaptiveParams {
+                max_sleep_s: ms,
+                alert_threshold_s: 2.0,
+                ..AdaptiveParams::default()
+            })
+        },
+    ] {
+        let (d_small, _) = mean_over_seeds(make(2.0));
+        let (d_mid, _) = mean_over_seeds(make(8.0));
+        let (d_large, _) = mean_over_seeds(make(16.0));
+        assert!(
+            d_small < d_mid && d_mid < d_large,
+            "delay must grow with max sleep: {d_small:.2} {d_mid:.2} {d_large:.2}"
+        );
+    }
+}
+
+/// Fig. 5: PAS delay falls as the alert threshold rises (10 s → 30 s).
+#[test]
+fn claim_alert_threshold_cuts_delay() {
+    let at = |alert: f64| {
+        Policy::Pas(AdaptiveParams {
+            max_sleep_s: 12.0,
+            alert_threshold_s: alert,
+            ..AdaptiveParams::default()
+        })
+    };
+    let (d10, _) = mean_over_seeds(at(10.0));
+    let (d30, _) = mean_over_seeds(at(30.0));
+    assert!(
+        d30 < d10,
+        "Fig 5: delay at alert=30 ({d30:.3}) must undercut alert=10 ({d10:.3})"
+    );
+}
+
+/// Fig. 7: PAS energy rises as the alert threshold rises.
+#[test]
+fn claim_alert_threshold_costs_energy() {
+    let at = |alert: f64| {
+        Policy::Pas(AdaptiveParams {
+            max_sleep_s: 12.0,
+            alert_threshold_s: alert,
+            ..AdaptiveParams::default()
+        })
+    };
+    let (_, e10) = mean_over_seeds(at(10.0));
+    let (_, e30) = mean_over_seeds(at(30.0));
+    assert!(
+        e30 > e10,
+        "Fig 7: energy at alert=30 ({e30:.3}) must exceed alert=10 ({e10:.3})"
+    );
+}
+
+/// §3.4: "By greatly reducing the threshold value of alert time, PAS can
+/// degenerate into SAS" — with a tiny alert ring, PAS's metrics approach
+/// SAS's.
+#[test]
+fn claim_pas_degenerates_to_sas() {
+    let degenerate = Policy::Pas(AdaptiveParams {
+        max_sleep_s: 12.0,
+        alert_threshold_s: 2.0, // SAS's effective horizon
+        ..AdaptiveParams::default()
+    });
+    let sas = Policy::Sas(AdaptiveParams {
+        max_sleep_s: 12.0,
+        alert_threshold_s: 2.0,
+        ..AdaptiveParams::default()
+    });
+    let full = Policy::Pas(AdaptiveParams {
+        max_sleep_s: 12.0,
+        alert_threshold_s: 30.0,
+        ..AdaptiveParams::default()
+    });
+    let (d_degen, e_degen) = mean_over_seeds(degenerate);
+    let (d_sas, e_sas) = mean_over_seeds(sas);
+    let (d_full, _) = mean_over_seeds(full);
+    // Shrinking the alert ring moves PAS from its full-threshold behaviour
+    // toward SAS's: delay degrades past full PAS and lands in SAS's
+    // neighbourhood. (It cannot reach SAS exactly — our SAS reconstruction
+    // also drops the directional cos θ term, which degenerate PAS keeps.)
+    assert!(
+        d_degen > d_full,
+        "shrinking the ring must cost delay: degenerate {d_degen:.2} vs full {d_full:.2}"
+    );
+    assert!(
+        d_degen <= d_sas * 1.05,
+        "degenerate PAS {d_degen:.2} must land at or below SAS {d_sas:.2} (+5%)"
+    );
+    assert!(
+        d_degen >= d_full + 0.3 * (d_sas - d_full),
+        "and must have closed most of the gap toward SAS: degen {d_degen:.2}, \
+         full {d_full:.2}, sas {d_sas:.2}"
+    );
+    assert!(
+        (e_degen - e_sas).abs() / e_sas < 0.25,
+        "degenerate PAS energy {e_degen:.3} must be within 25% of SAS {e_sas:.3}"
+    );
+}
+
+/// §3.1's "ideal case" (Oracle) bounds both metrics from below.
+#[test]
+fn claim_oracle_is_the_bound() {
+    let pas = Policy::Pas(AdaptiveParams::default());
+    let (o_delay, o_energy) = mean_over_seeds(Policy::Oracle);
+    let (p_delay, p_energy) = mean_over_seeds(pas);
+    assert!(o_delay < 1e-9, "oracle delay is zero");
+    assert!(p_delay >= o_delay);
+    // Oracle energy undercuts every realisable policy except for the
+    // detection-lag artefact (late detectors are awake for less of the
+    // run); allow a small tolerance.
+    assert!(
+        o_energy < p_energy * 1.10,
+        "oracle {o_energy:.3} J should not exceed PAS {p_energy:.3} J by >10%"
+    );
+}

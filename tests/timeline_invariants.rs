@@ -1,0 +1,146 @@
+//! Whole-run invariants checked through the recorded timeline: the Fig. 3
+//! state diagram holds over complete executions, awake/asleep bookkeeping
+//! matches the protocol states, and the spatial structure of Fig. 2
+//! (covered core, alert ring, safe outskirts) actually emerges.
+
+use pas::prelude::*;
+use pas_core::AdaptiveParams;
+
+fn pas_run_with_timeline(seed: u64) -> (Scenario, RunResult) {
+    let scenario = Scenario::paper_default(seed);
+    let field = RadialFront::constant(Vec2::new(0.0, 0.0), 0.5);
+    let policy = Policy::Pas(AdaptiveParams {
+        max_sleep_s: 12.0,
+        alert_threshold_s: 20.0,
+        ..AdaptiveParams::default()
+    });
+    let r = run(
+        &scenario,
+        &field,
+        &RunConfig::new(policy).with_timeline(),
+    );
+    (scenario, r)
+}
+
+#[test]
+fn fig3_diagram_holds_over_entire_runs() {
+    for seed in 0..5 {
+        let (_, r) = pas_run_with_timeline(seed);
+        let tl = r.timeline.as_ref().expect("timeline requested");
+        assert!(
+            tl.first_illegal_transition().is_none(),
+            "illegal transition in seed {seed}: {:?}",
+            tl.first_illegal_transition()
+        );
+        assert!(!tl.transitions.is_empty(), "a PAS run must transition");
+    }
+}
+
+#[test]
+fn covered_and_alert_nodes_are_awake() {
+    let (_, r) = pas_run_with_timeline(1);
+    let tl = r.timeline.as_ref().unwrap();
+    // At the instant of any transition into Covered or Alert, the node must
+    // be awake (sleeping nodes can neither sense nor decide).
+    for rec in &tl.transitions {
+        if matches!(rec.to, NodeState::Covered | NodeState::Alert) {
+            assert!(
+                tl.awake_at(rec.node, rec.t, false),
+                "node {} entered {} while asleep at {}",
+                rec.node,
+                rec.to,
+                rec.t
+            );
+        }
+    }
+}
+
+#[test]
+fn occupancies_partition_the_run() {
+    let (_, r) = pas_run_with_timeline(2);
+    let tl = r.timeline.as_ref().unwrap();
+    let horizon = SimTime::from_secs(r.duration_s);
+    for node in 0..r.node_count {
+        let total: f64 = [NodeState::Safe, NodeState::Alert, NodeState::Covered]
+            .iter()
+            .map(|&s| tl.occupancy(node, s, horizon))
+            .sum();
+        assert!(
+            (total - r.duration_s).abs() < 1e-6,
+            "node {node}: occupancies sum to {total}, duration {}",
+            r.duration_s
+        );
+    }
+}
+
+#[test]
+fn final_counts_match_run_result() {
+    let (_, r) = pas_run_with_timeline(3);
+    let tl = r.timeline.as_ref().unwrap();
+    let (covered, _, _) = tl.state_counts_at(r.node_count, SimTime::from_secs(r.duration_s));
+    assert_eq!(covered, r.covered_final);
+    let alerted = (0..r.node_count)
+        .filter(|&i| {
+            tl.transitions
+                .iter()
+                .any(|rec| rec.node == i && rec.to == NodeState::Alert)
+        })
+        .count();
+    assert_eq!(alerted, r.alerted_ever);
+}
+
+/// Fig. 2's spatial structure: mid-run, covered nodes sit nearer the source
+/// than safe nodes on average, with alert nodes in between.
+#[test]
+fn fig2_spatial_structure_emerges() {
+    let (scenario, r) = pas_run_with_timeline(4);
+    let tl = r.timeline.as_ref().unwrap();
+    let source = Vec2::new(0.0, 0.0);
+    // Sample the instant when roughly half the nodes are covered.
+    let mid = SimTime::from_secs(r.duration_s * 0.45);
+    let mut covered_d = Vec::new();
+    let mut alert_d = Vec::new();
+    let mut safe_d = Vec::new();
+    for (i, &pos) in scenario.positions().iter().enumerate() {
+        let d = source.distance(pos);
+        match tl.state_at(i, mid) {
+            NodeState::Covered => covered_d.push(d),
+            NodeState::Alert => alert_d.push(d),
+            NodeState::Safe => safe_d.push(d),
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(!covered_d.is_empty(), "mid-run must have covered nodes");
+    assert!(!safe_d.is_empty(), "mid-run must have safe nodes");
+    assert!(
+        mean(&covered_d) < mean(&safe_d),
+        "covered ({:.1} m) must sit nearer the source than safe ({:.1} m)",
+        mean(&covered_d),
+        mean(&safe_d)
+    );
+    if !alert_d.is_empty() {
+        assert!(
+            mean(&covered_d) < mean(&alert_d),
+            "the alert ring sits outside the covered core"
+        );
+    }
+}
+
+#[test]
+fn timeline_off_by_default_and_costs_nothing() {
+    let scenario = Scenario::paper_default(5);
+    let field = RadialFront::constant(Vec2::new(0.0, 0.0), 0.5);
+    let plain = run(&scenario, &field, &RunConfig::new(Policy::pas_default()));
+    assert!(plain.timeline.is_none());
+    // Recording must not change the simulation itself.
+    let traced = run(
+        &scenario,
+        &field,
+        &RunConfig::new(Policy::pas_default()).with_timeline(),
+    );
+    assert_eq!(
+        plain.delay.mean_delay_s.to_bits(),
+        traced.delay.mean_delay_s.to_bits()
+    );
+    assert_eq!(plain.events_processed, traced.events_processed);
+}
