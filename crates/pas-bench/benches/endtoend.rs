@@ -76,5 +76,10 @@ fn bench_sweep_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_run, bench_scaling_nodes, bench_sweep_parallelism);
+criterion_group!(
+    benches,
+    bench_full_run,
+    bench_scaling_nodes,
+    bench_sweep_parallelism
+);
 criterion_main!(benches);

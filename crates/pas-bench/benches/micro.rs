@@ -79,8 +79,7 @@ fn bench_fmm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("solve", res), &res, |b, &res| {
             let region = Aabb::from_size(100.0, 100.0);
             b.iter(|| {
-                let grid =
-                    SpeedGrid::from_fn(region, res, res, |p| 0.5 + 0.01 * (p.x + p.y).abs());
+                let grid = SpeedGrid::from_fn(region, res, res, |p| 0.5 + 0.01 * (p.x + p.y).abs());
                 black_box(EikonalField::solve(
                     grid,
                     &[Vec2::new(50.0, 50.0)],

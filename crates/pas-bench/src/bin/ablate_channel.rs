@@ -60,7 +60,13 @@ fn main() {
         "Ablation — i.i.d. frame loss vs PAS performance",
         &["loss_%", "delay_s", "delay_std", "energy_j", "alerted"],
     );
-    let mut csv = Csv::new(&["loss_pct", "delay_mean_s", "delay_std_s", "energy_mean_j", "alerted_mean"]);
+    let mut csv = Csv::new(&[
+        "loss_pct",
+        "delay_mean_s",
+        "delay_std_s",
+        "energy_mean_j",
+        "alerted_mean",
+    ]);
     let ds = summarize(&delays);
     let es = summarize(&energies);
     let als = summarize(&alerted);

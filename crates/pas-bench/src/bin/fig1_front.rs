@@ -18,7 +18,10 @@ fn main() {
     let front = AnisotropicFront::new(
         Vec2::new(0.0, 0.0),
         SpeedProfile::Constant { speed: 0.5 },
-        DirectionalGain::CosineSkew { theta0: 0.6, k: 0.4 },
+        DirectionalGain::CosineSkew {
+            theta0: 0.6,
+            k: 0.4,
+        },
     );
     let t0 = SimTime::from_secs(30.0);
     let dt = 5.0;
@@ -57,9 +60,7 @@ fn main() {
         t0.as_secs(),
         t1.as_secs()
     );
-    println!(
-        "sample by its normal velocity lands on the next boundary with a"
-    );
+    println!("sample by its normal velocity lands on the next boundary with a");
     println!("maximum error of {max_err:.3e} m (envelope construction verified).");
     println!("wrote {}", path.display());
     assert!(max_err < 1e-6, "envelope construction must hold exactly");

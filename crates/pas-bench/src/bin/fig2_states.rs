@@ -6,7 +6,7 @@
 //! instants, `C` = covered, `A` = alert, `s` = safe-awake, `.` = sleeping.
 
 use pas_bench::paper_scenario;
-use pas_core::{run, AdaptiveParams, Policy, RunConfig, NodeState};
+use pas_core::{run, AdaptiveParams, NodeState, Policy, RunConfig};
 use pas_diffusion::RadialFront;
 use pas_geom::Vec2;
 use pas_sim::SimTime;
@@ -22,11 +22,7 @@ fn main() {
         alert_threshold_s: 20.0,
         ..AdaptiveParams::default()
     });
-    let r = run(
-        &scenario,
-        &field,
-        &RunConfig::new(policy).with_timeline(),
-    );
+    let r = run(&scenario, &field, &RunConfig::new(policy).with_timeline());
     let tl = r.timeline.as_ref().expect("timeline requested");
     let positions = scenario.positions();
 
@@ -36,7 +32,10 @@ fn main() {
     for frac in [0.25, 0.5, 0.75] {
         let t = SimTime::from_secs(r.duration_s * frac);
         let (c, a, s) = tl.state_counts_at(positions.len(), t);
-        println!("t = {:>5.1} s   covered {c:2}  alert {a:2}  safe {s:2}", t.as_secs());
+        println!(
+            "t = {:>5.1} s   covered {c:2}  alert {a:2}  safe {s:2}",
+            t.as_secs()
+        );
         let mut canvas = vec![vec![' '; GRID_W]; GRID_H];
         for (i, &p) in positions.iter().enumerate() {
             let cx = ((p.x / scenario.region.width()) * (GRID_W - 1) as f64).round() as usize;
@@ -62,6 +61,8 @@ fn main() {
     }
     println!(
         "Run summary: {} alerted ever, mean delay {:.2} s, {:.2} J/node.",
-        r.alerted_ever, r.delay.mean_delay_s, r.mean_energy_j()
+        r.alerted_ever,
+        r.delay.mean_delay_s,
+        r.mean_energy_j()
     );
 }

@@ -43,9 +43,14 @@ fn main() {
     let tl = r.timeline.expect("timeline requested");
     let mut census: BTreeMap<(&str, &str), usize> = BTreeMap::new();
     for rec in &tl.transitions {
-        *census.entry((rec.from.label(), rec.to.label())).or_default() += 1;
+        *census
+            .entry((rec.from.label(), rec.to.label()))
+            .or_default() += 1;
     }
-    println!("\nTransition census of one PAS run ({} transitions):", tl.transitions.len());
+    println!(
+        "\nTransition census of one PAS run ({} transitions):",
+        tl.transitions.len()
+    );
     for ((from, to), count) in &census {
         println!("  {from:>8} -> {to:<8} {count:>4}");
     }

@@ -6,35 +6,24 @@
 //! event duration lets nodes reach); PAS sits below SAS at every
 //! operationally relevant setting because its alert ring wakes nodes ahead
 //! of the front.
+//!
+//! The workload is no longer hard-coded here: this binary executes the
+//! registry's `paper-default` manifest (`pas run paper-default` is the
+//! same experiment; `crates/pas-bench/tests/manifest_roundtrip.rs` pins
+//! the equivalence bit for bit) and reports through the harness glue.
 
-use pas_bench::{
-    delay_energy, paper_field, report, results_dir, FIG4_ALERT_S, MAX_SLEEP_AXIS,
-};
-use pas_core::{AdaptiveParams, Policy};
+use pas_bench::{report, results_dir, ExperimentPoint};
+use pas_scenario::{execute, registry, ExecOptions};
 
 fn main() {
-    let field = paper_field();
-    let mut points: Vec<(f64, Policy)> = Vec::new();
-    for &max_sleep in &MAX_SLEEP_AXIS {
-        points.push((max_sleep, Policy::Ns));
-        points.push((
-            max_sleep,
-            Policy::Sas(AdaptiveParams {
-                max_sleep_s: max_sleep,
-                alert_threshold_s: 2.0,
-                ..AdaptiveParams::default()
-            }),
-        ));
-        points.push((
-            max_sleep,
-            Policy::Pas(AdaptiveParams {
-                max_sleep_s: max_sleep,
-                alert_threshold_s: FIG4_ALERT_S,
-                ..AdaptiveParams::default()
-            }),
-        ));
-    }
-    let measured = delay_energy(&points, &field);
+    let manifest = registry::builtin("paper-default").expect("registered manifest");
+    let batch = execute(&manifest, ExecOptions::default())
+        .unwrap_or_else(|e| panic!("executing paper-default: {e}"));
+    let measured: Vec<ExperimentPoint> = batch
+        .summaries
+        .iter()
+        .map(ExperimentPoint::from_summary)
+        .collect();
     report(
         "fig4",
         "Figure 4 — detection delay vs maximum sleep interval",

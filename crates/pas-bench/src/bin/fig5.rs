@@ -6,9 +6,7 @@
 //! further ahead of the front, trading energy (Fig. 7) for latency. NS and
 //! SAS have no such knob.
 
-use pas_bench::{
-    delay_energy, paper_field, report, results_dir, ALERT_AXIS, FIG5_MAX_SLEEP_S,
-};
+use pas_bench::{delay_energy, paper_field, report, results_dir, ALERT_AXIS, FIG5_MAX_SLEEP_S};
 use pas_core::{AdaptiveParams, Policy};
 
 fn main() {

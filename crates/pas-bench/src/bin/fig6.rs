@@ -6,9 +6,7 @@
 //! activates not only its neighbors but also some far-away sensors;
 //! however, the difference is trivial").
 
-use pas_bench::{
-    delay_energy, paper_field, report, results_dir, FIG4_ALERT_S, MAX_SLEEP_AXIS,
-};
+use pas_bench::{delay_energy, paper_field, report, results_dir, FIG4_ALERT_S, MAX_SLEEP_AXIS};
 use pas_core::{AdaptiveParams, Policy};
 
 fn main() {

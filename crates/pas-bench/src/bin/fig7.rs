@@ -5,9 +5,7 @@
 //! widens with the threshold, keeping more nodes awake for longer ahead of
 //! the front. Fig. 5's falling delay is bought here.
 
-use pas_bench::{
-    delay_energy, paper_field, report, results_dir, ALERT_AXIS, FIG5_MAX_SLEEP_S,
-};
+use pas_bench::{delay_energy, paper_field, report, results_dir, ALERT_AXIS, FIG5_MAX_SLEEP_S};
 use pas_core::{AdaptiveParams, Policy};
 
 fn main() {

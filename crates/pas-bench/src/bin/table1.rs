@@ -45,7 +45,8 @@ fn main() {
         format!("{}", p.total_active_w() * 1e3),
     ]);
     print!("{}", t.render());
-    t.write_csv(results_dir().join("table1.csv")).expect("write table1.csv");
+    t.write_csv(results_dir().join("table1.csv"))
+        .expect("write table1.csv");
 
     // Derived quantities (not in the paper's table, used by the model).
     let spec = FrameSpec::default();

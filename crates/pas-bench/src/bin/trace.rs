@@ -32,5 +32,8 @@ fn main() {
             .unwrap_or_else(|| "   none".into());
         println!("{i:4} {arr} {:6}", topo.neighbors(i).len());
     }
-    println!("mean delay {:.3}s  max {:.3}s", r.delay.mean_delay_s, r.delay.max_delay_s);
+    println!(
+        "mean delay {:.3}s  max {:.3}s",
+        r.delay.mean_delay_s, r.delay.max_delay_s
+    );
 }

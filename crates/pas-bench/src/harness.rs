@@ -56,7 +56,7 @@ pub struct ExperimentPoint {
     /// X-axis value (max sleep interval or alert threshold, seconds).
     pub x: f64,
     /// Policy label.
-    pub policy: &'static str,
+    pub policy: String,
     /// Mean detection delay (s) over replicates.
     pub delay_mean_s: f64,
     /// Sample stddev of delay.
@@ -80,15 +80,14 @@ pub fn delay_energy(
 
     // Fan out (point × seed) and run everything in parallel.
     let jobs = with_seeds(policy_points, SEED_BASE, REPLICATES);
-    let results: Vec<(PointKey, (f64, f64))> =
-        parallel_map(&jobs, |((x, policy), seed)| {
-            let scenario = paper_scenario(*seed);
-            let r = run(&scenario, field, &RunConfig::new(*policy));
-            (
-                (*x, policy.label()),
-                (r.delay.mean_delay_s, r.mean_energy_j()),
-            )
-        });
+    let results: Vec<(PointKey, (f64, f64))> = parallel_map(&jobs, |((x, policy), seed)| {
+        let scenario = paper_scenario(*seed);
+        let r = run(&scenario, field, &RunConfig::new(*policy));
+        (
+            (*x, policy.label()),
+            (r.delay.mean_delay_s, r.mean_energy_j()),
+        )
+    });
 
     let delays: Vec<((f64, &'static str), f64)> =
         results.iter().map(|(k, (d, _))| (*k, *d)).collect();
@@ -104,7 +103,7 @@ pub fn delay_energy(
             debug_assert_eq!(d.key, e.key);
             ExperimentPoint {
                 x: d.key.0,
-                policy: d.key.1,
+                policy: d.key.1.to_string(),
                 delay_mean_s: d.mean,
                 delay_std_s: d.std_dev,
                 energy_mean_j: e.mean,
@@ -113,6 +112,22 @@ pub fn delay_energy(
             }
         })
         .collect()
+}
+
+impl ExperimentPoint {
+    /// Adapt a manifest-batch summary (`pas-scenario`) to the harness's
+    /// reporting glue, so figure binaries can run off the registry.
+    pub fn from_summary(s: &pas_scenario::PointSummary) -> ExperimentPoint {
+        ExperimentPoint {
+            x: s.x,
+            policy: s.policy_label.clone(),
+            delay_mean_s: s.delay_mean_s,
+            delay_std_s: s.delay_std_s,
+            energy_mean_j: s.energy_mean_j,
+            energy_std_j: s.energy_std_j,
+            n: s.n,
+        }
+    }
 }
 
 /// Print an experiment as a paper-style table and write its CSV.
@@ -126,10 +141,7 @@ pub fn report(
     points: &[ExperimentPoint],
     out_dir: &Path,
 ) {
-    let mut table = Table::new(
-        title,
-        &[x_label, "policy", metric, "stddev", "n"],
-    );
+    let mut table = Table::new(title, &[x_label, "policy", metric, "stddev", "n"]);
     let mut csv = Csv::new(&[
         x_label,
         "policy",
@@ -164,7 +176,8 @@ pub fn report(
     }
     print!("{}", table.render());
     let path = out_dir.join(format!("{name}.csv"));
-    csv.write(&path).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    csv.write(&path)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     println!("wrote {}\n", path.display());
 }
 

@@ -15,7 +15,6 @@
 pub mod harness;
 
 pub use harness::{
-    delay_energy, paper_field, paper_scenario, report, results_dir, ExperimentPoint,
-    ALERT_AXIS, FIG4_ALERT_S, FIG5_MAX_SLEEP_S, FRONT_SPEED_MPS, MAX_SLEEP_AXIS, REPLICATES,
-    SEED_BASE,
+    delay_energy, paper_field, paper_scenario, report, results_dir, ExperimentPoint, ALERT_AXIS,
+    FIG4_ALERT_S, FIG5_MAX_SLEEP_S, FRONT_SPEED_MPS, MAX_SLEEP_AXIS, REPLICATES, SEED_BASE,
 };

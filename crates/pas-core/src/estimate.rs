@@ -200,7 +200,7 @@ mod tests {
             x,
             t(2.0),
             &[
-                covered(Vec2::new(2.0, 1.0), 0.0, None), // chord (1, -0.5)
+                covered(Vec2::new(2.0, 1.0), 0.0, None),  // chord (1, -0.5)
                 covered(Vec2::new(2.0, -1.0), 0.0, None), // chord (1, 0.5)
             ],
         )

@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn random_extremes() {
         let mut rng = Rng::new(12);
-        assert_eq!(FailurePlan::random(100, 0.0, 10.0, &mut rng).failing_count(), 0);
+        assert_eq!(
+            FailurePlan::random(100, 0.0, 10.0, &mut rng).failing_count(),
+            0
+        );
         assert_eq!(
             FailurePlan::random(100, 1.0, 10.0, &mut rng).failing_count(),
             100

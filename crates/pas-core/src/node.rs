@@ -234,9 +234,8 @@ mod tests {
         let e = n.final_energy(SimTime::from_secs(20.0));
         // 10 s sleep + 1 s active + 9 s sleep + 1 wake transition.
         let p = telos_profile();
-        let want = 19.0 * p.sleep_w
-            + 1.0 * p.total_active_w()
-            + p.total_active_w() * p.wake_transition_s;
+        let want =
+            19.0 * p.sleep_w + 1.0 * p.total_active_w() + p.total_active_w() * p.wake_transition_s;
         assert!((e.total_j() - want).abs() < 1e-12);
     }
 

@@ -37,9 +37,7 @@ use crate::state::NodeState;
 use crate::timeline::Timeline;
 use pas_diffusion::StimulusField;
 use pas_metrics::{DelayStats, DelayTracker};
-use pas_net::{
-    ChannelModel, DistanceLossChannel, IidLossChannel, PerfectChannel, Radio,
-};
+use pas_net::{ChannelModel, DistanceLossChannel, IidLossChannel, PerfectChannel, Radio};
 use pas_platform::{telos_profile, EnergyBreakdown, EnergyMeter, FrameSpec, NodeMode};
 use pas_sim::{Engine, Rng, SimTime};
 
@@ -76,9 +74,7 @@ impl From<ChannelKind> for ChannelImpl {
         match kind {
             ChannelKind::Perfect => ChannelImpl::Perfect(PerfectChannel),
             ChannelKind::IidLoss(p) => ChannelImpl::Iid(IidLossChannel::new(p)),
-            ChannelKind::DistanceLoss(g, e) => {
-                ChannelImpl::Dist(DistanceLossChannel::new(g, e))
-            }
+            ChannelKind::DistanceLoss(g, e) => ChannelImpl::Dist(DistanceLossChannel::new(g, e)),
         }
     }
 }
@@ -133,7 +129,10 @@ impl RunResult {
         if self.per_node_energy.is_empty() {
             return 0.0;
         }
-        self.per_node_energy.iter().map(|e| e.total_j()).sum::<f64>()
+        self.per_node_energy
+            .iter()
+            .map(|e| e.total_j())
+            .sum::<f64>()
             / self.per_node_energy.len() as f64
     }
 
@@ -361,7 +360,10 @@ impl<'f> World<'f> {
             // §3.2 alert-state detection: REQUEST, estimate, then RESPONSE.
             self.broadcast(eng, i, Msg::Request { from: i }, true);
             self.nodes[i].window = Some(Purpose::CoveredEstimate);
-            eng.schedule_in(p.response_window_s, Ev::WindowEnd(i, Purpose::CoveredEstimate));
+            eng.schedule_in(
+                p.response_window_s,
+                Ev::WindowEnd(i, Purpose::CoveredEstimate),
+            );
             // Re-sense for receding stimuli.
             eng.schedule_in(p.detection_timeout_s, Ev::CoveredCheck(i));
         }
@@ -730,10 +732,7 @@ impl<'f> World<'f> {
                 pas_platform::MessageKind::Response => node.responses_sent += 1,
             }
         }
-        for d in self
-            .radio
-            .plan_broadcast(i, msg.kind(), now, &mut self.rng)
-        {
+        for d in self.radio.plan_broadcast(i, msg.kind(), now, &mut self.rng) {
             eng.schedule_at(d.at, Ev::Deliver(d.to, msg));
         }
     }
@@ -777,7 +776,11 @@ mod tests {
         assert_eq!(r.delay.reached, 30);
         assert_eq!(r.delay.detected, 30);
         assert_eq!(r.delay.missed, 0);
-        assert!(r.delay.mean_delay_s < 1e-9, "NS delay {}", r.delay.mean_delay_s);
+        assert!(
+            r.delay.mean_delay_s < 1e-9,
+            "NS delay {}",
+            r.delay.mean_delay_s
+        );
         assert_eq!(r.requests_sent, 0, "NS sends nothing");
     }
 
@@ -884,7 +887,11 @@ mod tests {
         let cfg = RunConfig::new(Policy::pas_default())
             .with_failures(crate::failure::FailurePlan::targeted(30, &kills));
         let r = run(&s, &f, &cfg);
-        assert!(r.delay.missed >= 10, "dead nodes must miss, got {}", r.delay.missed);
+        assert!(
+            r.delay.missed >= 10,
+            "dead nodes must miss, got {}",
+            r.delay.missed
+        );
         // Dead nodes stop burning energy.
         let dead_e = r.per_node_energy[0].total_j();
         let alive_e = r.per_node_energy[1].total_j();
@@ -895,8 +902,7 @@ mod tests {
     fn lossy_channel_still_detects() {
         let s = small_scenario(7);
         let f = corner_front();
-        let cfg =
-            RunConfig::new(Policy::pas_default()).with_channel(ChannelKind::IidLoss(0.3));
+        let cfg = RunConfig::new(Policy::pas_default()).with_channel(ChannelKind::IidLoss(0.3));
         let r = run(&s, &f, &cfg);
         // Detection is sensing-based, not message-based: loss costs delay,
         // never detection.
@@ -975,7 +981,11 @@ mod tests {
     fn alert_ring_gets_swept_by_the_front() {
         let s = small_scenario(22);
         let f = corner_front();
-        let r = run(&s, &f, &RunConfig::new(Policy::pas_default()).with_timeline());
+        let r = run(
+            &s,
+            &f,
+            &RunConfig::new(Policy::pas_default()).with_timeline(),
+        );
         let tl = r.timeline.as_ref().unwrap();
         let alert_to_covered = tl
             .transitions
@@ -1037,8 +1047,7 @@ mod tests {
         assert!(r.requests_sent > 0 && r.responses_sent > 0);
         // Every delivery was caused by some transmission.
         assert!(
-            r.frames_delivered + r.frames_unheard
-                >= r.requests_sent + r.responses_sent,
+            r.frames_delivered + r.frames_unheard >= r.requests_sent + r.responses_sent,
             "broadcasts with >=1 neighbour produce >=1 planned delivery"
         );
     }
@@ -1049,7 +1058,12 @@ mod tests {
         // Unknown -> known and back are always significant.
         assert!(significant_change(SimTime::NEVER, t(5.0), t(0.0), 0.2));
         assert!(significant_change(t(5.0), SimTime::NEVER, t(0.0), 0.2));
-        assert!(!significant_change(SimTime::NEVER, SimTime::NEVER, t(0.0), 0.2));
+        assert!(!significant_change(
+            SimTime::NEVER,
+            SimTime::NEVER,
+            t(0.0),
+            0.2
+        ));
         // 2 s shift with 5 s remaining: 40% > 20% threshold.
         assert!(significant_change(t(12.0), t(10.0), t(5.0), 0.2));
         // 2 s shift with 500 s remaining: insignificant.

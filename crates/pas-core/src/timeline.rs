@@ -61,7 +61,8 @@ impl Timeline {
             self.transitions.last().is_none_or(|r| r.t <= t),
             "timeline must be chronological"
         );
-        self.transitions.push(TransitionRecord { t, node, from, to });
+        self.transitions
+            .push(TransitionRecord { t, node, from, to });
     }
 
     /// Record a wake/sleep edge.

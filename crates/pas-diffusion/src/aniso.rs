@@ -196,7 +196,10 @@ mod tests {
 
     #[test]
     fn elliptical_gain_axes() {
-        let g = DirectionalGain::Elliptical { theta0: 0.0, ratio: 2.0 };
+        let g = DirectionalGain::Elliptical {
+            theta0: 0.0,
+            ratio: 2.0,
+        };
         g.validate();
         assert!(approx_eq(g.gain(0.0), 2.0)); // major axis
         assert!(approx_eq(g.gain(PI), 2.0)); // symmetric
@@ -223,7 +226,10 @@ mod tests {
         let f = AnisotropicFront::with_release_time(
             Vec2::new(3.0, 3.0),
             SpeedProfile::Constant { speed: 1.0 },
-            DirectionalGain::CosineSkew { theta0: 1.0, k: 0.4 },
+            DirectionalGain::CosineSkew {
+                theta0: 1.0,
+                k: 0.4,
+            },
             SimTime::from_secs(2.0),
         );
         assert_eq!(
@@ -245,12 +251,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "< 1")]
     fn rejects_full_skew() {
-        DirectionalGain::CosineSkew { theta0: 0.0, k: 1.0 }.validate();
+        DirectionalGain::CosineSkew {
+            theta0: 0.0,
+            k: 1.0,
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = ">= 1")]
     fn rejects_sub_unit_ratio() {
-        DirectionalGain::Elliptical { theta0: 0.0, ratio: 0.5 }.validate();
+        DirectionalGain::Elliptical {
+            theta0: 0.0,
+            ratio: 0.5,
+        }
+        .validate();
     }
 }

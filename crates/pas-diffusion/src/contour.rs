@@ -161,9 +161,8 @@ pub fn extract_contours(grid: &ScalarGrid, iso: f64) -> Vec<Polyline> {
 /// Chain a segment soup into polylines, matching endpoints within `tol`.
 pub fn join_segments(segments: &[Segment], tol: f64) -> Vec<Polyline> {
     assert!(tol > 0.0, "tolerance must be positive");
-    let quantise = |p: Vec2| -> (i64, i64) {
-        ((p.x / tol).round() as i64, (p.y / tol).round() as i64)
-    };
+    let quantise =
+        |p: Vec2| -> (i64, i64) { ((p.x / tol).round() as i64, (p.y / tol).round() as i64) };
 
     // Adjacency: endpoint key -> (segment index, is_start)
     let mut endpoints: HashMap<(i64, i64), Vec<(usize, bool)>> = HashMap::new();
@@ -196,7 +195,11 @@ pub fn join_segments(segments: &[Segment], tol: f64) -> Vec<Polyline> {
                 let next = cands.iter().find(|&&(i, _)| !used[i]).copied();
                 let Some((i, at_start)) = next else { break };
                 used[i] = true;
-                let other = if at_start { segments[i].b } else { segments[i].a };
+                let other = if at_start {
+                    segments[i].b
+                } else {
+                    segments[i].a
+                };
                 if forward {
                     chain.push(other);
                 } else {

@@ -51,10 +51,7 @@ impl SpeedGrid {
         let mut speeds = Vec::with_capacity(nx * ny);
         for iy in 0..ny {
             for ix in 0..nx {
-                let p = Vec2::new(
-                    region.min.x + ix as f64 * dx,
-                    region.min.y + iy as f64 * dy,
-                );
+                let p = Vec2::new(region.min.x + ix as f64 * dx, region.min.y + iy as f64 * dy);
                 let f = speed_fn(p);
                 assert!(
                     f.is_finite() && f > 0.0,
@@ -167,10 +164,7 @@ impl EikonalField {
     pub fn solve(grid: SpeedGrid, sources: &[Vec2], release_time: SimTime) -> Self {
         assert!(!sources.is_empty(), "eikonal solve needs >= 1 source");
         for &s in sources {
-            assert!(
-                grid.region().contains(s),
-                "source {s} outside grid region"
-            );
+            assert!(grid.region().contains(s), "source {s} outside grid region");
         }
         let n = grid.nx * grid.ny;
         let mut arrival = vec![f64::INFINITY; n];
@@ -390,13 +384,18 @@ mod tests {
     #[test]
     fn slow_region_delays_front() {
         // Left half fast (2 m/s), right half slow (0.5 m/s).
-        let grid = SpeedGrid::from_fn(region100(), 101, 101, |p| {
-            if p.x < 50.0 {
-                2.0
-            } else {
-                0.5
-            }
-        });
+        let grid = SpeedGrid::from_fn(
+            region100(),
+            101,
+            101,
+            |p| {
+                if p.x < 50.0 {
+                    2.0
+                } else {
+                    0.5
+                }
+            },
+        );
         let field = EikonalField::solve(grid, &[Vec2::new(10.0, 50.0)], SimTime::ZERO);
         let in_fast = field
             .first_arrival_time(Vec2::new(40.0, 50.0))

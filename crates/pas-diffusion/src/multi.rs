@@ -101,9 +101,15 @@ mod tests {
     fn nominal_speed_from_first_arriver() {
         let f = two_sources();
         // x=15 is reached first by B (speed 2).
-        assert!(approx_eq(f.nominal_speed(Vec2::new(15.0, 0.0)).unwrap(), 2.0));
+        assert!(approx_eq(
+            f.nominal_speed(Vec2::new(15.0, 0.0)).unwrap(),
+            2.0
+        ));
         // x=2 reached first by A (speed 1).
-        assert!(approx_eq(f.nominal_speed(Vec2::new(2.0, 0.0)).unwrap(), 1.0));
+        assert!(approx_eq(
+            f.nominal_speed(Vec2::new(2.0, 0.0)).unwrap(),
+            1.0
+        ));
     }
 
     #[test]

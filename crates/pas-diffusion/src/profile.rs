@@ -216,7 +216,10 @@ mod tests {
 
     #[test]
     fn linear_ramp_accelerating() {
-        let p = SpeedProfile::LinearRamp { v0: 1.0, accel: 2.0 };
+        let p = SpeedProfile::LinearRamp {
+            v0: 1.0,
+            accel: 2.0,
+        };
         p.validate();
         assert_eq!(p.speed_at(2.0), 5.0);
         assert!(approx_eq(p.radius_at(2.0), 1.0 * 2.0 + 1.0 * 4.0)); // v0 t + a t²/2
@@ -226,7 +229,10 @@ mod tests {
 
     #[test]
     fn linear_ramp_decelerating_stops() {
-        let p = SpeedProfile::LinearRamp { v0: 2.0, accel: -1.0 };
+        let p = SpeedProfile::LinearRamp {
+            v0: 2.0,
+            accel: -1.0,
+        };
         p.validate();
         // Stops at t=2 with radius 2*2 - 0.5*4 = 2.
         assert!(approx_eq(p.radius_at(2.0), 2.0));
@@ -284,8 +290,14 @@ mod tests {
     fn radius_monotone_nondecreasing() {
         let profiles = vec![
             SpeedProfile::Constant { speed: 1.5 },
-            SpeedProfile::LinearRamp { v0: 0.5, accel: 0.2 },
-            SpeedProfile::LinearRamp { v0: 3.0, accel: -0.5 },
+            SpeedProfile::LinearRamp {
+                v0: 0.5,
+                accel: 0.2,
+            },
+            SpeedProfile::LinearRamp {
+                v0: 3.0,
+                accel: -0.5,
+            },
             SpeedProfile::Decaying { v0: 2.0, tau: 5.0 },
             SpeedProfile::Piecewise {
                 phases: vec![(1.0, 1.0), (2.0, 0.5), (1.0, 3.0)],
@@ -305,7 +317,10 @@ mod tests {
     fn inversion_roundtrip() {
         let profiles = vec![
             SpeedProfile::Constant { speed: 0.7 },
-            SpeedProfile::LinearRamp { v0: 0.0, accel: 1.0 },
+            SpeedProfile::LinearRamp {
+                v0: 0.0,
+                accel: 1.0,
+            },
             SpeedProfile::Decaying { v0: 2.0, tau: 4.0 },
             SpeedProfile::Piecewise {
                 phases: vec![(2.0, 0.5), (2.0, 2.0)],

@@ -80,7 +80,9 @@ impl StimulusField for RadialFront {
     fn nominal_speed(&self, p: Vec2) -> Option<f64> {
         // The instantaneous speed when the front crosses p.
         let dist = self.source.distance(p);
-        self.profile.time_to_radius(dist).map(|t| self.profile.speed_at(t))
+        self.profile
+            .time_to_radius(dist)
+            .map(|t| self.profile.speed_at(t))
     }
 
     fn sources(&self) -> Vec<Vec2> {
@@ -111,7 +113,10 @@ mod tests {
         assert!(f.is_covered(Vec2::new(5.0, 5.0), t));
         assert!(f.is_covered(Vec2::new(8.0, 5.0), t)); // boundary
         assert!(!f.is_covered(Vec2::new(8.1, 5.0), t));
-        assert!(f.is_covered(Vec2::new(5.0 + 3.0 / 2f64.sqrt(), 5.0 + 3.0 / 2f64.sqrt() - 0.01), t));
+        assert!(f.is_covered(
+            Vec2::new(5.0 + 3.0 / 2f64.sqrt(), 5.0 + 3.0 / 2f64.sqrt() - 0.01),
+            t
+        ));
     }
 
     #[test]
@@ -143,7 +148,10 @@ mod tests {
     #[test]
     fn nominal_speed_matches_profile() {
         let f = RadialFront::constant(Vec2::ZERO, 1.5);
-        assert!(approx_eq(f.nominal_speed(Vec2::new(7.0, 0.0)).unwrap(), 1.5));
+        assert!(approx_eq(
+            f.nominal_speed(Vec2::new(7.0, 0.0)).unwrap(),
+            1.5
+        ));
         let dec = RadialFront::new(Vec2::ZERO, SpeedProfile::Decaying { v0: 2.0, tau: 10.0 });
         // Front slows as it travels.
         let near = dec.nominal_speed(Vec2::new(1.0, 0.0)).unwrap();

@@ -16,8 +16,7 @@ fn small_vec2() -> impl Strategy<Value = Vec2> {
 fn profile() -> impl Strategy<Value = SpeedProfile> {
     prop_oneof![
         (0.1..5.0f64).prop_map(|speed| SpeedProfile::Constant { speed }),
-        (0.1..3.0f64, 0.01..1.0f64)
-            .prop_map(|(v0, accel)| SpeedProfile::LinearRamp { v0, accel }),
+        (0.1..3.0f64, 0.01..1.0f64).prop_map(|(v0, accel)| SpeedProfile::LinearRamp { v0, accel }),
         (0.2..3.0f64, 1.0..30.0f64).prop_map(|(v0, tau)| SpeedProfile::Decaying { v0, tau }),
     ]
 }

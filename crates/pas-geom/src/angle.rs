@@ -102,10 +102,7 @@ mod tests {
             included_angle(Vec2::UNIT_X, Vec2::UNIT_Y),
             FRAC_PI_2
         ));
-        assert!(approx_eq(
-            included_angle(Vec2::UNIT_X, -Vec2::UNIT_X),
-            PI
-        ));
+        assert!(approx_eq(included_angle(Vec2::UNIT_X, -Vec2::UNIT_X), PI));
         // Zero vector degenerates to 0.
         assert_eq!(included_angle(Vec2::ZERO, Vec2::UNIT_X), 0.0);
     }
@@ -129,7 +126,10 @@ mod tests {
     fn included_cos_scale_invariant() {
         let a = Vec2::new(0.2, 0.9);
         let b = Vec2::new(1.4, -0.3);
-        assert!(approx_eq(included_cos(a, b), included_cos(a * 7.0, b * 0.01)));
+        assert!(approx_eq(
+            included_cos(a, b),
+            included_cos(a * 7.0, b * 0.01)
+        ));
     }
 
     #[test]

@@ -93,11 +93,7 @@ impl<Id: Copy> SpatialGrid<Id> {
     /// Iterator over all `(id, position)` pairs within `radius` of `center`
     /// (inclusive boundary). Order is unspecified but deterministic for a
     /// fixed insertion sequence.
-    pub fn query_radius(
-        &self,
-        center: Vec2,
-        radius: f64,
-    ) -> impl Iterator<Item = (Id, Vec2)> + '_ {
+    pub fn query_radius(&self, center: Vec2, radius: f64) -> impl Iterator<Item = (Id, Vec2)> + '_ {
         assert!(radius >= 0.0, "query radius must be non-negative");
         let r_sq = radius * radius;
         let min_key = self.key_of(center - Vec2::splat(radius));
@@ -112,7 +108,9 @@ impl<Id: Copy> SpatialGrid<Id> {
 
     /// Collect ids within `radius` of `center` into a vector.
     pub fn ids_within(&self, center: Vec2, radius: f64) -> Vec<Id> {
-        self.query_radius(center, radius).map(|(id, _)| id).collect()
+        self.query_radius(center, radius)
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Iterator over every stored `(id, position)` pair.
@@ -235,9 +233,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut s: u64 = 42;
         for i in 0..500usize {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((s >> 33) as f64) / (u32::MAX as f64) * 100.0 - 50.0;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((s >> 33) as f64) / (u32::MAX as f64) * 100.0 - 50.0;
             pts.push((i, Vec2::new(x, y)));
         }
@@ -280,9 +282,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut s: u64 = 7;
         for i in 0..200usize {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((s >> 33) as f64) / (u32::MAX as f64) * 40.0;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((s >> 33) as f64) / (u32::MAX as f64) * 40.0;
             pts.push((i, Vec2::new(x, y)));
         }

@@ -32,9 +32,7 @@ pub fn convex_hull(points: &[Vec2]) -> Vec<Vec2> {
     let mut hull: Vec<Vec2> = Vec::with_capacity(2 * n);
     // Lower hull.
     for &p in &pts {
-        while hull.len() >= 2
-            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
-        {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
             hull.pop();
         }
         hull.push(p);
@@ -42,8 +40,7 @@ pub fn convex_hull(points: &[Vec2]) -> Vec<Vec2> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for &p in pts.iter().rev().skip(1) {
-        while hull.len() >= lower_len
-            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
         {
             hull.pop();
         }
@@ -131,9 +128,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut s: u64 = 0x9e3779b97f4a7c15;
         for _ in 0..200 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((s >> 33) as f64) / (u32::MAX as f64) * 10.0;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((s >> 33) as f64) / (u32::MAX as f64) * 10.0;
             pts.push(Vec2::new(x, y));
         }

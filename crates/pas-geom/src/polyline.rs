@@ -37,10 +37,7 @@ impl Polyline {
 
     /// Total arc length.
     pub fn length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].distance(w[1])).sum()
     }
 
     /// Iterator over the segments of the chain.
@@ -232,11 +229,7 @@ mod tests {
 
     #[test]
     fn polyline_length_and_segments() {
-        let pl = Polyline::new(vec![
-            Vec2::ZERO,
-            Vec2::new(3.0, 0.0),
-            Vec2::new(3.0, 4.0),
-        ]);
+        let pl = Polyline::new(vec![Vec2::ZERO, Vec2::new(3.0, 0.0), Vec2::new(3.0, 4.0)]);
         assert_eq!(pl.len(), 3);
         assert!(!pl.is_empty());
         assert!(approx_eq(pl.length(), 7.0));

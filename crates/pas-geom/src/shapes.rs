@@ -218,10 +218,7 @@ mod tests {
         let s = Segment::new(Vec2::ZERO, Vec2::new(10.0, 0.0));
         assert_eq!(s.closest_point(Vec2::new(5.0, 3.0)), Vec2::new(5.0, 0.0));
         assert_eq!(s.closest_point(Vec2::new(-5.0, 3.0)), Vec2::ZERO); // clamped
-        assert_eq!(
-            s.closest_point(Vec2::new(15.0, -2.0)),
-            Vec2::new(10.0, 0.0)
-        );
+        assert_eq!(s.closest_point(Vec2::new(15.0, -2.0)), Vec2::new(10.0, 0.0));
         assert!(approx_eq(s.distance_to(Vec2::new(5.0, 3.0)), 3.0));
     }
 

@@ -41,12 +41,7 @@ pub fn grid(region: Aabb, cols: usize, rows: usize) -> Vec<Vec2> {
 ///
 /// Returns fewer than `n` points if the region saturates (the caller can
 /// check `len()`); `max_attempts_per_point` bounds the work.
-pub fn poisson_disk(
-    region: Aabb,
-    n: usize,
-    min_dist: f64,
-    rng: &mut Rng,
-) -> Vec<Vec2> {
+pub fn poisson_disk(region: Aabb, n: usize, min_dist: f64, rng: &mut Rng) -> Vec<Vec2> {
     assert!(min_dist > 0.0, "min_dist must be positive");
     const MAX_ATTEMPTS_PER_POINT: usize = 64;
     let mut accepted: Vec<Vec2> = Vec::with_capacity(n);
@@ -54,10 +49,7 @@ pub fn poisson_disk(
     'outer: for _ in 0..n {
         for _ in 0..MAX_ATTEMPTS_PER_POINT {
             let cand = region.lerp_point(rng.next_f64(), rng.next_f64());
-            let clash = grid
-                .query_radius(cand, min_dist)
-                .next()
-                .is_some();
+            let clash = grid.query_radius(cand, min_dist).next().is_some();
             if !clash {
                 grid.insert(accepted.len(), cand);
                 accepted.push(cand);

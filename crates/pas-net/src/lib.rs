@@ -31,9 +31,7 @@ pub use topology::Topology;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::channel::{
-        ChannelModel, DistanceLossChannel, IidLossChannel, PerfectChannel,
-    };
+    pub use crate::channel::{ChannelModel, DistanceLossChannel, IidLossChannel, PerfectChannel};
     pub use crate::deploy;
     pub use crate::radio::{Delivery, Radio};
     pub use crate::topology::Topology;

@@ -34,7 +34,12 @@ pub struct Radio<C: ChannelModel> {
 
 impl<C: ChannelModel> Radio<C> {
     /// Assemble a radio layer.
-    pub fn new(topology: Topology, channel: C, frame_spec: FrameSpec, profile: PowerProfile) -> Self {
+    pub fn new(
+        topology: Topology,
+        channel: C,
+        frame_spec: FrameSpec,
+        profile: PowerProfile,
+    ) -> Self {
         profile.validate();
         Radio {
             topology,

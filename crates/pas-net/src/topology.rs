@@ -35,10 +35,7 @@ impl Topology {
             assert!(p.is_finite(), "node {i} has non-finite position {p}");
         }
         // Spatial hash sized to the query radius (guide idiom: cell ≈ range).
-        let grid = SpatialGrid::from_points(
-            range,
-            positions.iter().copied().enumerate(),
-        );
+        let grid = SpatialGrid::from_points(range, positions.iter().copied().enumerate());
         let neighbors = positions
             .iter()
             .enumerate()
@@ -248,11 +245,7 @@ mod tests {
     #[test]
     fn matches_brute_force_on_random_layout() {
         let mut rng = pas_sim::Rng::new(5);
-        let positions = crate::deploy::uniform(
-            pas_geom::Aabb::from_size(60.0, 60.0),
-            80,
-            &mut rng,
-        );
+        let positions = crate::deploy::uniform(pas_geom::Aabb::from_size(60.0, 60.0), 80, &mut rng);
         let t = Topology::new(positions.clone(), 12.0);
         for i in 0..positions.len() {
             let mut want: Vec<usize> = (0..positions.len())

@@ -197,7 +197,7 @@ mod tests {
         m.set_mode(t(10.0), NodeMode::ACTIVE_RX); // wake 1
         m.set_mode(t(11.0), NodeMode::SLEEP);
         m.set_mode(t(20.0), NodeMode::ACTIVE_RX); // wake 2
-        // Active->active change is NOT a wake.
+                                                  // Active->active change is NOT a wake.
         m.set_mode(t(21.0), NodeMode::ACTIVE_TX);
         let e = m.sample(t(22.0));
         assert_eq!(m.wake_transitions(), 2);

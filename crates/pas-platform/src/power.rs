@@ -134,7 +134,10 @@ impl PowerProfile {
         assert!(self.radio_rx_w > 0.0, "radio_rx_w must be > 0");
         assert!(self.radio_tx_w > 0.0, "radio_tx_w must be > 0");
         assert!(self.data_rate_bps > 0.0, "data_rate_bps must be > 0");
-        assert!(self.wake_transition_s >= 0.0, "wake_transition_s must be >= 0");
+        assert!(
+            self.wake_transition_s >= 0.0,
+            "wake_transition_s must be >= 0"
+        );
         assert!(
             self.sleep_w < self.mcu_active_w,
             "sleep power must undercut active power"

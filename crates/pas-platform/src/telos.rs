@@ -21,11 +21,11 @@ use crate::power::PowerProfile;
 pub fn telos_profile() -> PowerProfile {
     PowerProfile {
         name: "Telos (rev. B)",
-        mcu_active_w: 3.0e-3,   // 3 mW
-        sleep_w: 15.0e-6,       // 15 µW
-        radio_rx_w: 38.0e-3,    // 38 mW
-        radio_tx_w: 35.0e-3,    // 35 mW ("transition power" in Table 1)
-        data_rate_bps: 250_000.0, // 250 kbps (IEEE 802.15.4, CC2420)
+        mcu_active_w: 3.0e-3,      // 3 mW
+        sleep_w: 15.0e-6,          // 15 µW
+        radio_rx_w: 38.0e-3,       // 38 mW
+        radio_tx_w: 35.0e-3,       // 35 mW ("transition power" in Table 1)
+        data_rate_bps: 250_000.0,  // 250 kbps (IEEE 802.15.4, CC2420)
         wake_transition_s: 2.0e-3, // ~2 ms wake-up (Telos paper, §3)
     }
 }

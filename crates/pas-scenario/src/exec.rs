@@ -1,0 +1,252 @@
+//! Manifest expansion and deterministic batch execution.
+//!
+//! [`expand`] turns a [`Manifest`] into the explicit cartesian run matrix
+//! (sweep axes × policies × replicate seeds) using the `pas-sweep`
+//! combinators; [`execute`] runs every point in parallel and reduces the
+//! replicates to per-point summaries. Parallel execution is bit-identical
+//! to sequential: each run derives all randomness from its own seed and
+//! results are reassembled in input order.
+
+use crate::manifest::{FailureSpec, Manifest, ManifestError};
+use pas_core::{run, FailurePlan, RunConfig, Scenario};
+use pas_diffusion::StimulusField;
+use pas_sim::{Rng, SimTime};
+use pas_sweep::{cartesian2, parallel_map_with, summarize, with_seeds, SweepOptions};
+
+/// Substream label for failure-plan draws (disjoint from the runner's
+/// deploy/channel/node streams).
+pub const STREAM_FAILURES: u64 = 0xFA11;
+
+/// One fully resolved run of the matrix.
+#[derive(Debug, Clone)]
+pub struct RunPoint {
+    /// Position in the expanded matrix.
+    pub index: usize,
+    /// Report x value (first sweep axis; 0 for fixed-point batches).
+    pub x: f64,
+    /// Sweep-axis assignments applied to this point.
+    pub assignments: Vec<(String, f64)>,
+    /// Report label of the policy.
+    pub policy_label: String,
+    /// The instantiated policy.
+    pub policy: pas_core::Policy,
+    /// Replicate seed.
+    pub seed: u64,
+}
+
+/// Expand a manifest into its explicit run matrix.
+///
+/// Order is deterministic: axes vary slowest (in `[sweep]` declaration
+/// order, row-major), then policies in declaration order, then replicate
+/// seeds — the same order the paper's figure tables use.
+pub fn expand(manifest: &Manifest) -> Result<Vec<RunPoint>, ManifestError> {
+    // Cartesian product of the sweep axes (one empty assignment when
+    // there are none: a fixed-point batch is a 1-point matrix).
+    let mut axis_points: Vec<Vec<(String, f64)>> = vec![Vec::new()];
+    for axis in &manifest.sweep {
+        let mut next = Vec::with_capacity(axis_points.len() * axis.values.len());
+        for prev in &axis_points {
+            for &v in &axis.values {
+                let mut p = prev.clone();
+                p.push((axis.field.clone(), v));
+                next.push(p);
+            }
+        }
+        axis_points = next;
+    }
+
+    let policy_ids: Vec<usize> = (0..manifest.policies.len()).collect();
+    let combos = cartesian2(&axis_points, &policy_ids);
+    let seeded = with_seeds(&combos, manifest.run.base_seed, manifest.run.replicates);
+
+    let mut points = Vec::with_capacity(seeded.len());
+    for (index, ((assignments, policy_id), seed)) in seeded.into_iter().enumerate() {
+        let spec = &manifest.policies[policy_id];
+        let policy = manifest.policy(spec, &assignments)?;
+        points.push(RunPoint {
+            index,
+            x: assignments.first().map(|(_, v)| *v).unwrap_or(0.0),
+            assignments,
+            policy_label: spec.label.clone(),
+            policy,
+            seed,
+        });
+    }
+    Ok(points)
+}
+
+/// The measured outcome of one [`RunPoint`].
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Report x value.
+    pub x: f64,
+    /// Policy label.
+    pub policy_label: String,
+    /// Replicate seed.
+    pub seed: u64,
+    /// Sweep assignments of this run.
+    pub assignments: Vec<(String, f64)>,
+    /// Mean detection delay (s) over the nodes of this run.
+    pub delay_s: f64,
+    /// Mean per-node energy (J) of this run.
+    pub energy_j: f64,
+    /// Nodes the stimulus reached.
+    pub reached: usize,
+    /// Nodes that detected it.
+    pub detected: usize,
+    /// Nodes that never detected it.
+    pub missed: usize,
+    /// REQUEST frames transmitted.
+    pub requests_sent: u64,
+    /// RESPONSE frames transmitted.
+    pub responses_sent: u64,
+    /// Total simulator events dispatched.
+    pub events_processed: u64,
+    /// Simulated duration (s).
+    pub duration_s: f64,
+}
+
+/// Replicate-aggregated numbers for one `(x, policy)` point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSummary {
+    /// Report x value.
+    pub x: f64,
+    /// Policy label.
+    pub policy_label: String,
+    /// Mean detection delay (s) over replicates.
+    pub delay_mean_s: f64,
+    /// Sample stddev of delay.
+    pub delay_std_s: f64,
+    /// Mean per-node energy (J) over replicates.
+    pub energy_mean_j: f64,
+    /// Sample stddev of energy.
+    pub energy_std_j: f64,
+    /// Replicates aggregated.
+    pub n: u64,
+}
+
+/// The outcome of one manifest execution.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Scenario name.
+    pub name: String,
+    /// X-axis label for reports.
+    pub x_label: String,
+    /// Per-run records, in matrix order.
+    pub records: Vec<RunRecord>,
+    /// Per-point summaries, in matrix order.
+    pub summaries: Vec<PointSummary>,
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Worker threads; 0 = one per core, 1 = sequential.
+    pub threads: usize,
+}
+
+/// Build the failure plan for one run (deterministic in the seed).
+pub fn failure_plan(
+    manifest: &Manifest,
+    scenario: &Scenario,
+    field: &dyn StimulusField,
+) -> FailurePlan {
+    match manifest.failures {
+        FailureSpec::None => FailurePlan::default(),
+        FailureSpec::Random { p, horizon_s } => {
+            let mut rng = Rng::substream(scenario.seed, STREAM_FAILURES);
+            FailurePlan::random(scenario.node_count, p, horizon_s, &mut rng)
+        }
+        FailureSpec::FrontKill { delay_s } => {
+            let kills: Vec<(usize, SimTime)> = scenario
+                .positions()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &p)| field.first_arrival_time(p).map(|t| (i, t + delay_s)))
+                .collect();
+            FailurePlan::targeted(scenario.node_count, &kills)
+        }
+    }
+}
+
+/// Execute every run of the manifest's matrix and summarise.
+pub fn execute(manifest: &Manifest, opts: ExecOptions) -> Result<BatchResult, ManifestError> {
+    let points = expand(manifest)?;
+    let field = manifest.build_field();
+
+    let records: Vec<RunRecord> = parallel_map_with(
+        &points,
+        SweepOptions {
+            threads: opts.threads,
+        },
+        |pt| {
+            let scenario = manifest.scenario(pt.seed);
+            let mut cfg = RunConfig::new(pt.policy)
+                .with_channel(manifest.channel.kind())
+                .with_failures(failure_plan(manifest, &scenario, &field));
+            cfg.grace_s = manifest.run.grace_s;
+            if let Some(h) = manifest.run.horizon_s {
+                cfg = cfg.with_horizon(h);
+            }
+            let r = run(&scenario, &field, &cfg);
+            RunRecord {
+                x: pt.x,
+                policy_label: pt.policy_label.clone(),
+                seed: pt.seed,
+                assignments: pt.assignments.clone(),
+                delay_s: r.delay.mean_delay_s,
+                energy_j: r.mean_energy_j(),
+                reached: r.delay.reached,
+                detected: r.delay.detected,
+                missed: r.delay.missed,
+                requests_sent: r.requests_sent,
+                responses_sent: r.responses_sent,
+                events_processed: r.events_processed,
+                duration_s: r.duration_s,
+            }
+        },
+    );
+
+    // Reduce replicates per (assignments, policy) point, preserving matrix
+    // order. The key covers every sweep axis, not just the report x — two
+    // points differing only in a secondary axis must not merge.
+    type Key = (Vec<(String, u64)>, String);
+    let key_of = |r: &RunRecord| -> Key {
+        (
+            r.assignments
+                .iter()
+                .map(|(f, v)| (f.clone(), v.to_bits()))
+                .collect(),
+            r.policy_label.clone(),
+        )
+    };
+    let delays: Vec<(Key, f64)> = records.iter().map(|r| (key_of(r), r.delay_s)).collect();
+    let energies: Vec<(Key, f64)> = records.iter().map(|r| (key_of(r), r.energy_j)).collect();
+    let summaries = summarize(&delays)
+        .into_iter()
+        .zip(summarize(&energies))
+        .map(|(d, e)| {
+            debug_assert_eq!(d.key, e.key);
+            PointSummary {
+                x: d.key
+                    .0
+                    .first()
+                    .map(|&(_, bits)| f64::from_bits(bits))
+                    .unwrap_or(0.0),
+                policy_label: d.key.1,
+                delay_mean_s: d.mean,
+                delay_std_s: d.std_dev,
+                energy_mean_j: e.mean,
+                energy_std_j: e.std_dev,
+                n: d.n,
+            }
+        })
+        .collect();
+
+    Ok(BatchResult {
+        name: manifest.name.clone(),
+        x_label: manifest.x_label(),
+        records,
+        summaries,
+    })
+}

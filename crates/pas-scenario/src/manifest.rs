@@ -1,0 +1,1383 @@
+//! The typed scenario manifest: what a TOML file declares, validated.
+//!
+//! A manifest is the declarative form of one experiment batch — the
+//! deployment arena, the stimulus ground truth, the channel and failure
+//! models, the policies under test, the swept parameter axes, and the
+//! replicate fan-out. [`Manifest::parse`] converts TOML text into this
+//! model with unknown-key rejection (a typo fails loudly instead of being
+//! silently ignored); [`Manifest::to_toml`] writes it back out, and the
+//! round-trip is lossless.
+
+use crate::toml::{self, ParseError, Table, Value};
+use pas_core::{AdaptiveParams, ChannelKind, DeploymentKind, Policy, Scenario};
+use pas_diffusion::aniso::DirectionalGain;
+use pas_diffusion::field::NullField;
+use pas_diffusion::{
+    AnisotropicFront, EikonalField, GaussianPlume, RadialFront, SpeedGrid, SpeedProfile,
+    StimulusField,
+};
+use pas_geom::{Aabb, Vec2};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors from parsing or validating a manifest.
+pub type ManifestError = ParseError;
+
+fn err(msg: impl Into<String>) -> ManifestError {
+    ParseError::at(0, msg)
+}
+
+/// Node placement declaration (`[deployment]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentSpec {
+    /// Region size in metres: `(width, height)`, anchored at the origin.
+    pub region: (f64, f64),
+    /// Number of sensor nodes.
+    pub nodes: usize,
+    /// Transmission range in metres.
+    pub range_m: f64,
+    /// Placement strategy.
+    pub kind: DeployKindSpec,
+}
+
+/// Placement strategy variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployKindSpec {
+    /// Uniform random placement.
+    Uniform,
+    /// Regular grid (`cols × rows` must equal the node count).
+    Grid {
+        /// Grid columns.
+        cols: usize,
+        /// Grid rows.
+        rows: usize,
+    },
+    /// Poisson-disk placement with a minimum separation.
+    Poisson {
+        /// Minimum pairwise separation (m).
+        min_dist: f64,
+    },
+}
+
+/// Radial speed profile declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileSpec {
+    /// Constant speed (m/s).
+    Constant {
+        /// Speed in m/s.
+        speed: f64,
+    },
+    /// Linear ramp `v(t) = v0 + accel·t`.
+    Linear {
+        /// Initial speed (m/s).
+        v0: f64,
+        /// Acceleration (m/s²).
+        accel: f64,
+    },
+    /// Exponential decay `v(t) = v0·e^(−t/tau)`.
+    Decaying {
+        /// Initial speed (m/s).
+        v0: f64,
+        /// Decay constant (s).
+        tau: f64,
+    },
+}
+
+impl ProfileSpec {
+    fn build(&self) -> SpeedProfile {
+        match *self {
+            ProfileSpec::Constant { speed } => SpeedProfile::Constant { speed },
+            ProfileSpec::Linear { v0, accel } => SpeedProfile::LinearRamp { v0, accel },
+            ProfileSpec::Decaying { v0, tau } => SpeedProfile::Decaying { v0, tau },
+        }
+    }
+
+    /// Mirror of [`SpeedProfile::validate`]'s panics as recoverable errors,
+    /// so `pas validate` rejects what `pas run` would abort on.
+    fn validate(&self) -> Result<(), ManifestError> {
+        match *self {
+            ProfileSpec::Constant { speed } => {
+                if !(speed.is_finite() && speed > 0.0) {
+                    return Err(err("stimulus profile speed must be finite and > 0"));
+                }
+            }
+            ProfileSpec::Linear { v0, accel } => {
+                if !(v0.is_finite() && v0 >= 0.0) {
+                    return Err(err("stimulus profile v0 must be finite and >= 0"));
+                }
+                if !accel.is_finite() {
+                    return Err(err("stimulus profile accel must be finite"));
+                }
+                if !(v0 > 0.0 || accel > 0.0) {
+                    return Err(err(
+                        "stimulus ramp must eventually move (v0 > 0 or accel > 0)",
+                    ));
+                }
+            }
+            ProfileSpec::Decaying { v0, tau } => {
+                if !(v0.is_finite() && v0 > 0.0) {
+                    return Err(err("stimulus profile v0 must be finite and > 0"));
+                }
+                if !(tau.is_finite() && tau > 0.0) {
+                    return Err(err("stimulus profile tau must be finite and > 0"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A rectangular speed override on an eikonal grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatchSpec {
+    /// `(x0, y0, x1, y1)` in metres; later patches win on overlap.
+    pub rect: (f64, f64, f64, f64),
+    /// Local front speed inside the rectangle (m/s).
+    pub speed: f64,
+}
+
+/// Stimulus ground-truth declaration (`[stimulus]`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StimulusSpec {
+    /// Isotropic radial front.
+    Radial {
+        /// Source point.
+        source: (f64, f64),
+        /// Radial speed profile.
+        profile: ProfileSpec,
+    },
+    /// Direction-skewed front (wind).
+    Anisotropic {
+        /// Source point.
+        source: (f64, f64),
+        /// Radial speed profile.
+        profile: ProfileSpec,
+        /// Skew direction (radians).
+        theta0: f64,
+        /// Skew strength in `(-1, 1)`.
+        k: f64,
+    },
+    /// Advected Gaussian puff (coverage can recede).
+    Plume {
+        /// Release point.
+        source: (f64, f64),
+        /// Released mass (arbitrary units).
+        mass: f64,
+        /// Diffusivity (m²/s).
+        diffusivity: f64,
+        /// Advection current `(ux, uy)` (m/s).
+        current: (f64, f64),
+        /// Detection threshold (same units as mass-concentration).
+        threshold: f64,
+    },
+    /// Front through heterogeneous media (Fast Marching solution).
+    Eikonal {
+        /// Release points.
+        sources: Vec<(f64, f64)>,
+        /// Grid resolution (x).
+        nx: usize,
+        /// Grid resolution (y).
+        ny: usize,
+        /// Base speed everywhere (m/s).
+        base_speed: f64,
+        /// Rectangular speed overrides, applied in order.
+        patches: Vec<PatchSpec>,
+    },
+    /// No stimulus — pure duty-cycling energy baseline.
+    None,
+}
+
+impl StimulusSpec {
+    /// Build the eikonal field for `region` (panics if the spec is not
+    /// `Eikonal`; callers match first).
+    pub fn build_eikonal(&self, region: Aabb) -> EikonalField {
+        match self {
+            StimulusSpec::Eikonal {
+                sources,
+                nx,
+                ny,
+                base_speed,
+                patches,
+            } => {
+                let patches = patches.clone();
+                let base = *base_speed;
+                let grid = SpeedGrid::from_fn(region, *nx, *ny, move |p: Vec2| {
+                    let mut s = base;
+                    for patch in &patches {
+                        let (x0, y0, x1, y1) = patch.rect;
+                        if p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1 {
+                            s = patch.speed;
+                        }
+                    }
+                    s
+                });
+                let srcs: Vec<Vec2> = sources.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+                EikonalField::solve(grid, &srcs, pas_sim::SimTime::ZERO)
+            }
+            other => panic!("build_eikonal on non-eikonal stimulus {other:?}"),
+        }
+    }
+
+    /// Mirror of the field constructors' panics as recoverable errors —
+    /// everything [`StimulusSpec::build`] would abort on for `region`.
+    pub fn validate(&self, region: Aabb) -> Result<(), ManifestError> {
+        let finite_point = |name: &str, (x, y): (f64, f64)| {
+            if x.is_finite() && y.is_finite() {
+                Ok(())
+            } else {
+                Err(err(format!("stimulus {name} must be finite")))
+            }
+        };
+        match self {
+            StimulusSpec::Radial { source, profile } => {
+                finite_point("source", *source)?;
+                profile.validate()?;
+            }
+            StimulusSpec::Anisotropic {
+                source,
+                profile,
+                theta0,
+                k,
+            } => {
+                finite_point("source", *source)?;
+                profile.validate()?;
+                if !theta0.is_finite() {
+                    return Err(err("stimulus theta0 must be finite"));
+                }
+                if !(k.is_finite() && k.abs() < 1.0) {
+                    return Err(err("stimulus skew |k| must be < 1"));
+                }
+            }
+            StimulusSpec::Plume {
+                source,
+                mass,
+                diffusivity,
+                current,
+                threshold,
+            } => {
+                finite_point("source", *source)?;
+                finite_point("current", *current)?;
+                if !(mass.is_finite() && *mass > 0.0) {
+                    return Err(err("stimulus mass must be finite and > 0"));
+                }
+                if !(diffusivity.is_finite() && *diffusivity > 0.0) {
+                    return Err(err("stimulus diffusivity must be finite and > 0"));
+                }
+                if !(threshold.is_finite() && *threshold > 0.0) {
+                    return Err(err("stimulus threshold must be finite and > 0"));
+                }
+            }
+            StimulusSpec::Eikonal {
+                sources,
+                nx,
+                ny,
+                base_speed,
+                patches,
+            } => {
+                if *nx < 2 || *ny < 2 {
+                    return Err(err("stimulus grid needs nx >= 2 and ny >= 2"));
+                }
+                if !(base_speed.is_finite() && *base_speed > 0.0) {
+                    return Err(err("stimulus base_speed must be finite and > 0"));
+                }
+                for patch in patches {
+                    if !(patch.speed.is_finite() && patch.speed > 0.0) {
+                        return Err(err("stimulus patch speed must be finite and > 0"));
+                    }
+                }
+                if sources.is_empty() {
+                    return Err(err("eikonal stimulus needs at least one source"));
+                }
+                for &(x, y) in sources {
+                    finite_point("source", (x, y))?;
+                    if !region.contains(Vec2::new(x, y)) {
+                        return Err(err(format!(
+                            "eikonal source [{x}, {y}] lies outside the deployment region"
+                        )));
+                    }
+                }
+            }
+            StimulusSpec::None => {}
+        }
+        Ok(())
+    }
+
+    /// Build the stimulus field for `region`.
+    pub fn build(&self, region: Aabb) -> Box<dyn StimulusField> {
+        match self {
+            StimulusSpec::Radial { source, profile } => Box::new(RadialFront::new(
+                Vec2::new(source.0, source.1),
+                profile.build(),
+            )),
+            StimulusSpec::Anisotropic {
+                source,
+                profile,
+                theta0,
+                k,
+            } => Box::new(AnisotropicFront::new(
+                Vec2::new(source.0, source.1),
+                profile.build(),
+                DirectionalGain::CosineSkew {
+                    theta0: *theta0,
+                    k: *k,
+                },
+            )),
+            StimulusSpec::Plume {
+                source,
+                mass,
+                diffusivity,
+                current,
+                threshold,
+            } => Box::new(GaussianPlume::new(
+                Vec2::new(source.0, source.1),
+                *mass,
+                *diffusivity,
+                Vec2::new(current.0, current.1),
+                *threshold,
+            )),
+            StimulusSpec::Eikonal { .. } => Box::new(self.build_eikonal(region)),
+            StimulusSpec::None => Box::new(NullField),
+        }
+    }
+}
+
+/// Channel model declaration (`[channel]`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelSpec {
+    /// Lossless delivery.
+    Perfect,
+    /// Independent loss with probability `loss`.
+    Iid {
+        /// Loss probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// Distance-dependent loss.
+    Distance {
+        /// Fraction of the range with reliable delivery.
+        good_fraction: f64,
+        /// Loss probability at the range edge.
+        edge_loss: f64,
+    },
+}
+
+impl ChannelSpec {
+    /// The runtime channel selector.
+    pub fn kind(&self) -> ChannelKind {
+        match *self {
+            ChannelSpec::Perfect => ChannelKind::Perfect,
+            ChannelSpec::Iid { loss } => ChannelKind::IidLoss(loss),
+            ChannelSpec::Distance {
+                good_fraction,
+                edge_loss,
+            } => ChannelKind::DistanceLoss(good_fraction, edge_loss),
+        }
+    }
+}
+
+/// Failure-injection declaration (`[failures]`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureSpec {
+    /// No failures.
+    None,
+    /// Independent random failures: each node dies with probability `p`
+    /// at a uniform time in `[0, horizon_s)`.
+    Random {
+        /// Per-node failure probability.
+        p: f64,
+        /// Failure-time horizon (s).
+        horizon_s: f64,
+    },
+    /// The stimulus destroys each sensor `delay_s` after reaching it
+    /// (wildfire-style).
+    FrontKill {
+        /// Seconds between front arrival and sensor death.
+        delay_s: f64,
+    },
+}
+
+/// One policy under test (`[[policies]]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySpec {
+    /// `ns`, `sas`, `pas`, or `oracle`.
+    pub kind: String,
+    /// Report label (defaults to the upper-case kind).
+    pub label: String,
+    /// Fixed numeric overrides on [`AdaptiveParams`] fields.
+    pub overrides: Vec<(String, f64)>,
+}
+
+/// One swept parameter axis (`[sweep]` entry): every value in `values`
+/// is applied to the named [`AdaptiveParams`] field of every adaptive
+/// policy; the first axis is the report x-axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxis {
+    /// Field name (e.g. `max_sleep_s`).
+    pub field: String,
+    /// Values to sweep (non-empty).
+    pub values: Vec<f64>,
+}
+
+/// Replicate/run parameters (`[run]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSection {
+    /// Seed of the first replicate; replicate `k` uses `base_seed + k`.
+    pub base_seed: u64,
+    /// Replicates per parameter point.
+    pub replicates: u64,
+    /// Extra simulated seconds after the last ground-truth arrival.
+    pub grace_s: f64,
+    /// Hard simulated-time cap; `None` derives it from the stimulus.
+    pub horizon_s: Option<f64>,
+}
+
+/// Output/reporting knobs (`[output]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputSection {
+    /// X-axis column label (defaults to the first sweep field, or `x`).
+    pub x_label: Option<String>,
+}
+
+/// A fully parsed, validated scenario manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Scenario name (registry key and report title).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Deployment arena.
+    pub deployment: DeploymentSpec,
+    /// Stimulus ground truth.
+    pub stimulus: StimulusSpec,
+    /// Channel model.
+    pub channel: ChannelSpec,
+    /// Failure injection.
+    pub failures: FailureSpec,
+    /// Replicate fan-out.
+    pub run: RunSection,
+    /// Policies under test (non-empty).
+    pub policies: Vec<PolicySpec>,
+    /// Swept axes (may be empty: a fixed-point batch).
+    pub sweep: Vec<SweepAxis>,
+    /// Reporting knobs.
+    pub output: OutputSection,
+}
+
+/// All sweepable/overridable [`AdaptiveParams`] fields.
+pub const PARAM_FIELDS: [&str; 10] = [
+    "base_sleep_s",
+    "delta_t_s",
+    "max_sleep_s",
+    "alert_threshold_s",
+    "response_window_s",
+    "rebroadcast_rel_change",
+    "min_broadcast_gap_s",
+    "alert_review_interval_s",
+    "alert_overdue_timeout_s",
+    "detection_timeout_s",
+];
+
+/// Set an [`AdaptiveParams`] field by manifest name.
+pub fn set_param(p: &mut AdaptiveParams, field: &str, value: f64) -> Result<(), ManifestError> {
+    match field {
+        "base_sleep_s" => p.base_sleep_s = value,
+        "delta_t_s" => p.delta_t_s = value,
+        "max_sleep_s" => p.max_sleep_s = value,
+        "alert_threshold_s" => p.alert_threshold_s = value,
+        "response_window_s" => p.response_window_s = value,
+        "rebroadcast_rel_change" => p.rebroadcast_rel_change = value,
+        "min_broadcast_gap_s" => p.min_broadcast_gap_s = value,
+        "alert_review_interval_s" => p.alert_review_interval_s = value,
+        "alert_overdue_timeout_s" => p.alert_overdue_timeout_s = value,
+        "detection_timeout_s" => p.detection_timeout_s = value,
+        other => {
+            return Err(err(format!(
+                "unknown parameter field `{other}` (known: {})",
+                PARAM_FIELDS.join(", ")
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Non-panicking mirror of [`AdaptiveParams::validate`].
+fn check_params(p: &AdaptiveParams, context: &str) -> Result<(), ManifestError> {
+    let checks: [(bool, &str); 8] = [
+        (p.base_sleep_s > 0.0, "base_sleep_s must be > 0"),
+        (p.delta_t_s >= 0.0, "delta_t_s must be >= 0"),
+        (
+            p.max_sleep_s >= p.base_sleep_s,
+            "max_sleep_s must be >= base_sleep_s",
+        ),
+        (p.alert_threshold_s >= 0.0, "alert_threshold_s must be >= 0"),
+        (p.response_window_s > 0.0, "response_window_s must be > 0"),
+        (
+            p.rebroadcast_rel_change > 0.0,
+            "rebroadcast_rel_change must be > 0",
+        ),
+        (
+            p.alert_review_interval_s > 0.0 && p.alert_overdue_timeout_s > 0.0,
+            "alert review/overdue intervals must be > 0",
+        ),
+        (
+            p.detection_timeout_s > 0.0,
+            "detection_timeout_s must be > 0",
+        ),
+    ];
+    for (ok, msg) in checks {
+        if !ok {
+            return Err(err(format!("{context}: {msg}")));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// decoding helpers
+// ---------------------------------------------------------------------------
+
+fn need<'t>(t: &'t Table, key: &str, section: &str) -> Result<&'t Value, ManifestError> {
+    t.get(key)
+        .ok_or_else(|| err(format!("missing key `{key}` in [{section}]")))
+}
+
+fn need_f64(t: &Table, key: &str, section: &str) -> Result<f64, ManifestError> {
+    need(t, key, section)?
+        .as_f64()
+        .ok_or_else(|| err(format!("`{key}` in [{section}] must be a number")))
+}
+
+fn need_usize(t: &Table, key: &str, section: &str) -> Result<usize, ManifestError> {
+    let i = need(t, key, section)?
+        .as_int()
+        .ok_or_else(|| err(format!("`{key}` in [{section}] must be an integer")))?;
+    usize::try_from(i).map_err(|_| err(format!("`{key}` in [{section}] must be >= 0")))
+}
+
+fn need_str<'t>(t: &'t Table, key: &str, section: &str) -> Result<&'t str, ManifestError> {
+    need(t, key, section)?
+        .as_str()
+        .ok_or_else(|| err(format!("`{key}` in [{section}] must be a string")))
+}
+
+fn pair_f64(v: &Value, what: &str) -> Result<(f64, f64), ManifestError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| err(format!("{what} must be a 2-element array")))?;
+    if items.len() != 2 {
+        return Err(err(format!("{what} must have exactly 2 elements")));
+    }
+    let a = items[0]
+        .as_f64()
+        .ok_or_else(|| err(format!("{what}[0] must be a number")))?;
+    let b = items[1]
+        .as_f64()
+        .ok_or_else(|| err(format!("{what}[1] must be a number")))?;
+    Ok((a, b))
+}
+
+fn f64_list(v: &Value, what: &str) -> Result<Vec<f64>, ManifestError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| err(format!("{what} must be an array of numbers")))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            x.as_f64()
+                .ok_or_else(|| err(format!("{what}[{i}] must be a number")))
+        })
+        .collect()
+}
+
+fn decode_profile(t: &Table, section: &str) -> Result<ProfileSpec, ManifestError> {
+    // Shorthand: `speed = 0.5` means a constant profile.
+    if let Some(v) = t.get("speed") {
+        if t.get("profile").is_some() {
+            return Err(err(format!(
+                "[{section}] declares both `speed` and `profile`; use one"
+            )));
+        }
+        let speed = v
+            .as_f64()
+            .ok_or_else(|| err(format!("`speed` in [{section}] must be a number")))?;
+        return Ok(ProfileSpec::Constant { speed });
+    }
+    let profile = need(t, "profile", section)?
+        .as_table()
+        .ok_or_else(|| err(format!("`profile` in [{section}] must be an inline table")))?;
+    let kind = need_str(profile, "kind", section)?;
+    match kind {
+        "constant" => {
+            profile.expect_only(&["kind", "speed"], section)?;
+            Ok(ProfileSpec::Constant {
+                speed: need_f64(profile, "speed", section)?,
+            })
+        }
+        "linear" => {
+            profile.expect_only(&["kind", "v0", "accel"], section)?;
+            Ok(ProfileSpec::Linear {
+                v0: need_f64(profile, "v0", section)?,
+                accel: need_f64(profile, "accel", section)?,
+            })
+        }
+        "decaying" => {
+            profile.expect_only(&["kind", "v0", "tau"], section)?;
+            Ok(ProfileSpec::Decaying {
+                v0: need_f64(profile, "v0", section)?,
+                tau: need_f64(profile, "tau", section)?,
+            })
+        }
+        other => Err(err(format!(
+            "unknown profile kind `{other}` (constant, linear, decaying)"
+        ))),
+    }
+}
+
+impl Manifest {
+    /// Parse and validate a manifest from TOML text.
+    pub fn parse(src: &str) -> Result<Manifest, ManifestError> {
+        let root = toml::parse(src)?;
+        root.expect_only(
+            &[
+                "scenario",
+                "deployment",
+                "stimulus",
+                "channel",
+                "failures",
+                "run",
+                "policies",
+                "sweep",
+                "output",
+            ],
+            "manifest root",
+        )?;
+
+        // [scenario]
+        let scenario = need(&root, "scenario", "manifest root")?
+            .as_table()
+            .ok_or_else(|| err("[scenario] must be a table"))?;
+        scenario.expect_only(&["name", "description"], "scenario")?;
+        let name = need_str(scenario, "name", "scenario")?.to_string();
+        let description = scenario
+            .get("description")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+
+        // [deployment]
+        let dep = need(&root, "deployment", "manifest root")?
+            .as_table()
+            .ok_or_else(|| err("[deployment] must be a table"))?;
+        dep.expect_only(
+            &[
+                "region", "nodes", "range_m", "kind", "cols", "rows", "min_dist",
+            ],
+            "deployment",
+        )?;
+        let region = pair_f64(need(dep, "region", "deployment")?, "deployment.region")?;
+        let nodes = need_usize(dep, "nodes", "deployment")?;
+        let range_m = need_f64(dep, "range_m", "deployment")?;
+        let kind = match need_str(dep, "kind", "deployment")? {
+            "uniform" => DeployKindSpec::Uniform,
+            "grid" => DeployKindSpec::Grid {
+                cols: need_usize(dep, "cols", "deployment")?,
+                rows: need_usize(dep, "rows", "deployment")?,
+            },
+            "poisson" => DeployKindSpec::Poisson {
+                min_dist: need_f64(dep, "min_dist", "deployment")?,
+            },
+            other => {
+                return Err(err(format!(
+                    "unknown deployment kind `{other}` (uniform, grid, poisson)"
+                )))
+            }
+        };
+        let deployment = DeploymentSpec {
+            region,
+            nodes,
+            range_m,
+            kind,
+        };
+
+        // [stimulus]
+        let st = need(&root, "stimulus", "manifest root")?
+            .as_table()
+            .ok_or_else(|| err("[stimulus] must be a table"))?;
+        let stimulus = match need_str(st, "kind", "stimulus")? {
+            "radial" => {
+                st.expect_only(&["kind", "source", "speed", "profile"], "stimulus")?;
+                StimulusSpec::Radial {
+                    source: pair_f64(need(st, "source", "stimulus")?, "stimulus.source")?,
+                    profile: decode_profile(st, "stimulus")?,
+                }
+            }
+            "anisotropic" => {
+                st.expect_only(
+                    &["kind", "source", "speed", "profile", "theta0", "k"],
+                    "stimulus",
+                )?;
+                StimulusSpec::Anisotropic {
+                    source: pair_f64(need(st, "source", "stimulus")?, "stimulus.source")?,
+                    profile: decode_profile(st, "stimulus")?,
+                    theta0: need_f64(st, "theta0", "stimulus")?,
+                    k: need_f64(st, "k", "stimulus")?,
+                }
+            }
+            "plume" => {
+                st.expect_only(
+                    &[
+                        "kind",
+                        "source",
+                        "mass",
+                        "diffusivity",
+                        "current",
+                        "threshold",
+                    ],
+                    "stimulus",
+                )?;
+                StimulusSpec::Plume {
+                    source: pair_f64(need(st, "source", "stimulus")?, "stimulus.source")?,
+                    mass: need_f64(st, "mass", "stimulus")?,
+                    diffusivity: need_f64(st, "diffusivity", "stimulus")?,
+                    current: pair_f64(need(st, "current", "stimulus")?, "stimulus.current")?,
+                    threshold: need_f64(st, "threshold", "stimulus")?,
+                }
+            }
+            "eikonal" => {
+                st.expect_only(
+                    &["kind", "sources", "nx", "ny", "base_speed", "patches"],
+                    "stimulus",
+                )?;
+                let srcs = need(st, "sources", "stimulus")?
+                    .as_array()
+                    .ok_or_else(|| err("stimulus.sources must be an array of [x, y] pairs"))?
+                    .iter()
+                    .map(|v| pair_f64(v, "stimulus.sources[..]"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut patches = Vec::new();
+                if let Some(list) = st.get("patches") {
+                    for (i, p) in list
+                        .as_array()
+                        .ok_or_else(|| err("stimulus.patches must be an array of tables"))?
+                        .iter()
+                        .enumerate()
+                    {
+                        let pt = p
+                            .as_table()
+                            .ok_or_else(|| err(format!("patches[{i}] must be a table")))?;
+                        pt.expect_only(&["rect", "speed"], "stimulus.patches")?;
+                        let rect = f64_list(need(pt, "rect", "stimulus.patches")?, "patch rect")?;
+                        if rect.len() != 4 {
+                            return Err(err("patch rect must be [x0, y0, x1, y1]"));
+                        }
+                        patches.push(PatchSpec {
+                            rect: (rect[0], rect[1], rect[2], rect[3]),
+                            speed: need_f64(pt, "speed", "stimulus.patches")?,
+                        });
+                    }
+                }
+                StimulusSpec::Eikonal {
+                    sources: srcs,
+                    nx: need_usize(st, "nx", "stimulus")?,
+                    ny: need_usize(st, "ny", "stimulus")?,
+                    base_speed: need_f64(st, "base_speed", "stimulus")?,
+                    patches,
+                }
+            }
+            "none" => {
+                st.expect_only(&["kind"], "stimulus")?;
+                StimulusSpec::None
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown stimulus kind `{other}` (radial, anisotropic, plume, eikonal, none)"
+                )))
+            }
+        };
+
+        // [channel] — optional, defaults to perfect.
+        let channel = match root.get("channel") {
+            None => ChannelSpec::Perfect,
+            Some(v) => {
+                let ch = v
+                    .as_table()
+                    .ok_or_else(|| err("[channel] must be a table"))?;
+                match need_str(ch, "kind", "channel")? {
+                    "perfect" => {
+                        ch.expect_only(&["kind"], "channel")?;
+                        ChannelSpec::Perfect
+                    }
+                    "iid" => {
+                        ch.expect_only(&["kind", "loss"], "channel")?;
+                        ChannelSpec::Iid {
+                            loss: need_f64(ch, "loss", "channel")?,
+                        }
+                    }
+                    "distance" => {
+                        ch.expect_only(&["kind", "good_fraction", "edge_loss"], "channel")?;
+                        ChannelSpec::Distance {
+                            good_fraction: need_f64(ch, "good_fraction", "channel")?,
+                            edge_loss: need_f64(ch, "edge_loss", "channel")?,
+                        }
+                    }
+                    other => {
+                        return Err(err(format!(
+                            "unknown channel kind `{other}` (perfect, iid, distance)"
+                        )))
+                    }
+                }
+            }
+        };
+
+        // [failures] — optional, defaults to none.
+        let failures = match root.get("failures") {
+            None => FailureSpec::None,
+            Some(v) => {
+                let fa = v
+                    .as_table()
+                    .ok_or_else(|| err("[failures] must be a table"))?;
+                match need_str(fa, "kind", "failures")? {
+                    "none" => {
+                        fa.expect_only(&["kind"], "failures")?;
+                        FailureSpec::None
+                    }
+                    "random" => {
+                        fa.expect_only(&["kind", "p", "horizon_s"], "failures")?;
+                        FailureSpec::Random {
+                            p: need_f64(fa, "p", "failures")?,
+                            horizon_s: need_f64(fa, "horizon_s", "failures")?,
+                        }
+                    }
+                    "front_kill" => {
+                        fa.expect_only(&["kind", "delay_s"], "failures")?;
+                        FailureSpec::FrontKill {
+                            delay_s: need_f64(fa, "delay_s", "failures")?,
+                        }
+                    }
+                    other => {
+                        return Err(err(format!(
+                            "unknown failures kind `{other}` (none, random, front_kill)"
+                        )))
+                    }
+                }
+            }
+        };
+
+        // [run]
+        let run_t = need(&root, "run", "manifest root")?
+            .as_table()
+            .ok_or_else(|| err("[run] must be a table"))?;
+        run_t.expect_only(&["base_seed", "replicates", "grace_s", "horizon_s"], "run")?;
+        let base_seed = need(run_t, "base_seed", "run")?
+            .as_int()
+            .and_then(|i| u64::try_from(i).ok())
+            .ok_or_else(|| err("`base_seed` in [run] must be a non-negative integer"))?;
+        let replicates = need(run_t, "replicates", "run")?
+            .as_int()
+            .and_then(|i| u64::try_from(i).ok())
+            .ok_or_else(|| err("`replicates` in [run] must be a non-negative integer"))?;
+        let grace_s = match run_t.get("grace_s") {
+            None => 15.0,
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| err("`grace_s` in [run] must be a number"))?,
+        };
+        let horizon_s = match run_t.get("horizon_s") {
+            None => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or_else(|| err("`horizon_s` in [run] must be a number"))?,
+            ),
+        };
+        let run = RunSection {
+            base_seed,
+            replicates,
+            grace_s,
+            horizon_s,
+        };
+
+        // [[policies]]
+        let mut policies = Vec::new();
+        let plist = need(&root, "policies", "manifest root")?
+            .as_array()
+            .ok_or_else(|| err("policies must be declared as [[policies]] tables"))?;
+        for (i, p) in plist.iter().enumerate() {
+            let pt = p
+                .as_table()
+                .ok_or_else(|| err(format!("policies[{i}] must be a table")))?;
+            let mut allowed = vec!["kind", "label"];
+            allowed.extend(PARAM_FIELDS);
+            pt.expect_only(&allowed, "policies")?;
+            let kind = need_str(pt, "kind", "policies")?.to_string();
+            if !matches!(kind.as_str(), "ns" | "sas" | "pas" | "oracle") {
+                return Err(err(format!(
+                    "unknown policy kind `{kind}` (ns, sas, pas, oracle)"
+                )));
+            }
+            let label = match pt.get("label") {
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| err("policy `label` must be a string"))?
+                    .to_string(),
+                None => match kind.as_str() {
+                    "ns" => "NS".to_string(),
+                    "sas" => "SAS".to_string(),
+                    "pas" => "PAS".to_string(),
+                    _ => "Oracle".to_string(),
+                },
+            };
+            let mut overrides = Vec::new();
+            for field in PARAM_FIELDS {
+                if let Some(v) = pt.get(field) {
+                    let x = v
+                        .as_f64()
+                        .ok_or_else(|| err(format!("policy field `{field}` must be a number")))?;
+                    overrides.push((field.to_string(), x));
+                }
+            }
+            if matches!(kind.as_str(), "ns" | "oracle") && !overrides.is_empty() {
+                return Err(err(format!(
+                    "policy `{kind}` takes no parameters (got `{}`)",
+                    overrides[0].0
+                )));
+            }
+            policies.push(PolicySpec {
+                kind,
+                label,
+                overrides,
+            });
+        }
+
+        // [sweep] — optional table of `field = [values...]`.
+        let mut sweep = Vec::new();
+        if let Some(v) = root.get("sweep") {
+            let sw = v.as_table().ok_or_else(|| err("[sweep] must be a table"))?;
+            for (field, values) in sw.iter() {
+                if !PARAM_FIELDS.contains(&field) {
+                    return Err(err(format!(
+                        "cannot sweep unknown field `{field}` (known: {})",
+                        PARAM_FIELDS.join(", ")
+                    )));
+                }
+                let values = f64_list(values, &format!("sweep.{field}"))?;
+                if values.is_empty() {
+                    return Err(err(format!("sweep.{field} must not be empty")));
+                }
+                sweep.push(SweepAxis {
+                    field: field.to_string(),
+                    values,
+                });
+            }
+        }
+
+        // [output] — optional.
+        let output = match root.get("output") {
+            None => OutputSection { x_label: None },
+            Some(v) => {
+                let ot = v
+                    .as_table()
+                    .ok_or_else(|| err("[output] must be a table"))?;
+                ot.expect_only(&["x_label"], "output")?;
+                OutputSection {
+                    x_label: ot
+                        .get("x_label")
+                        .map(|v| {
+                            v.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| err("`x_label` must be a string"))
+                        })
+                        .transpose()?,
+                }
+            }
+        };
+
+        let manifest = Manifest {
+            name,
+            description,
+            deployment,
+            stimulus,
+            channel,
+            failures,
+            run,
+            policies,
+            sweep,
+            output,
+        };
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Parse a manifest from a file.
+    pub fn from_path(path: &Path) -> Result<Manifest, ManifestError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("reading {}: {e}", path.display())))?;
+        Manifest::parse(&text)
+    }
+
+    /// Semantic validation beyond syntax.
+    pub fn validate(&self) -> Result<(), ManifestError> {
+        if self.name.is_empty() {
+            return Err(err("scenario name must not be empty"));
+        }
+        if self.deployment.nodes == 0 {
+            return Err(err("deployment needs at least 1 node"));
+        }
+        if self.deployment.region.0 <= 0.0 || self.deployment.region.1 <= 0.0 {
+            return Err(err("deployment region must have positive size"));
+        }
+        if self.deployment.range_m <= 0.0 {
+            return Err(err("range_m must be > 0"));
+        }
+        match self.deployment.kind {
+            DeployKindSpec::Grid { cols, rows } => {
+                if cols * rows != self.deployment.nodes {
+                    return Err(err(format!(
+                        "grid {cols}×{rows} does not match nodes = {}",
+                        self.deployment.nodes
+                    )));
+                }
+            }
+            DeployKindSpec::Poisson { min_dist } => {
+                if !(min_dist.is_finite() && min_dist > 0.0) {
+                    return Err(err("poisson min_dist must be finite and > 0"));
+                }
+            }
+            DeployKindSpec::Uniform => {}
+        }
+        self.stimulus.validate(self.region())?;
+        if self.run.replicates == 0 {
+            return Err(err("run.replicates must be >= 1"));
+        }
+        if self.policies.is_empty() {
+            return Err(err("at least one [[policies]] entry is required"));
+        }
+        match self.channel {
+            // Runtime bound (`IidLossChannel::new`): 1.0 would silence the
+            // network, so the interval is half-open.
+            ChannelSpec::Iid { loss } => {
+                if !(0.0..1.0).contains(&loss) {
+                    return Err(err("channel loss must be in [0, 1)"));
+                }
+            }
+            ChannelSpec::Distance {
+                good_fraction,
+                edge_loss,
+            } => {
+                if !(0.0..=1.0).contains(&good_fraction) {
+                    return Err(err("channel good_fraction must be in [0, 1]"));
+                }
+                if !(0.0..=1.0).contains(&edge_loss) {
+                    return Err(err("channel edge_loss must be in [0, 1]"));
+                }
+            }
+            ChannelSpec::Perfect => {}
+        }
+        if let FailureSpec::Random { p, horizon_s } = self.failures {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(err("failure probability must be in [0, 1]"));
+            }
+            if horizon_s <= 0.0 {
+                return Err(err("failure horizon_s must be > 0"));
+            }
+        }
+        // Every policy must be instantiable at every sweep point.
+        let axis_probe: Vec<Vec<(&str, f64)>> = if self.sweep.is_empty() {
+            vec![Vec::new()]
+        } else {
+            // Probe extremes of each axis (min/max) — linear invariants
+            // like max >= base fail, if at all, at an extreme.
+            let mut probes = vec![Vec::new()];
+            for axis in &self.sweep {
+                let lo = axis.values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = axis
+                    .values
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let mut next = Vec::new();
+                for probe in &probes {
+                    for v in [lo, hi] {
+                        let mut p = probe.clone();
+                        p.push((axis.field.as_str(), v));
+                        next.push(p);
+                    }
+                }
+                probes = next;
+            }
+            probes
+        };
+        for spec in &self.policies {
+            for probe in &axis_probe {
+                let assignments: Vec<(String, f64)> =
+                    probe.iter().map(|(f, v)| (f.to_string(), *v)).collect();
+                if let Some(params) = self.adaptive_params(spec, &assignments)? {
+                    check_params(&params, &format!("policy `{}`", spec.label))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The [`Scenario`] for one replicate seed.
+    pub fn scenario(&self, seed: u64) -> Scenario {
+        let kind = match self.deployment.kind {
+            DeployKindSpec::Uniform => DeploymentKind::Uniform,
+            DeployKindSpec::Grid { cols, rows } => DeploymentKind::Grid { cols, rows },
+            DeployKindSpec::Poisson { min_dist } => DeploymentKind::PoissonDisk { min_dist },
+        };
+        Scenario {
+            region: self.region(),
+            node_count: self.deployment.nodes,
+            range_m: self.deployment.range_m,
+            deployment: kind,
+            seed,
+        }
+    }
+
+    /// The deployment region as an [`Aabb`].
+    pub fn region(&self) -> Aabb {
+        Aabb::from_size(self.deployment.region.0, self.deployment.region.1)
+    }
+
+    /// Build the stimulus field (shared across all runs of the batch).
+    pub fn build_field(&self) -> Box<dyn StimulusField> {
+        self.stimulus.build(self.region())
+    }
+
+    /// Resolved adaptive parameters for a policy spec under the given
+    /// sweep-axis assignments, or `None` for parameterless policies.
+    /// Axis assignments are applied after per-policy overrides: the swept
+    /// variable really varies, for every adaptive policy.
+    pub fn adaptive_params(
+        &self,
+        spec: &PolicySpec,
+        assignments: &[(String, f64)],
+    ) -> Result<Option<AdaptiveParams>, ManifestError> {
+        if matches!(spec.kind.as_str(), "ns" | "oracle") {
+            return Ok(None);
+        }
+        let mut params = AdaptiveParams::default();
+        if spec.kind == "sas" {
+            // SAS's degenerate alert horizon (see `Policy::sas_default`).
+            params.alert_threshold_s = 2.0;
+        }
+        for (field, value) in &spec.overrides {
+            set_param(&mut params, field, *value)?;
+        }
+        for (field, value) in assignments {
+            set_param(&mut params, field, *value)?;
+        }
+        Ok(Some(params))
+    }
+
+    /// Instantiate the [`Policy`] for a spec under sweep assignments.
+    pub fn policy(
+        &self,
+        spec: &PolicySpec,
+        assignments: &[(String, f64)],
+    ) -> Result<Policy, ManifestError> {
+        Ok(match spec.kind.as_str() {
+            "ns" => Policy::Ns,
+            "oracle" => Policy::Oracle,
+            "sas" => Policy::Sas(
+                self.adaptive_params(spec, assignments)?
+                    .expect("sas has params"),
+            ),
+            _ => Policy::Pas(
+                self.adaptive_params(spec, assignments)?
+                    .expect("pas has params"),
+            ),
+        })
+    }
+
+    /// Report x-axis label.
+    pub fn x_label(&self) -> String {
+        if let Some(l) = &self.output.x_label {
+            return l.clone();
+        }
+        self.sweep
+            .first()
+            .map(|a| a.field.clone())
+            .unwrap_or_else(|| "x".to_string())
+    }
+
+    /// Serialise back to canonical TOML (lossless: `parse(to_toml(m)) == m`
+    /// for every manifest that parses — the reader rejects raw control
+    /// characters, and the writer escapes exactly what the reader accepts).
+    pub fn to_toml(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "[scenario]");
+        let _ = writeln!(s, "name = {}", toml_str(&self.name));
+        let _ = writeln!(s, "description = {}", toml_str(&self.description));
+        let _ = writeln!(s, "\n[deployment]");
+        let _ = writeln!(
+            s,
+            "region = [{:?}, {:?}]",
+            self.deployment.region.0, self.deployment.region.1
+        );
+        let _ = writeln!(s, "nodes = {}", self.deployment.nodes);
+        let _ = writeln!(s, "range_m = {:?}", self.deployment.range_m);
+        match self.deployment.kind {
+            DeployKindSpec::Uniform => {
+                let _ = writeln!(s, "kind = \"uniform\"");
+            }
+            DeployKindSpec::Grid { cols, rows } => {
+                let _ = writeln!(s, "kind = \"grid\"\ncols = {cols}\nrows = {rows}");
+            }
+            DeployKindSpec::Poisson { min_dist } => {
+                let _ = writeln!(s, "kind = \"poisson\"\nmin_dist = {min_dist:?}");
+            }
+        }
+        let _ = writeln!(s, "\n[stimulus]");
+        let profile_toml = |p: &ProfileSpec| match *p {
+            ProfileSpec::Constant { speed } => {
+                format!("profile = {{ kind = \"constant\", speed = {speed:?} }}")
+            }
+            ProfileSpec::Linear { v0, accel } => {
+                format!("profile = {{ kind = \"linear\", v0 = {v0:?}, accel = {accel:?} }}")
+            }
+            ProfileSpec::Decaying { v0, tau } => {
+                format!("profile = {{ kind = \"decaying\", v0 = {v0:?}, tau = {tau:?} }}")
+            }
+        };
+        match &self.stimulus {
+            StimulusSpec::Radial { source, profile } => {
+                let _ = writeln!(s, "kind = \"radial\"");
+                let _ = writeln!(s, "source = [{:?}, {:?}]", source.0, source.1);
+                let _ = writeln!(s, "{}", profile_toml(profile));
+            }
+            StimulusSpec::Anisotropic {
+                source,
+                profile,
+                theta0,
+                k,
+            } => {
+                let _ = writeln!(s, "kind = \"anisotropic\"");
+                let _ = writeln!(s, "source = [{:?}, {:?}]", source.0, source.1);
+                let _ = writeln!(s, "{}", profile_toml(profile));
+                let _ = writeln!(s, "theta0 = {theta0:?}\nk = {k:?}");
+            }
+            StimulusSpec::Plume {
+                source,
+                mass,
+                diffusivity,
+                current,
+                threshold,
+            } => {
+                let _ = writeln!(s, "kind = \"plume\"");
+                let _ = writeln!(s, "source = [{:?}, {:?}]", source.0, source.1);
+                let _ = writeln!(s, "mass = {mass:?}\ndiffusivity = {diffusivity:?}");
+                let _ = writeln!(s, "current = [{:?}, {:?}]", current.0, current.1);
+                let _ = writeln!(s, "threshold = {threshold:?}");
+            }
+            StimulusSpec::Eikonal {
+                sources,
+                nx,
+                ny,
+                base_speed,
+                patches,
+            } => {
+                let _ = writeln!(s, "kind = \"eikonal\"");
+                let srcs: Vec<String> = sources
+                    .iter()
+                    .map(|(x, y)| format!("[{x:?}, {y:?}]"))
+                    .collect();
+                let _ = writeln!(s, "sources = [{}]", srcs.join(", "));
+                let _ = writeln!(s, "nx = {nx}\nny = {ny}\nbase_speed = {base_speed:?}");
+                for p in patches {
+                    let _ = writeln!(s, "\n[[stimulus.patches]]");
+                    let (x0, y0, x1, y1) = p.rect;
+                    let _ = writeln!(s, "rect = [{x0:?}, {y0:?}, {x1:?}, {y1:?}]");
+                    let _ = writeln!(s, "speed = {:?}", p.speed);
+                }
+            }
+            StimulusSpec::None => {
+                let _ = writeln!(s, "kind = \"none\"");
+            }
+        }
+        let _ = writeln!(s, "\n[channel]");
+        match self.channel {
+            ChannelSpec::Perfect => {
+                let _ = writeln!(s, "kind = \"perfect\"");
+            }
+            ChannelSpec::Iid { loss } => {
+                let _ = writeln!(s, "kind = \"iid\"\nloss = {loss:?}");
+            }
+            ChannelSpec::Distance {
+                good_fraction,
+                edge_loss,
+            } => {
+                let _ = writeln!(
+                    s,
+                    "kind = \"distance\"\ngood_fraction = {good_fraction:?}\nedge_loss = {edge_loss:?}"
+                );
+            }
+        }
+        let _ = writeln!(s, "\n[failures]");
+        match self.failures {
+            FailureSpec::None => {
+                let _ = writeln!(s, "kind = \"none\"");
+            }
+            FailureSpec::Random { p, horizon_s } => {
+                let _ = writeln!(s, "kind = \"random\"\np = {p:?}\nhorizon_s = {horizon_s:?}");
+            }
+            FailureSpec::FrontKill { delay_s } => {
+                let _ = writeln!(s, "kind = \"front_kill\"\ndelay_s = {delay_s:?}");
+            }
+        }
+        let _ = writeln!(s, "\n[run]");
+        let _ = writeln!(s, "base_seed = {}", self.run.base_seed);
+        let _ = writeln!(s, "replicates = {}", self.run.replicates);
+        let _ = writeln!(s, "grace_s = {:?}", self.run.grace_s);
+        if let Some(h) = self.run.horizon_s {
+            let _ = writeln!(s, "horizon_s = {h:?}");
+        }
+        for p in &self.policies {
+            let _ = writeln!(s, "\n[[policies]]");
+            let _ = writeln!(s, "kind = {}", toml_str(&p.kind));
+            let default_label = match p.kind.as_str() {
+                "ns" => "NS",
+                "sas" => "SAS",
+                "pas" => "PAS",
+                _ => "Oracle",
+            };
+            if p.label != default_label {
+                let _ = writeln!(s, "label = {}", toml_str(&p.label));
+            }
+            for (field, v) in &p.overrides {
+                let _ = writeln!(s, "{field} = {v:?}");
+            }
+        }
+        if !self.sweep.is_empty() {
+            let _ = writeln!(s, "\n[sweep]");
+            for axis in &self.sweep {
+                let vals: Vec<String> = axis.values.iter().map(|v| format!("{v:?}")).collect();
+                let _ = writeln!(s, "{} = [{}]", axis.field, vals.join(", "));
+            }
+        }
+        if let Some(x) = &self.output.x_label {
+            let _ = writeln!(s, "\n[output]");
+            let _ = writeln!(s, "x_label = {}", toml_str(x));
+        }
+        s
+    }
+}
+
+/// Quote a string as a TOML basic string, using exactly the escapes the
+/// in-tree reader understands (`\"`, `\\`, `\n`, `\t`, `\r`).
+fn toml_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

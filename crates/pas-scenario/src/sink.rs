@@ -1,0 +1,123 @@
+//! Output sinks: summary CSV, per-run JSONL, and stdout tables.
+//!
+//! The CSV column layout matches `pas-bench`'s figure CSVs so downstream
+//! plotting scripts work on either producer. JSONL carries the full
+//! per-run records (one JSON object per line) for raw-data analysis.
+
+use crate::exec::BatchResult;
+use pas_metrics::{Csv, Table};
+use std::io;
+use std::path::Path;
+
+/// Build the per-point summary CSV (same columns as the figure CSVs).
+pub fn summary_csv(batch: &BatchResult) -> Csv {
+    let mut csv = Csv::new(&[
+        &batch.x_label,
+        "policy",
+        "delay_mean_s",
+        "delay_std_s",
+        "energy_mean_j",
+        "energy_std_j",
+        "n",
+    ]);
+    for p in &batch.summaries {
+        csv.push_raw(vec![
+            format!("{}", p.x),
+            p.policy_label.clone(),
+            format!("{}", p.delay_mean_s),
+            format!("{}", p.delay_std_s),
+            format!("{}", p.energy_mean_j),
+            format!("{}", p.energy_std_j),
+            format!("{}", p.n),
+        ]);
+    }
+    csv
+}
+
+/// Write the summary CSV to `path`.
+pub fn write_summary_csv(batch: &BatchResult, path: &Path) -> io::Result<()> {
+    summary_csv(batch).write(path)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render every run record as one JSON object per line.
+pub fn records_jsonl(batch: &BatchResult) -> String {
+    let mut out = String::new();
+    for r in &batch.records {
+        let assignments: Vec<String> = r
+            .assignments
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v))
+            .collect();
+        out.push_str(&format!(
+            "{{\"scenario\":\"{}\",\"x\":{},\"policy\":\"{}\",\"seed\":{},\
+             \"assignments\":{{{}}},\"delay_s\":{},\"energy_j\":{},\
+             \"reached\":{},\"detected\":{},\"missed\":{},\
+             \"requests_sent\":{},\"responses_sent\":{},\
+             \"events_processed\":{},\"duration_s\":{}}}\n",
+            json_escape(&batch.name),
+            r.x,
+            json_escape(&r.policy_label),
+            r.seed,
+            assignments.join(","),
+            r.delay_s,
+            r.energy_j,
+            r.reached,
+            r.detected,
+            r.missed,
+            r.requests_sent,
+            r.responses_sent,
+            r.events_processed,
+            r.duration_s,
+        ));
+    }
+    out
+}
+
+/// Write the per-run JSONL to `path`.
+pub fn write_records_jsonl(batch: &BatchResult, path: &Path) -> io::Result<()> {
+    std::fs::write(path, records_jsonl(batch))
+}
+
+/// Render the batch as a paper-style stdout table.
+pub fn summary_table(batch: &BatchResult) -> Table {
+    let mut table = Table::new(
+        format!("{} — delay/energy per point", batch.name),
+        &[
+            &batch.x_label,
+            "policy",
+            "delay(s)",
+            "±",
+            "energy(J)",
+            "±",
+            "n",
+        ],
+    );
+    for p in &batch.summaries {
+        table.push_row(vec![
+            format!("{:.2}", p.x),
+            p.policy_label.clone(),
+            format!("{:.3}", p.delay_mean_s),
+            format!("{:.3}", p.delay_std_s),
+            format!("{:.3}", p.energy_mean_j),
+            format!("{:.3}", p.energy_std_j),
+            format!("{}", p.n),
+        ]);
+    }
+    table
+}

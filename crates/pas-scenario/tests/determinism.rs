@@ -1,0 +1,167 @@
+//! Determinism and execution-shape tests for the batch executor.
+
+use pas_scenario::{execute, registry, ExecOptions};
+
+/// Same manifest + seeds ⇒ bit-identical per-run results, whether the
+/// batch runs sequentially or across all cores.
+#[test]
+fn parallel_execution_is_bit_identical_to_sequential() {
+    let mut m = registry::builtin("paper-default").unwrap();
+    // A representative slice of the grid: 2 axis points × 3 policies ×
+    // 4 seeds keeps the test quick while crossing every policy kind.
+    m.sweep[0].values = vec![4.0, 12.0];
+    m.run.replicates = 4;
+
+    let seq = execute(&m, ExecOptions { threads: 1 }).unwrap();
+    let par = execute(&m, ExecOptions { threads: 0 }).unwrap();
+
+    assert_eq!(seq.records.len(), 2 * 3 * 4);
+    assert_eq!(seq.records.len(), par.records.len());
+    for (a, b) in seq.records.iter().zip(&par.records) {
+        assert_eq!(a.policy_label, b.policy_label);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(
+            a.delay_s.to_bits(),
+            b.delay_s.to_bits(),
+            "delay differs at {}/{} seed {}",
+            a.x,
+            a.policy_label,
+            a.seed
+        );
+        assert_eq!(
+            a.energy_j.to_bits(),
+            b.energy_j.to_bits(),
+            "energy differs at {}/{} seed {}",
+            a.x,
+            a.policy_label,
+            a.seed
+        );
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.requests_sent, b.requests_sent);
+        assert_eq!(a.responses_sent, b.responses_sent);
+    }
+    for (a, b) in seq.summaries.iter().zip(&par.summaries) {
+        assert_eq!(a.delay_mean_s.to_bits(), b.delay_mean_s.to_bits());
+        assert_eq!(a.energy_mean_j.to_bits(), b.energy_mean_j.to_bits());
+    }
+}
+
+/// Re-executing the identical manifest reproduces identical bits.
+#[test]
+fn repeated_execution_is_reproducible() {
+    let mut m = registry::builtin("gas-leak-city").unwrap();
+    m.sweep[0].values = vec![5.0, 20.0];
+    m.run.replicates = 2;
+    let a = execute(&m, ExecOptions::default()).unwrap();
+    let b = execute(&m, ExecOptions::default()).unwrap();
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.delay_s.to_bits(), y.delay_s.to_bits());
+        assert_eq!(x.energy_j.to_bits(), y.energy_j.to_bits());
+    }
+}
+
+/// Random failure plans derive from the replicate seed: the same seed
+/// kills the same nodes, and the batch stays deterministic under threads.
+#[test]
+fn random_failures_are_seed_deterministic() {
+    let src = r#"
+        [scenario]
+        name = "failures-det"
+        [deployment]
+        region = [40.0, 40.0]
+        nodes = 30
+        range_m = 10.0
+        kind = "uniform"
+        [stimulus]
+        kind = "radial"
+        source = [0.0, 0.0]
+        profile = { kind = "constant", speed = 0.5 }
+        [failures]
+        kind = "random"
+        p = 0.3
+        horizon_s = 60.0
+        [run]
+        base_seed = 42
+        replicates = 3
+        [[policies]]
+        kind = "pas"
+    "#;
+    let m = pas_scenario::Manifest::parse(src).unwrap();
+    let seq = execute(&m, ExecOptions { threads: 1 }).unwrap();
+    let par = execute(&m, ExecOptions { threads: 0 }).unwrap();
+    for (a, b) in seq.records.iter().zip(&par.records) {
+        assert_eq!(a.delay_s.to_bits(), b.delay_s.to_bits());
+        assert_eq!(a.missed, b.missed);
+    }
+}
+
+/// Summaries aggregate exactly the replicates of their point.
+#[test]
+fn summaries_have_replicate_counts() {
+    let mut m = registry::builtin("plume-monitoring").unwrap();
+    m.run.replicates = 3;
+    let batch = execute(&m, ExecOptions::default()).unwrap();
+    assert_eq!(batch.summaries.len(), 3, "one summary per policy");
+    assert!(batch.summaries.iter().all(|s| s.n == 3));
+    // NS detects everything it reaches with zero delay.
+    let ns = batch
+        .summaries
+        .iter()
+        .find(|s| s.policy_label == "NS")
+        .unwrap();
+    assert!(ns.delay_mean_s.abs() < 1e-9);
+}
+
+/// Summary grouping keys on every sweep axis: two matrix points that share
+/// the report x but differ in a secondary axis must not merge.
+#[test]
+fn multi_axis_points_are_not_merged_in_summaries() {
+    let mut m = registry::builtin("gas-leak-city").unwrap();
+    m.sweep[0].values = vec![5.0, 20.0];
+    m.sweep.push(pas_scenario::SweepAxis {
+        field: "max_sleep_s".to_string(),
+        values: vec![4.0, 12.0],
+    });
+    m.run.replicates = 2;
+    let batch = execute(&m, ExecOptions::default()).unwrap();
+    assert_eq!(batch.records.len(), 2 * 2 * 2);
+    assert_eq!(
+        batch.summaries.len(),
+        2 * 2,
+        "one summary per (alert, max_sleep) point, not per alert value"
+    );
+    assert!(batch.summaries.iter().all(|s| s.n == 2));
+}
+
+/// The CSV and JSONL sinks write parseable, complete output.
+#[test]
+fn sinks_write_summary_and_raw_records() {
+    let mut m = registry::builtin("paper-default").unwrap();
+    m.sweep[0].values = vec![8.0];
+    m.run.replicates = 2;
+    let batch = execute(&m, ExecOptions::default()).unwrap();
+
+    let dir = std::env::temp_dir().join("pas-scenario-sink-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv_path = dir.join("summary.csv");
+    let jsonl_path = dir.join("runs.jsonl");
+    pas_scenario::write_summary_csv(&batch, &csv_path).unwrap();
+    pas_scenario::write_records_jsonl(&batch, &jsonl_path).unwrap();
+
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "max_sleep_s,policy,delay_mean_s,delay_std_s,energy_mean_j,energy_std_j,n"
+    );
+    assert_eq!(lines.count(), 3, "one row per (x, policy) point");
+
+    let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+    let rows: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(rows.len(), 3 * 2, "one row per run");
+    for row in rows {
+        assert!(row.starts_with('{') && row.ends_with('}'), "bad row {row}");
+        assert!(row.contains("\"scenario\":\"paper-default\""));
+        assert!(row.contains("\"delay_s\":"));
+    }
+}

@@ -214,10 +214,7 @@ mod tests {
                 }
             }
         });
-        assert_eq!(
-            fired,
-            vec![(1.0, 3), (2.0, 2), (3.0, 1), (4.0, 0)]
-        );
+        assert_eq!(fired, vec![(1.0, 3), (2.0, 2), (3.0, 1), (4.0, 0)]);
     }
 
     #[test]

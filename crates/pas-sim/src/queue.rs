@@ -151,7 +151,10 @@ mod tests {
         q.push(SimTime::from_secs(1.0), "t1-second");
         q.push(SimTime::from_secs(2.0), "t2-second");
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec!["t1-first", "t1-second", "t2-first", "t2-second"]);
+        assert_eq!(
+            order,
+            vec!["t1-first", "t1-second", "t2-first", "t2-second"]
+        );
     }
 
     #[test]

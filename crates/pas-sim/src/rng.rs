@@ -245,9 +245,7 @@ mod tests {
     fn substreams_are_independent() {
         let mut s0 = Rng::substream(99, 0);
         let mut s1 = Rng::substream(99, 1);
-        let matches = (0..1000)
-            .filter(|_| s0.next_u64() == s1.next_u64())
-            .count();
+        let matches = (0..1000).filter(|_| s0.next_u64() == s1.next_u64()).count();
         assert_eq!(matches, 0, "adjacent labels must decorrelate");
         // Substream derivation is itself deterministic.
         let mut s0b = Rng::substream(99, 0);

@@ -99,9 +99,7 @@ impl Ord for SimTime {
     #[inline]
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // NaN is unrepresentable, so partial_cmp always succeeds.
-        self.0
-            .partial_cmp(&other.0)
-            .expect("SimTime is never NaN")
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
     }
 }
 

@@ -61,13 +61,7 @@ mod tests {
 
     #[test]
     fn groups_by_key_in_first_appearance_order() {
-        let obs = vec![
-            ("b", 1.0),
-            ("a", 10.0),
-            ("b", 3.0),
-            ("a", 20.0),
-            ("c", 5.0),
-        ];
+        let obs = vec![("b", 1.0), ("a", 10.0), ("b", 3.0), ("a", 20.0), ("c", 5.0)];
         let got = summarize(&obs);
         assert_eq!(got.len(), 3);
         assert_eq!(got[0].key, "b");

@@ -8,9 +8,9 @@
 //!
 //! Design (per the hpc-parallel guides):
 //!
-//! * crossbeam scoped threads — no `'static` bounds, no channels on the hot
-//!   path, work claimed from an atomic cursor (runs have similar cost, so
-//!   striding beats work stealing here);
+//! * `std::thread::scope` scoped threads — no `'static` bounds, no channels
+//!   on the hot path, work claimed from an atomic cursor (runs have similar
+//!   cost, so striding beats work stealing here);
 //! * results land in pre-allocated slots (`Vec<Option<R>>` behind a
 //!   `parking_lot::Mutex` per slot is unnecessary — each slot is written by
 //!   exactly one worker, so a mutex-free design with per-index ownership is

@@ -6,18 +6,15 @@
 //! work-stealing and has no unsafe code and no per-task allocation beyond
 //! the result itself.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Sweep execution options.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SweepOptions {
     /// Worker thread count; 0 = one per available core.
     pub threads: usize,
 }
-
 
 impl SweepOptions {
     /// Resolve the effective thread count for `n_items` work items.
@@ -91,9 +88,9 @@ where
     let done = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
 
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 // Batch locally; lock once per worker, not per item.
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
@@ -105,13 +102,15 @@ where
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     on_progress(finished, n);
                 }
-                collected.lock().extend(local);
+                collected
+                    .lock()
+                    .expect("sweep mutex poisoned")
+                    .extend(local);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
-    let mut pairs = collected.into_inner();
+    let mut pairs = collected.into_inner().expect("sweep mutex poisoned");
     pairs.sort_unstable_by_key(|(i, _)| *i);
     debug_assert_eq!(pairs.len(), n);
     pairs.into_iter().map(|(_, r)| r).collect()

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace benches use — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple warmup-then-measure timing
+//! loop printing median ns/iter. No statistics, plots, or baselines; good
+//! enough to rank hot paths while the real crate is unavailable offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Label for a parameterised benchmark (`group/function/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new<P: Display>(function: &str, param: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{param}"),
+        }
+    }
+}
+
+/// Per-benchmark timing driver passed to the closure as `b`.
+pub struct Bencher {
+    /// Measured iterations (set by the owning group's `sample_size`).
+    iters: u64,
+    /// Median ns/iter of the last `iter` call, for reporting.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, recording the median over `iters` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup run keeps cold-start effects out of the samples.
+        black_box(f());
+        let mut samples: Vec<f64> = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.last_ns = samples[samples.len() / 2];
+    }
+}
+
+fn run_one(name: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: samples,
+        last_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.last_ns.is_nan() {
+        println!("{name:<48} (no measurement)");
+    } else {
+        println!(
+            "{name:<48} {:>14.0} ns/iter (median of {samples})",
+            b.last_ns
+        );
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: u64,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Benchmark a closure under `label` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, label), self.samples, &mut f);
+        self
+    }
+
+    /// Benchmark a closure taking a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        run_one(&name, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (layout compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Default measured samples per benchmark.
+    pub default_samples: u64,
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let samples = self.samples();
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) -> &mut Self {
+        let samples = self.samples();
+        run_one(label, samples, &mut f);
+        self
+    }
+
+    fn samples(&self) -> u64 {
+        if self.default_samples == 0 {
+            30
+        } else {
+            self.default_samples
+        }
+    }
+}
+
+/// Bundle benchmark functions under a single runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

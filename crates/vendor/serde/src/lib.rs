@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the real `serde` cannot
+//! be fetched. The workspace only uses `#[derive(Serialize, Deserialize)]`
+//! as forward-looking annotations — nothing serialises through serde yet
+//! (the `pas-scenario` manifest layer has its own hand-written TOML codec).
+//! This crate keeps those annotations compiling: the traits are empty
+//! markers and the derives (re-exported from the in-tree `serde_derive`)
+//! expand to nothing. Replacing this with the real crates.io `serde` is a
+//! one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the
+/// stand-in; the lifetime parameter mirrors the real trait's signature).
+pub trait Deserialize<'de>: Sized {}

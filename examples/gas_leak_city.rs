@@ -7,85 +7,67 @@
 //!
 //! This example builds that exact knob: a wind-skewed (anisotropic) gas
 //! front over a dense urban sensor grid, swept across alert-time
-//! thresholds. The output is the operating curve a city operator would
-//! pick from: delay falls and energy rises as the alert ring widens —
-//! Figs. 5 and 7 of the paper, on a realistic stimulus.
+//! thresholds. The whole batch — deployment, wind field, threshold axis,
+//! replicate seeds — is the built-in `gas-leak-city` manifest
+//! (`pas run gas-leak-city` executes the same grid), and the executor
+//! fans it out across every core. The output is the operating curve a
+//! city operator would pick from: delay falls and energy rises as the
+//! alert ring widens — Figs. 5 and 7 of the paper, on a realistic
+//! stimulus.
 //!
 //! ```text
 //! cargo run --release --example gas_leak_city
 //! ```
 
 use pas::prelude::*;
-use pas_core::AdaptiveParams;
-use pas_diffusion::aniso::DirectionalGain;
 
 fn main() {
-    // An 80 m × 80 m district, 80 lamp-post sensors on a grid. Seeds vary
-    // the wake phases and channel draws; positions stay fixed.
-    let scenario_at = |seed: u64| Scenario {
-        region: Aabb::from_size(80.0, 80.0),
-        node_count: 80,
-        range_m: 15.0,
-        deployment: DeploymentKind::Grid { cols: 10, rows: 8 },
-        seed,
-    };
-    const SEEDS: u64 = 8;
-
-    // Leak at a mid-block site; wind from the south-west skews spreading
-    // toward the north-east at up to 1.5x the base 1.2 m/s rate.
-    let field = AnisotropicFront::new(
-        Vec2::new(20.0, 20.0),
-        SpeedProfile::Constant { speed: 1.2 },
-        DirectionalGain::CosineSkew {
-            theta0: std::f64::consts::FRAC_PI_4,
-            k: 0.5,
-        },
-    );
+    // An 80 m × 80 m district, 80 lamp-post sensors on a grid; leak at a
+    // mid-block site, wind from the south-west skewing the spread toward
+    // the north-east. Seeds vary the wake phases and channel draws;
+    // positions stay fixed. All of it declared once in the manifest.
+    let manifest = registry::builtin("gas-leak-city").expect("registered scenario");
 
     println!("Urban gas leak, wind-skewed front — alert-time operating curve\n");
     println!(
-        "{:<18} {:>9} {:>10} {:>9} {:>8}",
-        "alert threshold", "delay(s)", "energy(J)", "alerted", "misses"
+        "{:<18} {:>9} {:>10} {:>10} {:>8}",
+        "alert threshold", "delay(s)", "±std", "energy(J)", "misses"
     );
 
-    let mut last_energy = 0.0;
-    for alert_s in [2.0, 5.0, 10.0, 20.0, 30.0] {
-        let policy = Policy::Pas(AdaptiveParams {
-            alert_threshold_s: alert_s,
-            max_sleep_s: 12.0,
-            ..AdaptiveParams::default()
-        });
-        let (mut delay, mut energy, mut alerted, mut missed) = (0.0, 0.0, 0usize, 0usize);
-        for seed in 0..SEEDS {
-            let result = run(&scenario_at(seed), &field, &RunConfig::new(policy));
-            delay += result.delay.mean_delay_s;
-            energy += result.mean_energy_j();
-            alerted += result.alerted_ever;
-            missed += result.delay.missed;
-        }
-        let n = SEEDS as f64;
+    // One call executes the full matrix: 5 thresholds × 8 seeds, in
+    // parallel, bit-deterministically.
+    let batch = execute(&manifest, ExecOptions::default()).expect("valid manifest");
+    for point in &batch.summaries {
+        let missed: usize = batch
+            .records
+            .iter()
+            .filter(|r| r.x == point.x && r.policy_label == point.policy_label)
+            .map(|r| r.missed)
+            .sum();
         println!(
-            "{:<18} {:>9.3} {:>10.3} {:>9.1} {:>8.1}",
-            format!("{alert_s:.0} s"),
-            delay / n,
-            energy / n,
-            alerted as f64 / n,
-            missed as f64 / n,
+            "{:<18} {:>9.3} {:>10.3} {:>10.3} {:>8.1}",
+            format!("{:.0} s", point.x),
+            point.delay_mean_s,
+            point.delay_std_s,
+            point.energy_mean_j,
+            missed as f64 / point.n as f64,
         );
-        last_energy = energy / n;
     }
 
-    // Reference bounds for the same incident.
-    let ns = run(&scenario_at(0), &field, &RunConfig::new(Policy::Ns));
-    let oracle = run(&scenario_at(0), &field, &RunConfig::new(Policy::Oracle));
+    // Reference bounds for the same incident, from the same manifest.
+    let scenario = manifest.scenario(manifest.run.base_seed);
+    let field = manifest.build_field();
+    let ns = run(&scenario, field.as_ref(), &RunConfig::new(Policy::Ns));
+    let oracle = run(&scenario, field.as_ref(), &RunConfig::new(Policy::Oracle));
     println!(
         "\nBounds: NS {:.3} J at 0 delay; Oracle {:.3} J at 0 delay.",
         ns.mean_energy_j(),
         oracle.mean_energy_j()
     );
+    let widest = batch.summaries.last().expect("non-empty sweep");
     println!(
         "The emergency dial: widen the alert ring until delay is acceptable;\n\
          even the widest setting above uses {:.0}% of NS energy.",
-        100.0 * last_energy / ns.mean_energy_j()
+        100.0 * widest.energy_mean_j / ns.mean_energy_j()
     );
 }

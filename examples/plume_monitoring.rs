@@ -8,7 +8,9 @@
 //! that monotone fronts never trigger.
 //!
 //! A Poisson-disk sensor grid lines the river reach; we compare policies on
-//! delay and energy, then show PAS's per-component energy breakdown.
+//! delay and energy, then show PAS's per-component energy breakdown. The
+//! reach, release, and policy grid come from the built-in
+//! `plume-monitoring` manifest (`pas show plume-monitoring` prints it).
 //!
 //! **Expect an honest negative result here.** PAS's estimator assumes a
 //! persistently advancing front; an advected puff violates that (the
@@ -22,26 +24,34 @@
 //! ```
 
 use pas::prelude::*;
+use pas_scenario::StimulusSpec;
 
 fn main() {
-    // A 100 m × 40 m river reach; 60 sensors at >= 6 m separation.
-    let scenario = Scenario {
-        region: Aabb::from_size(100.0, 40.0),
-        node_count: 60,
-        range_m: 12.0,
-        deployment: DeploymentKind::PoissonDisk { min_dist: 6.0 },
-        seed: 7,
-    };
+    // A 100 m × 40 m river reach; 60 sensors at >= 6 m separation; release
+    // at the upstream end (2 kg-equivalent mass, diffusivity 0.8 m²/s,
+    // 0.6 m/s downstream current, detection threshold 1 unit) — all from
+    // the manifest.
+    let manifest = registry::builtin("plume-monitoring").expect("registered scenario");
+    let scenario = manifest.scenario(manifest.run.base_seed);
 
-    // Release at the upstream end: 2 kg-equivalent mass, diffusivity
-    // 0.8 m²/s, 0.6 m/s downstream current, detection threshold 1 unit.
-    let plume = GaussianPlume::new(
-        Vec2::new(5.0, 20.0),
-        2000.0,
-        0.8,
-        Vec2::new(0.6, 0.0),
-        1.0,
-    );
+    // Rebuild the puff concretely (not as `dyn StimulusField`) so we can
+    // also report its extinction time below.
+    let plume = match &manifest.stimulus {
+        StimulusSpec::Plume {
+            source,
+            mass,
+            diffusivity,
+            current,
+            threshold,
+        } => GaussianPlume::new(
+            Vec2::new(source.0, source.1),
+            *mass,
+            *diffusivity,
+            Vec2::new(current.0, current.1),
+            *threshold,
+        ),
+        other => panic!("plume-monitoring manifest must declare a plume, got {other:?}"),
+    };
     println!(
         "River plume: extinction at {:.0} s; {} sensors over {} m reach\n",
         plume.extinction_time().as_secs(),
@@ -53,7 +63,8 @@ fn main() {
         "{:<8} {:>8} {:>9} {:>10} {:>7} {:>7} {:>9}",
         "policy", "reached", "delay(s)", "energy(J)", "missed", "alerted", "covered@T"
     );
-    for policy in [Policy::Ns, Policy::sas_default(), Policy::pas_default()] {
+    for spec in &manifest.policies {
+        let policy = manifest.policy(spec, &[]).expect("valid policy");
         let result = run(&scenario, &plume, &RunConfig::new(policy));
         println!(
             "{:<8} {:>8} {:>9.3} {:>10.3} {:>7} {:>7} {:>9}",
@@ -70,7 +81,10 @@ fn main() {
     // PAS energy breakdown: where do the joules actually go?
     let pas = run(&scenario, &plume, &RunConfig::new(Policy::pas_default()));
     let b = pas.mean_breakdown();
-    println!("\nPAS per-node energy breakdown (mean over {} nodes):", pas.node_count);
+    println!(
+        "\nPAS per-node energy breakdown (mean over {} nodes):",
+        pas.node_count
+    );
     println!("  MCU active   {:>9.4} J", b.mcu_active_j);
     println!("  radio RX     {:>9.4} J", b.radio_rx_j);
     println!("  radio TX     {:>9.4} J", b.radio_tx_j);

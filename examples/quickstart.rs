@@ -2,8 +2,10 @@
 //!
 //! Simulates the paper's §4 scenario once per policy and prints the two
 //! metrics the paper evaluates, plus the diagnostics a deployment engineer
-//! would want. Start here; the other examples build realistic scenarios on
-//! the same API.
+//! would want. The setup — deployment, stimulus, policies — comes from the
+//! built-in `paper-default` manifest (`pas show paper-default` prints it),
+//! so this example and the `pas` CLI can never drift apart. Start here; the
+//! other examples build realistic scenarios on the same API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -13,27 +15,36 @@ use pas::prelude::*;
 
 fn main() {
     // The paper's setup: 30 nodes, 10 m transmission range, uniformly
-    // deployed. The seed fixes the topology; identical seeds give
-    // identical topologies across policies, so comparisons are paired.
-    let scenario = Scenario::paper_default(42);
+    // deployed, a pollutant front spreading radially at 0.5 m/s — all
+    // declared once in the registry manifest. The seed fixes the topology;
+    // identical seeds give identical topologies across policies, so
+    // comparisons are paired.
+    let manifest = registry::builtin("paper-default").expect("registered scenario");
+    let scenario = manifest.scenario(42);
+    let field = manifest.build_field();
 
-    // The stimulus: a liquid pollutant front spreading radially at 0.5 m/s
-    // from the region corner (the paper's diffusion-stimulus scenario).
-    let field = RadialFront::constant(Vec2::new(0.0, 0.0), 0.5);
-
-    println!("PAS quickstart — 30 nodes, 10 m range, 0.5 m/s front\n");
+    println!("PAS quickstart — {}\n", manifest.description);
     println!(
         "{:<8} {:>9} {:>10} {:>8} {:>9} {:>9} {:>7}",
         "policy", "delay(s)", "energy(J)", "awake%", "requests", "responses", "alerted"
     );
 
-    for policy in [
-        Policy::Ns,
-        Policy::sas_default(),
-        Policy::pas_default(),
-        Policy::Oracle,
-    ] {
-        let result = run(&scenario, &field, &RunConfig::new(policy));
+    // The manifest's policy grid (NS, SAS, PAS) at the paper's default
+    // maximum sleep interval, plus the clairvoyant Oracle lower bound.
+    let at_default_sleep = vec![("max_sleep_s".to_string(), 10.0)];
+    let mut policies: Vec<Policy> = manifest
+        .policies
+        .iter()
+        .map(|spec| {
+            manifest
+                .policy(spec, &at_default_sleep)
+                .expect("valid policy")
+        })
+        .collect();
+    policies.push(Policy::Oracle);
+
+    for policy in &policies {
+        let result = run(&scenario, field.as_ref(), &RunConfig::new(*policy));
         println!(
             "{:<8} {:>9.3} {:>10.3} {:>8.1} {:>9} {:>9} {:>7}",
             result.policy_label,
@@ -50,10 +61,10 @@ fn main() {
     // near-SAS energy, tunable through the alert threshold.
     let pas = run(
         &scenario,
-        &field,
+        field.as_ref(),
         &RunConfig::new(Policy::pas_default()),
     );
-    let ns = run(&scenario, &field, &RunConfig::new(Policy::Ns));
+    let ns = run(&scenario, field.as_ref(), &RunConfig::new(Policy::Ns));
     println!(
         "\nPAS used {:.0}% of NS energy and detected {} of {} reached nodes\n\
          (mean delay {:.2} s; misses: {}).",

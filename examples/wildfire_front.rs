@@ -9,52 +9,33 @@
 //! both of the paper's §5 future-work stressors: sensors destroyed by the
 //! fire itself (failure injection) and a degraded radio channel.
 //!
+//! The terrain, deployment, failure plan, and channel all come from the
+//! built-in `wildfire-front` manifest (`pas show wildfire-front` prints
+//! it); this example peels the stressors back on one by one to show what
+//! each costs.
+//!
 //! ```text
 //! cargo run --release --example wildfire_front
 //! ```
 
 use pas::prelude::*;
-use pas_core::AdaptiveParams;
+use pas_scenario::failure_plan;
 
 fn main() {
-    let region = Aabb::from_size(120.0, 120.0);
-
     // Terrain-dependent spread rate (m/s): fast grass in the open, a slow
-    // rocky band, and a damp creek that nearly stops the front.
-    let speed_map = |p: Vec2| -> f64 {
-        let rocky = p.x > 60.0 && p.x < 80.0;
-        let creek = (p.y - 70.0).abs() < 6.0 && p.x > 30.0;
-        if creek {
-            0.05
-        } else if rocky {
-            0.15
-        } else {
-            0.6
-        }
-    };
-    let grid = SpeedGrid::from_fn(region, 121, 121, speed_map);
-    let fire = EikonalField::solve(grid, &[Vec2::new(5.0, 5.0)], SimTime::ZERO);
+    // rocky band, and a damp creek that nearly stops the front — declared
+    // as `[[stimulus.patches]]` rectangles in the manifest and solved by
+    // Fast Marching here.
+    let manifest = registry::builtin("wildfire-front").expect("registered scenario");
+    let region = manifest.region();
+    let fire = manifest.stimulus.build_eikonal(region);
 
     // 90 sensors dropped by air (uniform), 18 m radio range.
-    let scenario = Scenario {
-        region,
-        node_count: 90,
-        range_m: 18.0,
-        deployment: DeploymentKind::Uniform,
-        seed: 1234,
-    };
+    let scenario = manifest.scenario(manifest.run.base_seed);
 
-    // The fire destroys sensors ~30 s after the front passes them.
-    let kills: Vec<(usize, SimTime)> = scenario
-        .positions()
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &p)| {
-            fire.first_arrival_time(p)
-                .map(|t| (i, t + 30.0))
-        })
-        .collect();
-    let failures = FailurePlan::targeted(scenario.node_count, &kills);
+    // The fire destroys sensors ~30 s after the front passes them
+    // (`[failures] kind = "front_kill"` in the manifest).
+    let failures = failure_plan(&manifest, &scenario, &fire);
 
     println!("Wildfire over heterogeneous terrain — FMM fronts + failures + loss\n");
     println!(
@@ -62,11 +43,9 @@ fn main() {
         "configuration", "delay(s)", "energy(J)", "missed", "alerted"
     );
 
-    let pas = Policy::Pas(AdaptiveParams {
-        alert_threshold_s: 25.0,
-        max_sleep_s: 15.0,
-        ..AdaptiveParams::default()
-    });
+    let pas = manifest
+        .policy(&manifest.policies[0], &[])
+        .expect("valid policy");
 
     let configs: Vec<(&str, RunConfig)> = vec![
         ("PAS, clean channel", RunConfig::new(pas)),
@@ -75,10 +54,11 @@ fn main() {
             RunConfig::new(pas).with_failures(failures.clone()),
         ),
         (
+            // The manifest's full configuration: kills + its lossy channel.
             "PAS + kills + 20% loss",
             RunConfig::new(pas)
                 .with_failures(failures.clone())
-                .with_channel(ChannelKind::IidLoss(0.20)),
+                .with_channel(manifest.channel.kind()),
         ),
         (
             "PAS + kills + grey region",
@@ -113,18 +93,12 @@ fn main() {
 
     // Extract and summarise the front line at t = 120 s (marching squares
     // over the arrival field) — what a command dashboard would draw.
-    let arrival_grid = pas_diffusion::contour::ScalarGrid::from_fn(
-        region.min,
-        121,
-        121,
-        1.0,
-        1.0,
-        |p| {
+    let arrival_grid =
+        pas_diffusion::contour::ScalarGrid::from_fn(region.min, 121, 121, 1.0, 1.0, |p| {
             fire.first_arrival_time(p)
                 .map(|t| t.as_secs())
                 .unwrap_or(f64::INFINITY)
-        },
-    );
+        });
     let contours = extract_contours(&arrival_grid, 120.0);
     let total_len: f64 = contours.iter().map(|c| c.length()).sum();
     println!(

@@ -16,6 +16,7 @@
 //! | [`core`] | the PAS algorithm, SAS/NS/Oracle baselines, the runner |
 //! | [`metrics`] | delay/energy metrics, statistics, tables, CSV |
 //! | [`sweep`] | parallel parameter sweeps with ordered, seeded results |
+//! | [`scenario`] | declarative TOML manifests, batch execution, the registry |
 //!
 //! ## Quick start
 //!
@@ -32,6 +33,20 @@
 //! assert!(result.mean_energy_j() > 0.0);
 //! ```
 //!
+//! Whole experiment *batches* — deployment × stimulus × policies ×
+//! parameter axes × seeds — are declared as TOML manifests and executed by
+//! the [`scenario`] crate (or the `pas` CLI: `pas run paper-default`):
+//!
+//! ```
+//! use pas::prelude::*;
+//!
+//! let mut manifest = registry::builtin("paper-default").unwrap();
+//! manifest.sweep[0].values.truncate(1); // shrink the batch for the doctest
+//! manifest.run.replicates = 2;
+//! let batch = execute(&manifest, ExecOptions::default()).unwrap();
+//! assert_eq!(batch.summaries.len(), manifest.policies.len());
+//! ```
+//!
 //! See `examples/` for full scenarios and `crates/pas-bench` for the
 //! binaries that regenerate every table and figure of the paper.
 
@@ -44,6 +59,7 @@ pub use pas_geom as geom;
 pub use pas_metrics as metrics;
 pub use pas_net as net;
 pub use pas_platform as platform;
+pub use pas_scenario as scenario;
 pub use pas_sim as sim;
 pub use pas_sweep as sweep;
 
@@ -55,6 +71,7 @@ pub mod prelude {
     pub use pas_metrics::prelude::*;
     pub use pas_net::prelude::*;
     pub use pas_platform::prelude::*;
+    pub use pas_scenario::prelude::*;
     pub use pas_sim::prelude::*;
     pub use pas_sweep::prelude::*;
 }

@@ -1,0 +1,266 @@
+//! `pas` — run declarative PAS experiment batches from the command line.
+//!
+//! ```text
+//! pas list                         enumerate built-in scenarios
+//! pas show <name>                  print a built-in manifest's TOML
+//! pas validate <path>              parse + validate a manifest file
+//! pas expand <name|path>           print the expanded run matrix shape
+//! pas run <name|path> [options]    execute a batch and report summaries
+//!
+//! run options:
+//!   --out FILE.csv       write per-point delay/energy summaries
+//!   --raw FILE.jsonl     write every run as one JSON object per line
+//!   --threads N          worker threads (0 = all cores, 1 = sequential)
+//!   --quiet              suppress the stdout table
+//! ```
+//!
+//! Scenario arguments resolve against the built-in registry first and fall
+//! back to the filesystem, so `pas run paper-default` and
+//! `pas run my/batch.toml` both work.
+
+use pas_scenario::{execute, expand, registry, ExecOptions, Manifest};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "pas — declarative PAS experiment batches
+
+USAGE:
+    pas list                          enumerate built-in scenarios
+    pas show <name>                   print a built-in manifest's TOML
+    pas validate <path>               parse + validate a manifest file
+    pas expand <name|path>            print the expanded run matrix shape
+    pas run <name|path> [options]     execute a batch and report summaries
+
+RUN OPTIONS:
+    --out FILE.csv       write per-point delay/energy summaries
+    --raw FILE.jsonl     write every run as one JSON object per line
+    --threads N          worker threads (0 = all cores, 1 = sequential)
+    --quiet              suppress the stdout table
+"
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Registry name first, file path second.
+fn load(arg: &str) -> Result<Manifest, String> {
+    if let Some(parsed) = registry::get(arg) {
+        return parsed.map_err(|e| format!("built-in `{arg}`: {e}"));
+    }
+    let path = Path::new(arg);
+    if path.exists() {
+        Manifest::from_path(path).map_err(|e| e.to_string())
+    } else {
+        Err(format!(
+            "`{arg}` is neither a built-in scenario ({}) nor a file",
+            registry::names().join(", ")
+        ))
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    println!(
+        "{:<20} {:>6} {:>9}  description",
+        "name", "runs", "policies"
+    );
+    for (name, _) in registry::BUILTINS {
+        let m = registry::builtin(name).expect("builtins parse");
+        let runs = expand(&m).map(|p| p.len()).unwrap_or(0);
+        println!(
+            "{:<20} {:>6} {:>9}  {}",
+            name,
+            runs,
+            m.policies.len(),
+            m.description
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_show(name: &str) -> ExitCode {
+    match registry::raw(name) {
+        Some(src) => {
+            print!("{src}");
+            ExitCode::SUCCESS
+        }
+        None => fail(format!(
+            "no built-in scenario `{name}` (try: {})",
+            registry::names().join(", ")
+        )),
+    }
+}
+
+fn cmd_validate(path: &str) -> ExitCode {
+    match Manifest::from_path(Path::new(path)) {
+        Ok(m) => match expand(&m) {
+            Ok(points) => {
+                println!("ok: `{}` expands to {} runs", m.name, points.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        Err(e) => fail(e),
+    }
+}
+
+fn cmd_expand(arg: &str) -> ExitCode {
+    let m = match load(arg) {
+        Ok(m) => m,
+        Err(e) => return fail(e),
+    };
+    let points = match expand(&m) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    let axis_points: usize = m.sweep.iter().map(|a| a.values.len()).product();
+    println!("scenario   {}", m.name);
+    println!(
+        "matrix     {} axis point(s) x {} policies x {} seeds = {} runs",
+        axis_points,
+        m.policies.len(),
+        m.run.replicates,
+        points.len()
+    );
+    for axis in &m.sweep {
+        println!("axis       {} = {:?}", axis.field, axis.values);
+    }
+    for p in &m.policies {
+        let overrides: Vec<String> = p
+            .overrides
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!(
+            "policy     {:<10} ({}{}{})",
+            p.label,
+            p.kind,
+            if overrides.is_empty() { "" } else { "; " },
+            overrides.join(", ")
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+struct RunArgs {
+    scenario: String,
+    out: Option<PathBuf>,
+    raw: Option<PathBuf>,
+    threads: usize,
+    quiet: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut scenario = None;
+    let mut out = None;
+    let mut raw = None;
+    let mut threads = 0usize;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--raw" => {
+                let v = it.next().ok_or("--raw needs a file path")?;
+                raw = Some(PathBuf::from(v));
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a number")?;
+                threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a number"))?;
+            }
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other => {
+                if scenario.replace(other.to_string()).is_some() {
+                    return Err("more than one scenario argument".to_string());
+                }
+            }
+        }
+    }
+    Ok(RunArgs {
+        scenario: scenario.ok_or("missing scenario name or manifest path")?,
+        out,
+        raw,
+        threads,
+        quiet,
+    })
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let run_args = match parse_run_args(args) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let m = match load(&run_args.scenario) {
+        Ok(m) => m,
+        Err(e) => return fail(e),
+    };
+    let n_runs = match expand(&m) {
+        Ok(p) => p.len(),
+        Err(e) => return fail(e),
+    };
+    if !run_args.quiet {
+        eprintln!("running `{}`: {} runs ...", m.name, n_runs);
+    }
+    let batch = match execute(
+        &m,
+        ExecOptions {
+            threads: run_args.threads,
+        },
+    ) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
+    if !run_args.quiet {
+        print!("{}", pas_scenario::summary_table(&batch).render());
+    }
+    if let Some(path) = &run_args.out {
+        if let Err(e) = pas_scenario::write_summary_csv(&batch, path) {
+            return fail(format!("writing {}: {e}", path.display()));
+        }
+        if !run_args.quiet {
+            println!("wrote {}", path.display());
+        }
+    }
+    if let Some(path) = &run_args.raw {
+        if let Err(e) = pas_scenario::write_records_jsonl(&batch, path) {
+            return fail(format!("writing {}: {e}", path.display()));
+        }
+        if !run_args.quiet {
+            println!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("show") => match args.get(1) {
+            Some(name) => cmd_show(name),
+            None => fail("show needs a scenario name"),
+        },
+        Some("validate") => match args.get(1) {
+            Some(path) => cmd_validate(path),
+            None => fail("validate needs a manifest path"),
+        },
+        Some("expand") => match args.get(1) {
+            Some(arg) => cmd_expand(arg),
+            None => fail("expand needs a scenario name or manifest path"),
+        },
+        Some("run") => cmd_run(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}

@@ -15,12 +15,20 @@ fn radial() -> RadialFront {
 #[test]
 fn end_to_end_determinism() {
     let f = radial();
-    for policy in [Policy::Ns, Policy::sas_default(), Policy::pas_default(), Policy::Oracle] {
+    for policy in [
+        Policy::Ns,
+        Policy::sas_default(),
+        Policy::pas_default(),
+        Policy::Oracle,
+    ] {
         let s = Scenario::paper_default(77);
         let cfg = RunConfig::new(policy);
         let a = run(&s, &f, &cfg);
         let b = run(&s, &f, &cfg);
-        assert_eq!(a.delay.mean_delay_s.to_bits(), b.delay.mean_delay_s.to_bits());
+        assert_eq!(
+            a.delay.mean_delay_s.to_bits(),
+            b.delay.mean_delay_s.to_bits()
+        );
         assert_eq!(a.mean_energy_j().to_bits(), b.mean_energy_j().to_bits());
         assert_eq!(a.events_processed, b.events_processed);
         assert_eq!(a.requests_sent, b.requests_sent);
@@ -153,7 +161,10 @@ fn stimulus_models_honour_contract() {
         Box::new(AnisotropicFront::new(
             Vec2::new(5.0, 5.0),
             SpeedProfile::Constant { speed: 0.7 },
-            pas_diffusion::aniso::DirectionalGain::CosineSkew { theta0: 1.0, k: 0.4 },
+            pas_diffusion::aniso::DirectionalGain::CosineSkew {
+                theta0: 1.0,
+                k: 0.4,
+            },
         )),
         Box::new(GaussianPlume::new(
             Vec2::new(5.0, 5.0),

@@ -70,8 +70,14 @@ fn claim_energy_ordering() {
     let (_, ns_e) = mean_over_seeds(Policy::Ns);
     let (_, sas_e) = mean_over_seeds(sas);
     let (_, pas_e) = mean_over_seeds(pas);
-    assert!(ns_e > pas_e && ns_e > sas_e, "NS must be the most expensive");
-    assert!(pas_e >= sas_e, "PAS pays for its alert ring: {pas_e} vs {sas_e}");
+    assert!(
+        ns_e > pas_e && ns_e > sas_e,
+        "NS must be the most expensive"
+    );
+    assert!(
+        pas_e >= sas_e,
+        "PAS pays for its alert ring: {pas_e} vs {sas_e}"
+    );
     assert!(
         pas_e < 1.35 * sas_e,
         "but the premium is small: PAS {pas_e:.3} J vs SAS {sas_e:.3} J"

@@ -14,11 +14,7 @@ fn pas_run_with_timeline(seed: u64) -> (Scenario, RunResult) {
         alert_threshold_s: 20.0,
         ..AdaptiveParams::default()
     });
-    let r = run(
-        &scenario,
-        &field,
-        &RunConfig::new(policy).with_timeline(),
-    );
+    let r = run(&scenario, &field, &RunConfig::new(policy).with_timeline());
     (scenario, r)
 }
 
