@@ -101,8 +101,8 @@ impl Table {
     }
 }
 
-/// Minimal CSV writer (RFC-4180 quoting for the characters we can emit).
-#[derive(Debug, Clone, Default)]
+/// Minimal CSV writer/reader (RFC-4180 quoting and parsing).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Csv {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
@@ -137,7 +137,9 @@ impl Csv {
     }
 
     fn quote(cell: &str) -> String {
-        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        // RFC 4180 §2: fields containing commas, double quotes, or line
+        // breaks (LF or CR) must be quoted, with inner quotes doubled.
+        if cell.contains([',', '"', '\n', '\r']) {
             format!("\"{}\"", cell.replace('"', "\"\""))
         } else {
             cell.to_string()
@@ -148,6 +150,12 @@ impl Csv {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let line = |cells: &[String]| {
+            // A lone empty field would render as a blank line, which CSV
+            // readers (including `parse`) see as no record at all; emit
+            // the quoted empty field so the row survives a round trip.
+            if cells.len() == 1 && cells[0].is_empty() {
+                return "\"\"".to_string();
+            }
             cells
                 .iter()
                 .map(|c| Self::quote(c))
@@ -159,6 +167,97 @@ impl Csv {
             let _ = writeln!(out, "{}", line(row));
         }
         out
+    }
+
+    /// Parse RFC 4180 CSV text back into header + rows (the inverse of
+    /// [`Csv::render`]: `parse(render(c)) == c` for every `Csv`).
+    ///
+    /// Returns `None` on malformed input: an unterminated quoted field, a
+    /// bare quote inside an unquoted field, ragged row widths, or empty
+    /// input with no header line.
+    pub fn parse(text: &str) -> Option<Csv> {
+        let mut records: Vec<Vec<String>> = Vec::new();
+        let mut row: Vec<String> = Vec::new();
+        let mut cell = String::new();
+        let mut chars = text.chars().peekable();
+        // Tracks whether we are mid-record (so a trailing newline does not
+        // produce a phantom empty record).
+        let mut any = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if cell.is_empty() => {
+                    // Quoted field: read until the closing quote, honouring
+                    // doubled quotes as literal ones.
+                    loop {
+                        match chars.next()? {
+                            '"' => {
+                                if chars.peek() == Some(&'"') {
+                                    chars.next();
+                                    cell.push('"');
+                                } else {
+                                    break;
+                                }
+                            }
+                            other => cell.push(other),
+                        }
+                    }
+                    // The closing quote must end the field.
+                    match chars.peek() {
+                        None | Some(',') | Some('\n') | Some('\r') => {}
+                        Some(_) => return None,
+                    }
+                    any = true;
+                }
+                '"' => return None,
+                ',' => {
+                    row.push(std::mem::take(&mut cell));
+                    any = true;
+                }
+                '\r' => {
+                    // CRLF or bare CR both terminate the record.
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    if any || !cell.is_empty() || !row.is_empty() {
+                        row.push(std::mem::take(&mut cell));
+                        records.push(std::mem::take(&mut row));
+                        any = false;
+                    }
+                }
+                '\n' => {
+                    if any || !cell.is_empty() || !row.is_empty() {
+                        row.push(std::mem::take(&mut cell));
+                        records.push(std::mem::take(&mut row));
+                        any = false;
+                    }
+                }
+                other => {
+                    cell.push(other);
+                    any = true;
+                }
+            }
+        }
+        if any || !cell.is_empty() || !row.is_empty() {
+            row.push(cell);
+            records.push(row);
+        }
+        let mut it = records.into_iter();
+        let header = it.next()?;
+        let rows: Vec<Vec<String>> = it.collect();
+        if rows.iter().any(|r| r.len() != header.len()) {
+            return None;
+        }
+        Some(Csv { header, rows })
+    }
+
+    /// Column names.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Data rows (header excluded).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// Write to `path`, creating parent directories as needed.
@@ -209,6 +308,49 @@ mod tests {
         assert_eq!(lines.next().unwrap(), "name,value");
         assert_eq!(lines.next().unwrap(), "plain,1");
         assert_eq!(lines.next().unwrap(), "\"with,comma\",\"quote\"\"inside\"");
+    }
+
+    #[test]
+    fn csv_quotes_carriage_returns() {
+        let mut c = Csv::new(&["a"]);
+        c.push_raw(vec!["line\rbreak".into()]);
+        assert!(c.render().contains("\"line\rbreak\""));
+    }
+
+    #[test]
+    fn csv_roundtrips_hostile_cells() {
+        let mut c = Csv::new(&["max_sleep_s, adaptive", "policy\"quoted\""]);
+        c.push_raw(vec!["plain".into(), "PAS, tuned".into()]);
+        c.push_raw(vec!["multi\nline".into(), "cr\rcell".into()]);
+        c.push_raw(vec![String::new(), "\"".into()]);
+        let back = Csv::parse(&c.render()).expect("rendered CSV parses");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn csv_roundtrips_lone_empty_cell_rows() {
+        let mut c = Csv::new(&["only"]);
+        c.push_raw(vec![String::new()]);
+        c.push_raw(vec!["x".into()]);
+        assert_eq!(c.render(), "only\n\"\"\nx\n");
+        let back = Csv::parse(&c.render()).expect("parses");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn csv_parse_rejects_malformed() {
+        assert!(Csv::parse("a,b\n\"unterminated").is_none());
+        assert!(Csv::parse("a,b\nx\"y,z").is_none());
+        assert!(Csv::parse("a,b\nonly-one-cell").is_none());
+        assert!(Csv::parse("\"mid\"dle\",b").is_none());
+        assert!(Csv::parse("").is_none());
+    }
+
+    #[test]
+    fn csv_parse_accepts_crlf_lines() {
+        let c = Csv::parse("a,b\r\n1,2\r\n").expect("CRLF parses");
+        assert_eq!(c.header(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(c.rows(), &[vec!["1".to_string(), "2".to_string()]]);
     }
 
     #[test]

@@ -2,10 +2,13 @@
 //!
 //! [`expand`] turns a [`Manifest`] into the explicit cartesian run matrix
 //! (sweep axes × policies × replicate seeds) using the `pas-sweep`
-//! combinators; [`execute`] runs every point in parallel and reduces the
-//! replicates to per-point summaries. Parallel execution is bit-identical
-//! to sequential: each run derives all randomness from its own seed and
-//! results are reassembled in input order.
+//! combinators; [`execute_point`] runs one matrix point, [`reduce`]
+//! aggregates per-run records into per-point summaries, and [`execute`]
+//! composes the two over the whole matrix in parallel. Parallel execution
+//! is bit-identical to sequential: each run derives all randomness from
+//! its own seed and results are reassembled in input order. The same
+//! `execute_point`/`reduce` decomposition is what `pas-server`'s result
+//! cache calls, so cached and direct batches cannot drift apart.
 
 use crate::manifest::{FailureSpec, Manifest, ManifestError};
 use pas_core::{run, FailurePlan, RunConfig, Scenario};
@@ -32,6 +35,18 @@ pub struct RunPoint {
     pub policy: pas_core::Policy,
     /// Replicate seed.
     pub seed: u64,
+}
+
+/// Number of runs the manifest expands to, computed without
+/// materialising the matrix; `None` on `u64` overflow. Servers use this
+/// to reject absurdly large submissions *before* [`expand`] allocates.
+pub fn matrix_size(manifest: &Manifest) -> Option<u64> {
+    let mut n: u64 = 1;
+    for axis in &manifest.sweep {
+        n = n.checked_mul(axis.values.len() as u64)?;
+    }
+    n = n.checked_mul(manifest.policies.len() as u64)?;
+    n.checked_mul(manifest.run.replicates)
 }
 
 /// Expand a manifest into its explicit run matrix.
@@ -141,8 +156,24 @@ pub struct BatchResult {
 /// Execution options.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecOptions {
-    /// Worker threads; 0 = one per core, 1 = sequential.
+    /// Worker threads; 0 = defer to the manifest's `[run] threads`
+    /// (itself 0 = one per core), 1 = sequential.
     pub threads: usize,
+}
+
+impl ExecOptions {
+    /// Resolve the effective sweep options for `manifest`: an explicit
+    /// thread count here (e.g. a `--threads` flag) wins over the
+    /// manifest's `[run] threads` declaration.
+    pub fn sweep_options(&self, manifest: &Manifest) -> pas_sweep::SweepOptions {
+        SweepOptions {
+            threads: if self.threads != 0 {
+                self.threads
+            } else {
+                manifest.run.threads
+            },
+        }
+    }
 }
 
 /// Build the failure plan for one run (deterministic in the seed).
@@ -169,47 +200,46 @@ pub fn failure_plan(
     }
 }
 
-/// Execute every run of the manifest's matrix and summarise.
-pub fn execute(manifest: &Manifest, opts: ExecOptions) -> Result<BatchResult, ManifestError> {
-    let points = expand(manifest)?;
-    let field = manifest.build_field();
+/// Execute one point of the matrix: simulate the run behind [`RunPoint`]
+/// and measure it. Deterministic in `(manifest, pt)` — all randomness
+/// derives from `pt.seed` — so callers (the batch path, the server's
+/// result cache) may memoise the returned record keyed on those inputs.
+///
+/// `field` is the stimulus ground truth built once per batch with
+/// [`Manifest::build_field`] (it is seed-independent and read-only).
+pub fn execute_point(manifest: &Manifest, field: &dyn StimulusField, pt: &RunPoint) -> RunRecord {
+    let scenario = manifest.scenario(pt.seed);
+    let mut cfg = RunConfig::new(pt.policy)
+        .with_channel(manifest.channel.kind())
+        .with_failures(failure_plan(manifest, &scenario, field));
+    cfg.grace_s = manifest.run.grace_s;
+    if let Some(h) = manifest.run.horizon_s {
+        cfg = cfg.with_horizon(h);
+    }
+    let r = run(&scenario, field, &cfg);
+    RunRecord {
+        x: pt.x,
+        policy_label: pt.policy_label.clone(),
+        seed: pt.seed,
+        assignments: pt.assignments.clone(),
+        delay_s: r.delay.mean_delay_s,
+        energy_j: r.mean_energy_j(),
+        reached: r.delay.reached,
+        detected: r.delay.detected,
+        missed: r.delay.missed,
+        requests_sent: r.requests_sent,
+        responses_sent: r.responses_sent,
+        events_processed: r.events_processed,
+        duration_s: r.duration_s,
+    }
+}
 
-    let records: Vec<RunRecord> = parallel_map_with(
-        &points,
-        SweepOptions {
-            threads: opts.threads,
-        },
-        |pt| {
-            let scenario = manifest.scenario(pt.seed);
-            let mut cfg = RunConfig::new(pt.policy)
-                .with_channel(manifest.channel.kind())
-                .with_failures(failure_plan(manifest, &scenario, &field));
-            cfg.grace_s = manifest.run.grace_s;
-            if let Some(h) = manifest.run.horizon_s {
-                cfg = cfg.with_horizon(h);
-            }
-            let r = run(&scenario, &field, &cfg);
-            RunRecord {
-                x: pt.x,
-                policy_label: pt.policy_label.clone(),
-                seed: pt.seed,
-                assignments: pt.assignments.clone(),
-                delay_s: r.delay.mean_delay_s,
-                energy_j: r.mean_energy_j(),
-                reached: r.delay.reached,
-                detected: r.delay.detected,
-                missed: r.delay.missed,
-                requests_sent: r.requests_sent,
-                responses_sent: r.responses_sent,
-                events_processed: r.events_processed,
-                duration_s: r.duration_s,
-            }
-        },
-    );
-
-    // Reduce replicates per (assignments, policy) point, preserving matrix
-    // order. The key covers every sweep axis, not just the report x — two
-    // points differing only in a secondary axis must not merge.
+/// Reduce per-run records (in matrix order) to per-point summaries,
+/// aggregating replicates per `(assignments, policy)` point and
+/// preserving matrix order. The key covers every sweep axis, not just
+/// the report x — two points differing only in a secondary axis must
+/// not merge.
+pub fn reduce(records: &[RunRecord]) -> Vec<PointSummary> {
     type Key = (Vec<(String, u64)>, String);
     let key_of = |r: &RunRecord| -> Key {
         (
@@ -222,7 +252,7 @@ pub fn execute(manifest: &Manifest, opts: ExecOptions) -> Result<BatchResult, Ma
     };
     let delays: Vec<(Key, f64)> = records.iter().map(|r| (key_of(r), r.delay_s)).collect();
     let energies: Vec<(Key, f64)> = records.iter().map(|r| (key_of(r), r.energy_j)).collect();
-    let summaries = summarize(&delays)
+    summarize(&delays)
         .into_iter()
         .zip(summarize(&energies))
         .map(|(d, e)| {
@@ -241,7 +271,18 @@ pub fn execute(manifest: &Manifest, opts: ExecOptions) -> Result<BatchResult, Ma
                 n: d.n,
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Execute every run of the manifest's matrix and summarise.
+pub fn execute(manifest: &Manifest, opts: ExecOptions) -> Result<BatchResult, ManifestError> {
+    let points = expand(manifest)?;
+    let field = manifest.build_field();
+
+    let records: Vec<RunRecord> = parallel_map_with(&points, opts.sweep_options(manifest), |pt| {
+        execute_point(manifest, field.as_ref(), pt)
+    });
+    let summaries = reduce(&records);
 
     Ok(BatchResult {
         name: manifest.name.clone(),

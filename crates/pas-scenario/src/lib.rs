@@ -44,7 +44,8 @@ pub mod sink;
 pub mod toml;
 
 pub use exec::{
-    execute, expand, failure_plan, BatchResult, ExecOptions, PointSummary, RunPoint, RunRecord,
+    execute, execute_point, expand, failure_plan, matrix_size, reduce, BatchResult, ExecOptions,
+    PointSummary, RunPoint, RunRecord,
 };
 pub use manifest::{
     ChannelSpec, DeployKindSpec, DeploymentSpec, FailureSpec, Manifest, ManifestError,
@@ -54,7 +55,9 @@ pub use sink::{summary_csv, summary_table, write_records_jsonl, write_summary_cs
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::exec::{execute, expand, BatchResult, ExecOptions, PointSummary, RunRecord};
+    pub use crate::exec::{
+        execute, execute_point, expand, reduce, BatchResult, ExecOptions, PointSummary, RunRecord,
+    };
     pub use crate::manifest::{Manifest, ManifestError};
     pub use crate::registry;
     pub use crate::sink::{write_records_jsonl, write_summary_csv};

@@ -428,6 +428,9 @@ pub struct RunSection {
     pub grace_s: f64,
     /// Hard simulated-time cap; `None` derives it from the stimulus.
     pub horizon_s: Option<f64>,
+    /// Worker threads for batch execution; 0 = one per core,
+    /// 1 = sequential. An explicit `--threads` flag overrides this.
+    pub threads: usize,
 }
 
 /// Output/reporting knobs (`[output]`).
@@ -867,7 +870,10 @@ impl Manifest {
         let run_t = need(&root, "run", "manifest root")?
             .as_table()
             .ok_or_else(|| err("[run] must be a table"))?;
-        run_t.expect_only(&["base_seed", "replicates", "grace_s", "horizon_s"], "run")?;
+        run_t.expect_only(
+            &["base_seed", "replicates", "grace_s", "horizon_s", "threads"],
+            "run",
+        )?;
         let base_seed = need(run_t, "base_seed", "run")?
             .as_int()
             .and_then(|i| u64::try_from(i).ok())
@@ -889,11 +895,19 @@ impl Manifest {
                     .ok_or_else(|| err("`horizon_s` in [run] must be a number"))?,
             ),
         };
+        let threads = match run_t.get("threads") {
+            None => 0,
+            Some(v) => v
+                .as_int()
+                .and_then(|i| usize::try_from(i).ok())
+                .ok_or_else(|| err("`threads` in [run] must be a non-negative integer"))?,
+        };
         let run = RunSection {
             base_seed,
             replicates,
             grace_s,
             horizon_s,
+            threads,
         };
 
         // [[policies]]
@@ -1331,6 +1345,9 @@ impl Manifest {
         let _ = writeln!(s, "grace_s = {:?}", self.run.grace_s);
         if let Some(h) = self.run.horizon_s {
             let _ = writeln!(s, "horizon_s = {h:?}");
+        }
+        if self.run.threads != 0 {
+            let _ = writeln!(s, "threads = {}", self.run.threads);
         }
         for p in &self.policies {
             let _ = writeln!(s, "\n[[policies]]");

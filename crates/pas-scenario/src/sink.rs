@@ -121,3 +121,36 @@ pub fn summary_table(batch: &BatchResult) -> Table {
     }
     table
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::PointSummary;
+    use pas_metrics::Csv;
+
+    /// Policy and axis labels flow from user manifests straight into the
+    /// CSV; commas, quotes, and newlines in them must survive a
+    /// render → parse round trip (RFC 4180 quoting).
+    #[test]
+    fn summary_csv_roundtrips_hostile_labels() {
+        let batch = BatchResult {
+            name: "hostile".to_string(),
+            x_label: "max_sleep_s, tuned \"grid\"".to_string(),
+            records: Vec::new(),
+            summaries: vec![PointSummary {
+                x: 4.0,
+                policy_label: "PAS,\n\"aggressive\"\rvariant".to_string(),
+                delay_mean_s: 1.5,
+                delay_std_s: 0.25,
+                energy_mean_j: 2.0,
+                energy_std_j: 0.5,
+                n: 8,
+            }],
+        };
+        let csv = summary_csv(&batch);
+        let back = Csv::parse(&csv.render()).expect("summary CSV parses");
+        assert_eq!(back, csv);
+        assert_eq!(back.header()[0], batch.x_label);
+        assert_eq!(back.rows()[0][1], batch.summaries[0].policy_label);
+    }
+}

@@ -1,0 +1,239 @@
+//! A blocking client for the batch API — the engine behind `pas submit`.
+//!
+//! Speaks the same [`crate::http`] subset as the server: one request per
+//! connection, `Content-Length` bodies. Every method is a thin, typed
+//! wrapper over one route.
+
+use crate::http::roundtrip;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Result format for [`Client::results`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultFormat {
+    /// Per-point summary CSV (`text/csv`) — byte-identical to
+    /// `pas run --out`.
+    Csv,
+    /// Per-run JSONL (`application/x-ndjson`) — byte-identical to
+    /// `pas run --raw`.
+    Jsonl,
+}
+
+/// Progress snapshot of a submitted job, decoded from `GET /jobs/:id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: u64,
+    /// `queued`, `running`, `completed`, or `failed`.
+    pub phase: String,
+    /// Points finished.
+    pub done: u64,
+    /// Points total.
+    pub total: u64,
+    /// Runs answered from the result cache.
+    pub cache_hits: u64,
+    /// Runs simulated.
+    pub cache_misses: u64,
+    /// Failure message, when `phase == "failed"`.
+    pub error: Option<String>,
+}
+
+/// Errors surfaced to the CLI.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Non-success HTTP status; carries the server's message.
+    Api(u16, String),
+    /// The server answered 200 with a body we could not decode.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Api(status, msg) => write!(f, "server ({status}): {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    fn call(
+        &self,
+        method: &str,
+        path: &str,
+        accept: Option<&str>,
+        body: &[u8],
+    ) -> Result<(u16, Vec<u8>), ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        let (status, _ctype, body) = roundtrip(&mut stream, method, path, accept, body)?;
+        Ok((status, body))
+    }
+
+    fn expect_ok(&self, outcome: (u16, Vec<u8>)) -> Result<String, ClientError> {
+        let (status, body) = outcome;
+        let text = String::from_utf8_lossy(&body).into_owned();
+        if (200..300).contains(&status) {
+            Ok(text)
+        } else {
+            // Error bodies are `{"error": "..."}`; fall back to raw text.
+            let msg = json_find_string(&text, "error").unwrap_or(text.clone());
+            Err(ClientError::Api(status, msg))
+        }
+    }
+
+    /// `GET /scenarios`, raw JSON.
+    pub fn scenarios(&self) -> Result<String, ClientError> {
+        let out = self.call("GET", "/scenarios", None, &[])?;
+        self.expect_ok(out)
+    }
+
+    /// `POST /validate` with manifest TOML; returns the run count.
+    pub fn validate(&self, manifest_toml: &str) -> Result<u64, ClientError> {
+        let out = self.call("POST", "/validate", None, manifest_toml.as_bytes())?;
+        let body = self.expect_ok(out)?;
+        json_find_u64(&body, "runs")
+            .ok_or_else(|| ClientError::Protocol(format!("no `runs` in {body}")))
+    }
+
+    /// `POST /jobs` with manifest TOML; returns the job id.
+    pub fn submit(&self, manifest_toml: &str) -> Result<u64, ClientError> {
+        let out = self.call("POST", "/jobs", None, manifest_toml.as_bytes())?;
+        let body = self.expect_ok(out)?;
+        json_find_u64(&body, "id")
+            .ok_or_else(|| ClientError::Protocol(format!("no `id` in {body}")))
+    }
+
+    /// `GET /jobs/:id`.
+    pub fn status(&self, id: u64) -> Result<JobStatus, ClientError> {
+        let out = self.call("GET", &format!("/jobs/{id}"), None, &[])?;
+        let body = self.expect_ok(out)?;
+        let field = |k: &str| {
+            json_find_u64(&body, k)
+                .ok_or_else(|| ClientError::Protocol(format!("no `{k}` in {body}")))
+        };
+        Ok(JobStatus {
+            id: field("id")?,
+            phase: json_find_string(&body, "phase")
+                .ok_or_else(|| ClientError::Protocol(format!("no `phase` in {body}")))?,
+            done: field("done")?,
+            total: field("total")?,
+            cache_hits: field("cache_hits")?,
+            cache_misses: field("cache_misses")?,
+            error: json_find_string(&body, "error"),
+        })
+    }
+
+    /// Poll `GET /jobs/:id` every `interval` until the job completes.
+    /// Returns the final status; a `failed` phase is returned, not an error.
+    pub fn wait(&self, id: u64, interval: Duration) -> Result<JobStatus, ClientError> {
+        loop {
+            let status = self.status(id)?;
+            if status.phase == "completed" || status.phase == "failed" {
+                return Ok(status);
+            }
+            std::thread::sleep(interval);
+        }
+    }
+
+    /// `GET /jobs/:id/results` in the requested format, as raw bytes.
+    pub fn results(&self, id: u64, format: ResultFormat) -> Result<Vec<u8>, ClientError> {
+        let accept = match format {
+            ResultFormat::Csv => "text/csv",
+            ResultFormat::Jsonl => "application/x-ndjson",
+        };
+        let (status, body) = self.call("GET", &format!("/jobs/{id}/results"), Some(accept), &[])?;
+        if status == 200 {
+            Ok(body)
+        } else {
+            let text = String::from_utf8_lossy(&body).into_owned();
+            let msg = json_find_string(&text, "error").unwrap_or(text);
+            Err(ClientError::Api(status, msg))
+        }
+    }
+}
+
+/// Extract `"key": <unsigned int>` from a flat JSON object. The API's
+/// envelopes are single-level with known keys, so a scanning decoder is
+/// sufficient and keeps the client std-only.
+fn json_find_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Extract `"key": "string"` (with JSON escapes) from a flat JSON object.
+fn json_find_string(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let code: String = chars.by_ref().take(4).collect();
+                    let v = u32::from_str_radix(&code, 16).ok()?;
+                    out.push(char::from_u32(v)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_scanners_decode_envelopes() {
+        let body = "{\"id\":42,\"phase\":\"running\",\"done\":3,\"total\":10,\
+                    \"error\":\"boom \\\"quoted\\\"\\n\"}";
+        assert_eq!(json_find_u64(body, "id"), Some(42));
+        assert_eq!(json_find_u64(body, "done"), Some(3));
+        assert_eq!(json_find_u64(body, "missing"), None);
+        assert_eq!(json_find_string(body, "phase").as_deref(), Some("running"));
+        assert_eq!(
+            json_find_string(body, "error").as_deref(),
+            Some("boom \"quoted\"\n")
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! Bounded job queue, job registry, and the worker pool.
+//!
+//! Submissions enter a FIFO with a hard capacity; when it is full the
+//! server answers `429 Too Many Requests` instead of buffering without
+//! bound (backpressure, not collapse). Worker threads pop jobs and run
+//! them through [`crate::cache::execute_with_cache_progress`] — each job
+//! is itself internally parallel via `pas-sweep::parallel_map_with`, so
+//! one worker already saturates the machine; extra workers only help
+//! when jobs are small. Job state lives in a registry the HTTP layer
+//! reads for `GET /jobs/:id`.
+
+use crate::cache::{execute_with_cache_progress, CacheStats, ResultCache};
+use pas_scenario::{BatchResult, ExecOptions, Manifest};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Finished jobs retained for `GET /jobs/:id` before the oldest are
+/// evicted (results also persist in the on-disk cache, so an evicted
+/// job's batch is one warm resubmission away).
+pub const RETAINED_JOBS: usize = 256;
+
+/// Lifecycle of one submitted batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Waiting in the queue.
+    Queued,
+    /// Being executed.
+    Running,
+    /// Finished; results are available.
+    Completed,
+    /// Execution failed (expansion error, etc.).
+    Failed,
+}
+
+impl JobPhase {
+    /// Wire name of the phase.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Completed => "completed",
+            JobPhase::Failed => "failed",
+        }
+    }
+}
+
+/// One job's full state.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Server-assigned id.
+    pub id: u64,
+    /// Scenario name from the submitted manifest.
+    pub scenario: String,
+    /// Current phase.
+    pub phase: JobPhase,
+    /// Points finished so far.
+    pub done: usize,
+    /// Total points in the expanded matrix.
+    pub total: usize,
+    /// Cache traffic (populated as the job runs).
+    pub stats: CacheStats,
+    /// Error message when `phase == Failed`.
+    pub error: Option<String>,
+    /// Results when `phase == Completed`.
+    pub result: Option<BatchResult>,
+}
+
+struct Inner {
+    jobs: Mutex<JobTable>,
+    /// Signalled on every push (and on shutdown).
+    available: Condvar,
+}
+
+struct JobTable {
+    next_id: u64,
+    queue: VecDeque<u64>,
+    by_id: HashMap<u64, Job>,
+    manifests: HashMap<u64, Manifest>,
+    shutdown: bool,
+}
+
+/// Shared job registry + queue handle.
+#[derive(Clone)]
+pub struct JobQueue {
+    inner: Arc<Inner>,
+    capacity: usize,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — retry later (HTTP 429).
+    Full,
+    /// The queue is shutting down.
+    Closed,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            inner: Arc::new(Inner {
+                jobs: Mutex::new(JobTable {
+                    next_id: 1,
+                    queue: VecDeque::new(),
+                    by_id: HashMap::new(),
+                    manifests: HashMap::new(),
+                    shutdown: false,
+                }),
+                available: Condvar::new(),
+            }),
+            capacity,
+        }
+    }
+
+    /// Enqueue a validated manifest; returns the new job id.
+    pub fn submit(&self, manifest: Manifest, total: usize) -> Result<u64, SubmitError> {
+        let mut t = self.inner.jobs.lock().expect("queue poisoned");
+        if t.shutdown {
+            return Err(SubmitError::Closed);
+        }
+        if t.queue.len() >= self.capacity {
+            return Err(SubmitError::Full);
+        }
+        let id = t.next_id;
+        t.next_id += 1;
+        t.by_id.insert(
+            id,
+            Job {
+                id,
+                scenario: manifest.name.clone(),
+                phase: JobPhase::Queued,
+                done: 0,
+                total,
+                stats: CacheStats::default(),
+                error: None,
+                result: None,
+            },
+        );
+        t.manifests.insert(id, manifest);
+        t.queue.push_back(id);
+        // Retention bound: a long-lived server must not accumulate every
+        // finished job's result forever. Evict oldest finished jobs past
+        // the cap (their runs stay warm in the on-disk cache; a later GET
+        // answers 404 and a resubmission is all cache hits).
+        if t.by_id.len() > RETAINED_JOBS {
+            let mut finished: Vec<u64> = t
+                .by_id
+                .values()
+                .filter(|j| matches!(j.phase, JobPhase::Completed | JobPhase::Failed))
+                .map(|j| j.id)
+                .collect();
+            finished.sort_unstable();
+            let excess = t.by_id.len() - RETAINED_JOBS;
+            for old in finished.into_iter().take(excess) {
+                t.by_id.remove(&old);
+            }
+        }
+        drop(t);
+        self.inner.available.notify_one();
+        Ok(id)
+    }
+
+    /// Snapshot one job (without its result payload — copying the full
+    /// record vectors under the registry lock on every status poll would
+    /// stall the workers' progress updates).
+    pub fn status(&self, id: u64) -> Option<Job> {
+        let t = self.inner.jobs.lock().expect("queue poisoned");
+        t.by_id.get(&id).map(|j| Job {
+            id: j.id,
+            scenario: j.scenario.clone(),
+            phase: j.phase.clone(),
+            done: j.done,
+            total: j.total,
+            stats: j.stats,
+            error: j.error.clone(),
+            result: None,
+        })
+    }
+
+    /// The completed result of a job, if any.
+    pub fn result(&self, id: u64) -> Option<BatchResult> {
+        let t = self.inner.jobs.lock().expect("queue poisoned");
+        t.by_id.get(&id).and_then(|j| j.result.clone())
+    }
+
+    /// Ids of all known jobs, oldest first.
+    pub fn ids(&self) -> Vec<u64> {
+        let t = self.inner.jobs.lock().expect("queue poisoned");
+        let mut ids: Vec<u64> = t.by_id.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Wake all workers and make further submissions fail.
+    pub fn shutdown(&self) {
+        self.inner.jobs.lock().expect("queue poisoned").shutdown = true;
+        self.inner.available.notify_all();
+    }
+
+    /// Block until a job is available, pop it, and return `(id, manifest)`;
+    /// `None` means the queue shut down.
+    fn pop(&self) -> Option<(u64, Manifest)> {
+        let mut t = self.inner.jobs.lock().expect("queue poisoned");
+        loop {
+            if let Some(id) = t.queue.pop_front() {
+                let manifest = t.manifests.remove(&id).expect("manifest for queued job");
+                if let Some(j) = t.by_id.get_mut(&id) {
+                    j.phase = JobPhase::Running;
+                }
+                return Some((id, manifest));
+            }
+            if t.shutdown {
+                return None;
+            }
+            t = self.inner.available.wait(t).expect("queue poisoned");
+        }
+    }
+
+    fn with_job(&self, id: u64, f: impl FnOnce(&mut Job)) {
+        let mut t = self.inner.jobs.lock().expect("queue poisoned");
+        if let Some(j) = t.by_id.get_mut(&id) {
+            f(j);
+        }
+    }
+
+    /// Run the worker loop on the current thread until shutdown: pop a
+    /// job, execute it against `cache`, publish progress and results.
+    pub fn work(&self, cache: &ResultCache, opts: ExecOptions) {
+        while let Some((id, manifest)) = self.pop() {
+            let queue = self.clone();
+            let outcome = execute_with_cache_progress(&manifest, opts, cache, |done, total| {
+                queue.with_job(id, |j| {
+                    j.done = done;
+                    j.total = total;
+                });
+            });
+            match outcome {
+                Ok((batch, stats)) => self.with_job(id, |j| {
+                    j.phase = JobPhase::Completed;
+                    j.done = j.total;
+                    j.stats = stats;
+                    j.result = Some(batch);
+                }),
+                Err(e) => self.with_job(id, |j| {
+                    j.phase = JobPhase::Failed;
+                    j.error = Some(e.to_string());
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_scenario::{expand, registry};
+
+    fn tiny_manifest() -> Manifest {
+        let mut m = registry::builtin("paper-default").unwrap();
+        m.sweep[0].values = vec![4.0];
+        m.run.replicates = 1;
+        m
+    }
+
+    #[test]
+    fn backpressure_rejects_when_full() {
+        let q = JobQueue::new(2);
+        let m = tiny_manifest();
+        let n = expand(&m).unwrap().len();
+        assert!(q.submit(m.clone(), n).is_ok());
+        assert!(q.submit(m.clone(), n).is_ok());
+        assert_eq!(q.submit(m.clone(), n), Err(SubmitError::Full));
+        q.shutdown();
+        assert_eq!(q.submit(m, n), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn worker_drains_queue_and_publishes_results() {
+        let dir = std::env::temp_dir().join(format!("pas_queue_unit_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let q = JobQueue::new(8);
+        let m = tiny_manifest();
+        let n = expand(&m).unwrap().len();
+        let id = q.submit(m, n).unwrap();
+        assert_eq!(q.status(id).unwrap().phase, JobPhase::Queued);
+
+        let worker = {
+            let q = q.clone();
+            let cache = cache.clone();
+            std::thread::spawn(move || q.work(&cache, ExecOptions { threads: 1 }))
+        };
+        // Poll until the job completes (bounded, CI-safe).
+        let mut waited = 0;
+        while q.status(id).unwrap().phase != JobPhase::Completed {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            waited += 1;
+            assert!(waited < 1500, "job did not complete in 30s");
+        }
+        let job = q.status(id).unwrap();
+        assert_eq!(job.done, job.total);
+        assert_eq!(job.stats.misses, n as u64, "cold run simulates everything");
+        assert_eq!(job.stats.hits, 0);
+        let batch = q.result(id).expect("completed job has results");
+        assert_eq!(batch.records.len(), n);
+
+        q.shutdown();
+        worker.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,257 @@
+//! The batch API server: accept loop, routing, JSON rendering.
+//!
+//! | Route | Effect |
+//! |-------|--------|
+//! | `GET /scenarios` | built-in registry: name, matrix size, description |
+//! | `POST /validate` | parse + validate a manifest body |
+//! | `POST /expand` | matrix shape of a manifest body |
+//! | `POST /jobs` | submit a manifest as an async batch job (`202`/`429`) |
+//! | `GET /jobs/:id` | phase, progress, cache hit/miss counters |
+//! | `GET /jobs/:id/results` | summary CSV, or per-run JSONL via `Accept` |
+//!
+//! One thread per connection (requests are one round trip and jobs are
+//! asynchronous, so connections are short-lived); simulation work happens
+//! on the queue's worker threads, never on connection threads.
+
+use crate::cache::ResultCache;
+use crate::http::{json_string, read_request, Request, Response};
+use crate::queue::{JobQueue, SubmitError};
+use pas_scenario::{expand, matrix_size, registry, sink, ExecOptions, Manifest};
+use std::io;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Server construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Worker threads per job (0 = defer to each manifest, then cores).
+    pub threads: usize,
+    /// Max jobs waiting in the queue before `429` (running job excluded).
+    pub queue_capacity: usize,
+    /// Job worker threads. Each job is internally parallel, so 1 (the
+    /// default) already saturates the machine on non-trivial batches.
+    pub workers: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            threads: 0,
+            queue_capacity: 64,
+            workers: 1,
+        }
+    }
+}
+
+/// A bound batch server, ready to run.
+pub struct Server {
+    listener: TcpListener,
+    queue: JobQueue,
+    cache: Arc<ResultCache>,
+    opts: ServerOptions,
+}
+
+impl Server {
+    /// Bind to `addr` with a result cache at `cache`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cache: ResultCache,
+        opts: ServerOptions,
+    ) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            queue: JobQueue::new(opts.queue_capacity.max(1)),
+            cache: Arc::new(cache),
+            opts,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle to the job queue (e.g. to shut workers down in tests).
+    pub fn queue(&self) -> JobQueue {
+        self.queue.clone()
+    }
+
+    /// Serve forever: spawn the worker pool, then accept connections,
+    /// one short-lived thread each.
+    pub fn run(self) -> io::Result<()> {
+        for _ in 0..self.opts.workers.max(1) {
+            let queue = self.queue.clone();
+            let cache = Arc::clone(&self.cache);
+            let exec = ExecOptions {
+                threads: self.opts.threads,
+            };
+            std::thread::spawn(move || queue.work(&cache, exec));
+        }
+        for stream in self.listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            // An idle or trickling peer must not pin a connection thread
+            // forever (jobs are async; requests are one short round trip).
+            let timeout = Some(std::time::Duration::from_secs(30));
+            let _ = stream.set_read_timeout(timeout);
+            let _ = stream.set_write_timeout(timeout);
+            let queue = self.queue.clone();
+            std::thread::spawn(move || {
+                let response = match read_request(&mut stream) {
+                    Ok(req) => route(&queue, &req),
+                    Err(e) => Response::error(400, &format!("malformed request: {e}")),
+                };
+                let _ = response.write_to(&mut stream);
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Dispatch one request.
+fn route(queue: &JobQueue, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["scenarios"]) => scenarios(),
+        ("POST", ["validate"]) => with_manifest(req, |m, runs| {
+            Response::json(
+                200,
+                format!(
+                    "{{\"ok\":true,\"scenario\":{},\"runs\":{runs}}}",
+                    json_string(&m.name)
+                ),
+            )
+        }),
+        ("POST", ["expand"]) => {
+            with_manifest(req, |m, runs| Response::json(200, expansion_json(&m, runs)))
+        }
+        ("POST", ["jobs"]) => with_manifest(req, |m, runs| match queue.submit(m, runs) {
+            Ok(id) => Response::json(
+                202,
+                format!(
+                    "{{\"id\":{id},\"status\":\"/jobs/{id}\",\"results\":\"/jobs/{id}/results\"}}"
+                ),
+            ),
+            Err(SubmitError::Full) => Response::error(429, "job queue is full; retry later"),
+            Err(SubmitError::Closed) => Response::error(503, "server is shutting down"),
+        }),
+        ("GET", ["jobs", id]) => match id.parse::<u64>().ok().and_then(|id| queue.status(id)) {
+            Some(job) => Response::json(200, status_json(&job)),
+            None => Response::error(404, "no such job"),
+        },
+        ("GET", ["jobs", id, "results"]) => results(queue, req, id),
+        ("GET", _) | ("POST", _) => Response::error(404, "no such route"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+/// Largest matrix a submitted manifest may expand to. A manifest is a
+/// few KB but its matrix is a product of free integers, so the size is
+/// checked *before* [`expand`] materialises anything.
+pub const MAX_MATRIX_RUNS: u64 = 1_000_000;
+
+/// Parse the body as a manifest and expand it, or answer 400.
+fn with_manifest(req: &Request, f: impl FnOnce(Manifest, usize) -> Response) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "manifest body must be UTF-8 TOML"),
+    };
+    let manifest = match Manifest::parse(text) {
+        Ok(m) => m,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    match matrix_size(&manifest) {
+        Some(n) if n <= MAX_MATRIX_RUNS => {}
+        _ => {
+            return Response::error(
+                400,
+                &format!("manifest expands to more than {MAX_MATRIX_RUNS} runs"),
+            )
+        }
+    }
+    match expand(&manifest) {
+        Ok(points) => f(manifest, points.len()),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+fn scenarios() -> Response {
+    let entries: Vec<String> = registry::BUILTINS
+        .iter()
+        .map(|(name, _)| {
+            let m = registry::builtin(name).expect("builtins parse");
+            let runs = expand(&m).map(|p| p.len()).unwrap_or(0);
+            format!(
+                "{{\"name\":{},\"runs\":{runs},\"policies\":{},\"description\":{}}}",
+                json_string(name),
+                m.policies.len(),
+                json_string(&m.description)
+            )
+        })
+        .collect();
+    Response::json(200, format!("{{\"scenarios\":[{}]}}", entries.join(",")))
+}
+
+fn expansion_json(m: &Manifest, runs: usize) -> String {
+    let axes: Vec<String> = m
+        .sweep
+        .iter()
+        .map(|a| {
+            let vals: Vec<String> = a.values.iter().map(|v| format!("{v}")).collect();
+            format!(
+                "{{\"field\":{},\"values\":[{}]}}",
+                json_string(&a.field),
+                vals.join(",")
+            )
+        })
+        .collect();
+    let policies: Vec<String> = m.policies.iter().map(|p| json_string(&p.label)).collect();
+    format!(
+        "{{\"scenario\":{},\"runs\":{runs},\"replicates\":{},\"axes\":[{}],\"policies\":[{}]}}",
+        json_string(&m.name),
+        m.run.replicates,
+        axes.join(","),
+        policies.join(",")
+    )
+}
+
+fn status_json(job: &crate::queue::Job) -> String {
+    let mut s = format!(
+        "{{\"id\":{},\"scenario\":{},\"phase\":{},\"done\":{},\"total\":{},\
+         \"cache_hits\":{},\"cache_misses\":{}",
+        job.id,
+        json_string(&job.scenario),
+        json_string(job.phase.as_str()),
+        job.done,
+        job.total,
+        job.stats.hits,
+        job.stats.misses,
+    );
+    if let Some(e) = &job.error {
+        s.push_str(&format!(",\"error\":{}", json_string(e)));
+    }
+    s.push('}');
+    s
+}
+
+fn results(queue: &JobQueue, req: &Request, id: &str) -> Response {
+    let Some(id) = id.parse::<u64>().ok() else {
+        return Response::error(404, "no such job");
+    };
+    let Some(job) = queue.status(id) else {
+        return Response::error(404, "no such job");
+    };
+    let Some(batch) = queue.result(id) else {
+        return Response::error(
+            409,
+            &format!("job is {} — results not available", job.phase.as_str()),
+        );
+    };
+    let accept = req.header("accept").unwrap_or("text/csv");
+    if accept.contains("jsonl") || accept.contains("x-ndjson") {
+        Response::new(200, "application/x-ndjson", sink::records_jsonl(&batch))
+    } else {
+        // Byte-identical to `pas run --out`: same sink, same renderer.
+        Response::new(200, "text/csv", sink::summary_csv(&batch).render())
+    }
+}

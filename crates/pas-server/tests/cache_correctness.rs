@@ -1,0 +1,193 @@
+//! Cache correctness: warm results must be byte-identical to cold ones,
+//! and damaged entries must fall back to recomputation.
+
+use pas_scenario::{execute, registry, BatchResult, ExecOptions, Manifest};
+use pas_server::cache::execute_with_cache;
+use pas_server::ResultCache;
+use std::path::PathBuf;
+
+fn temp_cache(tag: &str) -> (PathBuf, ResultCache) {
+    let dir = std::env::temp_dir().join(format!("pas_cache_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (dir.clone(), ResultCache::open(&dir).unwrap())
+}
+
+fn assert_batches_bit_identical(a: &BatchResult, b: &BatchResult, context: &str) {
+    assert_eq!(a.records.len(), b.records.len(), "{context}: record count");
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.policy_label, y.policy_label, "{context}");
+        assert_eq!(x.seed, y.seed, "{context}");
+        assert_eq!(x.x.to_bits(), y.x.to_bits(), "{context}");
+        assert_eq!(x.assignments, y.assignments, "{context}");
+        assert_eq!(x.delay_s.to_bits(), y.delay_s.to_bits(), "{context}");
+        assert_eq!(x.energy_j.to_bits(), y.energy_j.to_bits(), "{context}");
+        assert_eq!(x.reached, y.reached, "{context}");
+        assert_eq!(x.detected, y.detected, "{context}");
+        assert_eq!(x.missed, y.missed, "{context}");
+        assert_eq!(x.requests_sent, y.requests_sent, "{context}");
+        assert_eq!(x.responses_sent, y.responses_sent, "{context}");
+        assert_eq!(x.events_processed, y.events_processed, "{context}");
+        assert_eq!(x.duration_s.to_bits(), y.duration_s.to_bits(), "{context}");
+    }
+    assert_eq!(a.summaries.len(), b.summaries.len(), "{context}");
+    for (x, y) in a.summaries.iter().zip(&b.summaries) {
+        assert_eq!(x.policy_label, y.policy_label, "{context}");
+        assert_eq!(
+            x.delay_mean_s.to_bits(),
+            y.delay_mean_s.to_bits(),
+            "{context}"
+        );
+        assert_eq!(
+            x.delay_std_s.to_bits(),
+            y.delay_std_s.to_bits(),
+            "{context}"
+        );
+        assert_eq!(
+            x.energy_mean_j.to_bits(),
+            y.energy_mean_j.to_bits(),
+            "{context}"
+        );
+        assert_eq!(
+            x.energy_std_j.to_bits(),
+            y.energy_std_j.to_bits(),
+            "{context}"
+        );
+        assert_eq!(x.n, y.n, "{context}");
+    }
+    // The rendered artefacts (what `pas submit` hands back) too.
+    assert_eq!(
+        pas_scenario::summary_csv(a).render(),
+        pas_scenario::summary_csv(b).render(),
+        "{context}: CSV bytes"
+    );
+    assert_eq!(
+        pas_scenario::sink::records_jsonl(a),
+        pas_scenario::sink::records_jsonl(b),
+        "{context}: JSONL bytes"
+    );
+}
+
+/// Property: over a family of manifest variants (every built-in scenario,
+/// shrunk, across channel/replicate/sweep perturbations), a cold cached
+/// run equals the direct path bit-for-bit, and a warm re-run — all hits,
+/// zero simulations — equals it again.
+#[test]
+fn cached_batches_are_bit_identical_cold_and_warm() {
+    let (dir, cache) = temp_cache("prop");
+    for (name, _) in pas_scenario::registry::BUILTINS {
+        let mut m = registry::builtin(name).unwrap();
+        // Shrink to keep the whole family fast in debug CI.
+        if !m.sweep.is_empty() {
+            m.sweep[0].values.truncate(2);
+        }
+        m.run.replicates = 2;
+        for variant in 0..3u64 {
+            let mut v = m.clone();
+            v.run.base_seed = m.run.base_seed + 100 * variant;
+            if variant == 2 && !v.sweep.is_empty() {
+                v.sweep[0].values.truncate(1);
+            }
+            let n = pas_scenario::expand(&v).unwrap().len() as u64;
+
+            let direct = execute(&v, ExecOptions { threads: 1 }).unwrap();
+            let (cold, cold_stats) =
+                execute_with_cache(&v, ExecOptions::default(), &cache).unwrap();
+            let (warm, warm_stats) =
+                execute_with_cache(&v, ExecOptions::default(), &cache).unwrap();
+
+            let ctx = format!("{name} variant {variant}");
+            assert_batches_bit_identical(&direct, &cold, &format!("{ctx} (cold)"));
+            assert_batches_bit_identical(&direct, &warm, &format!("{ctx} (warm)"));
+            assert_eq!(cold_stats.hits + cold_stats.misses, n, "{ctx}");
+            assert_eq!(warm_stats.hits, n, "{ctx}: warm run must be all hits");
+            assert_eq!(warm_stats.misses, 0, "{ctx}: warm run must not simulate");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Overlap: a second manifest whose grid intersects the first one's only
+/// recomputes the genuinely new points.
+#[test]
+fn overlapping_batches_reuse_shared_points() {
+    let (dir, cache) = temp_cache("overlap");
+    let mut a = registry::builtin("paper-default").unwrap();
+    a.sweep[0].values = vec![2.0, 8.0];
+    a.run.replicates = 2;
+    let (_, first) = execute_with_cache(&a, ExecOptions::default(), &cache).unwrap();
+    assert_eq!(first.hits, 0);
+
+    let mut b = a.clone();
+    b.name = "paper-default-extended".to_string();
+    b.sweep[0].values = vec![8.0, 32.0]; // shares the 8.0 column
+    b.run.replicates = 3; // shares seeds 0..2 of each point
+    let n_b = pas_scenario::expand(&b).unwrap().len() as u64;
+    let (_, second) = execute_with_cache(&b, ExecOptions::default(), &cache).unwrap();
+    // Shared: x = 8.0 × every policy × the 2 common seeds.
+    let shared = (a.policies.len() * 2) as u64;
+    assert_eq!(second.hits, shared, "only the overlap is reused");
+    assert_eq!(second.misses, n_b - shared);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Evicting or corrupting entries silently falls back to recomputation
+/// with identical results (checksums catch the damage).
+#[test]
+fn evicted_and_corrupted_entries_fall_back_to_recomputation() {
+    let (dir, cache) = temp_cache("corrupt");
+    let mut m = registry::builtin("paper-default").unwrap();
+    m.sweep[0].values = vec![4.0];
+    m.run.replicates = 2;
+    let n = pas_scenario::expand(&m).unwrap().len() as u64;
+
+    let (baseline, _) = execute_with_cache(&m, ExecOptions::default(), &cache).unwrap();
+    let entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "run"))
+        .collect();
+    assert_eq!(entries.len(), n as usize);
+
+    // Evict one entry, corrupt another three different ways.
+    std::fs::remove_file(&entries[0]).unwrap();
+    std::fs::write(&entries[1], "garbage, not an entry").unwrap();
+    let valid = std::fs::read_to_string(&entries[2]).unwrap();
+    std::fs::write(&entries[2], valid.replace("delay=", "delay=f")).unwrap();
+    let truncated: String = std::fs::read_to_string(&entries[3])
+        .unwrap()
+        .chars()
+        .take(40)
+        .collect();
+    std::fs::write(&entries[3], truncated).unwrap();
+
+    let (recovered, stats) = execute_with_cache(&m, ExecOptions::default(), &cache).unwrap();
+    assert_eq!(stats.misses, 4, "each damaged entry recomputes once");
+    assert_eq!(stats.hits, n - 4);
+    assert_batches_bit_identical(&baseline, &recovered, "after corruption");
+
+    // The recomputation healed the cache: a third run is all hits.
+    let (_, healed) = execute_with_cache(&m, ExecOptions::default(), &cache).unwrap();
+    assert_eq!(healed.hits, n);
+    assert_eq!(healed.misses, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The cache directory is the durable state: reopening it (a "restart")
+/// keeps every entry warm.
+#[test]
+fn cache_survives_reopen() {
+    let (dir, cache) = temp_cache("reopen");
+    let mut m: Manifest = registry::builtin("gas-leak-city").unwrap();
+    m.sweep[0].values.truncate(1);
+    m.run.replicates = 1;
+    let n = pas_scenario::expand(&m).unwrap().len() as u64;
+    let (_, first) = execute_with_cache(&m, ExecOptions::default(), &cache).unwrap();
+    assert_eq!(first.misses, n);
+    drop(cache);
+
+    let reopened = ResultCache::open(&dir).unwrap();
+    let (_, second) = execute_with_cache(&m, ExecOptions::default(), &reopened).unwrap();
+    assert_eq!(second.hits, n, "entries persist across restarts");
+    let _ = std::fs::remove_dir_all(&dir);
+}

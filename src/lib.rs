@@ -17,6 +17,7 @@
 //! | [`metrics`] | delay/energy metrics, statistics, tables, CSV |
 //! | [`sweep`] | parallel parameter sweeps with ordered, seeded results |
 //! | [`scenario`] | declarative TOML manifests, batch execution, the registry |
+//! | [`server`] | batch HTTP API: job queue, content-addressed result cache |
 //!
 //! ## Quick start
 //!
@@ -60,6 +61,7 @@ pub use pas_metrics as metrics;
 pub use pas_net as net;
 pub use pas_platform as platform;
 pub use pas_scenario as scenario;
+pub use pas_server as server;
 pub use pas_sim as sim;
 pub use pas_sweep as sweep;
 
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use pas_net::prelude::*;
     pub use pas_platform::prelude::*;
     pub use pas_scenario::prelude::*;
+    pub use pas_server::prelude::*;
     pub use pas_sim::prelude::*;
     pub use pas_sweep::prelude::*;
 }

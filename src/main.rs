@@ -6,21 +6,25 @@
 //! pas validate <path>              parse + validate a manifest file
 //! pas expand <name|path>           print the expanded run matrix shape
 //! pas run <name|path> [options]    execute a batch and report summaries
-//!
-//! run options:
-//!   --out FILE.csv       write per-point delay/energy summaries
-//!   --raw FILE.jsonl     write every run as one JSON object per line
-//!   --threads N          worker threads (0 = all cores, 1 = sequential)
-//!   --quiet              suppress the stdout table
+//! pas serve [options]              run the batch API server
+//! pas submit <name|path> [options] run a batch on a server (with caching)
+//! pas bench [--out FILE]           time expansion + a small batch
 //! ```
 //!
 //! Scenario arguments resolve against the built-in registry first and fall
 //! back to the filesystem, so `pas run paper-default` and
-//! `pas run my/batch.toml` both work.
+//! `pas run my/batch.toml` both work. `pas submit` sends the same manifest
+//! to a `pas serve` instance and returns results byte-identical to
+//! `pas run` — warm submissions are answered from the server's
+//! content-addressed cache without re-simulating.
 
 use pas_scenario::{execute, expand, registry, ExecOptions, Manifest};
+use pas_server::{Client, ResultCache, ResultFormat, Server, ServerOptions};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Default server address (loopback; pick a fixed high port).
+const DEFAULT_ADDR: &str = "127.0.0.1:8479";
 
 fn usage() -> &'static str {
     "pas — declarative PAS experiment batches
@@ -31,12 +35,29 @@ USAGE:
     pas validate <path>               parse + validate a manifest file
     pas expand <name|path>            print the expanded run matrix shape
     pas run <name|path> [options]     execute a batch and report summaries
+    pas serve [options]               run the batch API server
+    pas submit <name|path> [options]  run a batch on a server (with caching)
+    pas bench [--out FILE]            time expansion + a small batch execute
 
 RUN OPTIONS:
     --out FILE.csv       write per-point delay/energy summaries
     --raw FILE.jsonl     write every run as one JSON object per line
-    --threads N          worker threads (0 = all cores, 1 = sequential)
+    --threads N          worker threads (0 = manifest [run] threads, then
+                         all cores; 1 = sequential)
     --quiet              suppress the stdout table
+
+SERVE OPTIONS:
+    --addr HOST:PORT     bind address            (default 127.0.0.1:8479)
+    --cache-dir DIR      result cache directory  (default .pas-cache)
+    --threads N          worker threads per job  (default: manifest, then cores)
+    --queue-cap N        max queued jobs before 429 (default 64)
+
+SUBMIT OPTIONS:
+    --addr HOST:PORT     server address          (default 127.0.0.1:8479)
+    --out FILE.csv       write the returned summary CSV
+    --raw FILE.jsonl     also fetch per-run JSONL
+    --poll-ms N          status poll interval    (default 200)
+    --quiet              suppress progress; print nothing but errors
 "
 }
 
@@ -240,6 +261,260 @@ fn cmd_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+struct ServeArgs {
+    addr: String,
+    cache_dir: PathBuf,
+    opts: ServerOptions,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut cache_dir = PathBuf::from(".pas-cache");
+    let mut opts = ServerOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--cache-dir" => {
+                cache_dir = PathBuf::from(it.next().ok_or("--cache-dir needs a path")?)
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a number")?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a number"))?;
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a number")?;
+                opts.queue_capacity = v
+                    .parse()
+                    .map_err(|_| format!("--queue-cap: `{v}` is not a number"))?;
+            }
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+    }
+    Ok(ServeArgs {
+        addr,
+        cache_dir,
+        opts,
+    })
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let serve = match parse_serve_args(args) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let cache = match ResultCache::open(&serve.cache_dir) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("opening cache {}: {e}", serve.cache_dir.display())),
+    };
+    let warm = cache.len();
+    let server = match Server::bind(serve.addr.as_str(), cache, serve.opts) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("binding {}: {e}", serve.addr)),
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "pas-server listening on {addr} (cache: {}, {warm} warm entries)",
+            serve.cache_dir.display()
+        ),
+        Err(_) => eprintln!("pas-server listening on {}", serve.addr),
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(format!("server: {e}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// submit
+// ---------------------------------------------------------------------------
+
+struct SubmitArgs {
+    scenario: String,
+    addr: String,
+    out: Option<PathBuf>,
+    raw: Option<PathBuf>,
+    poll_ms: u64,
+    quiet: bool,
+}
+
+fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
+    let mut scenario = None;
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut out = None;
+    let mut raw = None;
+    let mut poll_ms = 200u64;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a file path")?)),
+            "--raw" => raw = Some(PathBuf::from(it.next().ok_or("--raw needs a file path")?)),
+            "--poll-ms" => {
+                let v = it.next().ok_or("--poll-ms needs a number")?;
+                poll_ms = v
+                    .parse()
+                    .map_err(|_| format!("--poll-ms: `{v}` is not a number"))?;
+            }
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other => {
+                if scenario.replace(other.to_string()).is_some() {
+                    return Err("more than one scenario argument".to_string());
+                }
+            }
+        }
+    }
+    Ok(SubmitArgs {
+        scenario: scenario.ok_or("missing scenario name or manifest path")?,
+        addr,
+        out,
+        raw,
+        poll_ms,
+        quiet,
+    })
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let sub = match parse_submit_args(args) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let m = match load(&sub.scenario) {
+        Ok(m) => m,
+        Err(e) => return fail(e),
+    };
+    let client = Client::new(sub.addr.clone());
+    let id = match client.submit(&m.to_toml()) {
+        Ok(id) => id,
+        Err(e) => return fail(e),
+    };
+    if !sub.quiet {
+        eprintln!("submitted `{}` to {} as job {id}", m.name, sub.addr);
+    }
+    let status = match client.wait(id, std::time::Duration::from_millis(sub.poll_ms.max(1))) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    if status.phase != "completed" {
+        return fail(format!(
+            "job {id} {}: {}",
+            status.phase,
+            status.error.unwrap_or_else(|| "unknown error".to_string())
+        ));
+    }
+    if !sub.quiet {
+        eprintln!(
+            "job {id} completed: {} runs, {} from cache, {} simulated",
+            status.total, status.cache_hits, status.cache_misses
+        );
+    }
+    let csv = match client.results(id, ResultFormat::Csv) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
+    match &sub.out {
+        // The body is written verbatim: byte-identical to `pas run --out`.
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &csv) {
+                return fail(format!("writing {}: {e}", path.display()));
+            }
+            if !sub.quiet {
+                println!("wrote {}", path.display());
+            }
+        }
+        None => print!("{}", String::from_utf8_lossy(&csv)),
+    }
+    if let Some(path) = &sub.raw {
+        let jsonl = match client.results(id, ResultFormat::Jsonl) {
+            Ok(b) => b,
+            Err(e) => return fail(e),
+        };
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            return fail(format!("writing {}: {e}", path.display()));
+        }
+        if !sub.quiet {
+            println!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// bench
+// ---------------------------------------------------------------------------
+
+/// Smoke benchmark: expansion throughput and a small batch execute, as
+/// JSON other PRs can diff for a perf trajectory (BENCH_batch.json).
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut out = PathBuf::from("BENCH_batch.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => return fail("--out needs a file path"),
+            },
+            other => return fail(format!("unknown bench option `{other}`")),
+        }
+    }
+    let manifest = registry::builtin("paper-default").expect("builtin parses");
+    let points = match expand(&manifest) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+
+    // Expansion: many iterations, it is microseconds-scale.
+    let expand_iters = 200u32;
+    let t0 = std::time::Instant::now();
+    for _ in 0..expand_iters {
+        let p = expand(&manifest).expect("expansion is deterministic");
+        assert_eq!(p.len(), points.len());
+    }
+    let expand_ns = t0.elapsed().as_nanos() as u64 / u64::from(expand_iters);
+
+    // Execution: a fixed sub-grid, sequential for machine-independence.
+    let mut small = manifest.clone();
+    small.sweep[0].values = vec![4.0, 12.0];
+    small.run.replicates = 4;
+    let n_runs = match expand(&small) {
+        Ok(p) => p.len(),
+        Err(e) => return fail(e),
+    };
+    let t1 = std::time::Instant::now();
+    let batch = match execute(&small, ExecOptions { threads: 1 }) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
+    let exec_us = t1.elapsed().as_micros() as u64;
+    let json = format!(
+        "{{\n  \"bench\": \"batch\",\n  \"scenario\": \"paper-default\",\n  \
+         \"expand_runs\": {},\n  \"expand_ns_per_iter\": {expand_ns},\n  \
+         \"execute_runs\": {n_runs},\n  \"execute_us_sequential\": {exec_us},\n  \
+         \"execute_us_per_run\": {},\n  \"events_total\": {}\n}}\n",
+        points.len(),
+        exec_us / n_runs as u64,
+        batch
+            .records
+            .iter()
+            .map(|r| r.events_processed)
+            .sum::<u64>(),
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        return fail(format!("writing {}: {e}", out.display()));
+    }
+    print!("{json}");
+    eprintln!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -257,6 +532,9 @@ fn main() -> ExitCode {
             None => fail("expand needs a scenario name or manifest path"),
         },
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{}", usage());
             ExitCode::SUCCESS
