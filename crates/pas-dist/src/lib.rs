@@ -1,0 +1,53 @@
+//! # pas-dist — sharded distributed execution
+//!
+//! One `pas serve` process is bounded by one machine's cores; the
+//! evaluation grids the survey literature calls for (predictor variants ×
+//! deployments × stimuli × axes × seeds) are not. This crate scales the
+//! batch service horizontally while keeping the workspace's defining
+//! guarantee: a job's output is **byte-for-byte identical** whether it ran
+//! locally, on one worker, or on a fleet that lost members mid-job.
+//!
+//! ```text
+//!                        ┌──────────────────────────────┐
+//!   pas submit ──POST──▶ │  pas serve --no-local-exec   │
+//!                        │  job queue ─▶ shard scheduler│
+//!                        │      ▲             │ leases  │
+//!                        │      │ results     ▼         │
+//!                        │  result cache ◀─ /dist/* ────┼──▶ pas worker A
+//!                        └──────────────────────────────┘ ╲▶ pas worker B …
+//! ```
+//!
+//! * [`protocol`] — the wire messages: register / heartbeat / lease /
+//!   report, JSON control bodies plus the cache's bit-exact record codec.
+//! * [`scheduler`] — the server side: worker registry, work-stealing
+//!   lease table with heartbeat renewal and expiry, cache-backed warm
+//!   start, fill-once dedup by content key, result assembly, `/healthz`.
+//! * [`worker`] — the client side: the `pas worker` loop with a
+//!   persistent local execution pool reused across shards.
+//!
+//! ## Why determinism survives failure
+//!
+//! Every matrix point is deterministic in `(manifest, index)` and
+//! addressable via `pas_scenario::point_at`. The scheduler fills each
+//! index at most once, verifying the point's content key against its own
+//! expansion, so worker death, lease expiry, re-leases, and zombie
+//! reports can at worst cause *redundant execution* — never divergent or
+//! double-counted results. The assembled record list is in matrix order,
+//! reduced by the same `pas_scenario::reduce` as local runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod scheduler;
+pub mod worker;
+
+pub use protocol::{Register, Registered, ShardGrant, ShardReport};
+pub use scheduler::{LeaseOutcome, ReportAck, Scheduler, SchedulerOptions};
+pub use worker::{WorkerOptions, WorkerSummary};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::scheduler::{Scheduler, SchedulerOptions};
+    pub use crate::worker::{WorkerOptions, WorkerSummary};
+}

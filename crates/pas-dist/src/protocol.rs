@@ -1,0 +1,327 @@
+//! The worker wire protocol: message types and codecs.
+//!
+//! Four POST routes carry the whole protocol, layered on the same
+//! HTTP/1.1 subset (`pas_server::http`) as the batch API:
+//!
+//! | Route | Body → Response |
+//! |-------|-----------------|
+//! | `POST /dist/register` | `{"name","threads"}` → worker id + timing contract |
+//! | `POST /dist/heartbeat` | `{"worker"}` → `{"ok","drain"}` (renews all leases) |
+//! | `POST /dist/lease` | `{"worker"}` → a [`ShardGrant`], `{"drain":true}`, or `204` |
+//! | `POST /dist/report` | a [`ShardReport`] (text) → `{"accepted","duplicates"}` |
+//!
+//! Control messages are flat JSON decoded with `pas_server::json`. Shard
+//! reports carry full [`RunRecord`]s, so they reuse the result cache's
+//! line-oriented codec ([`pas_server::cache::encode_record`]) — `f64`s as
+//! raw bits — and a remotely executed record therefore round-trips
+//! **byte-identically** into the server's cache and result assembly.
+
+use pas_scenario::RunRecord;
+use pas_server::cache::{decode_record, encode_record};
+use pas_server::http::json_string;
+use pas_server::json;
+
+/// A worker's registration request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Register {
+    /// Human-readable worker name (shown in `/dist/workers`).
+    pub name: String,
+    /// Worker-local execution threads (informational).
+    pub threads: u64,
+}
+
+impl Register {
+    /// Encode as the request body.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"threads\":{}}}",
+            json_string(&self.name),
+            self.threads
+        )
+    }
+
+    /// Decode from a request body.
+    pub fn from_json(body: &str) -> Option<Register> {
+        Some(Register {
+            name: json::find_string(body, "name")?,
+            threads: json::find_u64(body, "threads").unwrap_or(1),
+        })
+    }
+}
+
+/// The server's answer to a registration: identity + timing contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Registered {
+    /// Server-assigned worker id.
+    pub worker: u64,
+    /// How often the worker must heartbeat.
+    pub heartbeat_ms: u64,
+    /// How long a lease lives between renewals.
+    pub lease_ms: u64,
+}
+
+impl Registered {
+    /// Encode as the response body.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"worker\":{},\"heartbeat_ms\":{},\"lease_ms\":{}}}",
+            self.worker, self.heartbeat_ms, self.lease_ms
+        )
+    }
+
+    /// Decode from a response body.
+    pub fn from_json(body: &str) -> Option<Registered> {
+        Some(Registered {
+            worker: json::find_u64(body, "worker")?,
+            heartbeat_ms: json::find_u64(body, "heartbeat_ms")?,
+            lease_ms: json::find_u64(body, "lease_ms")?,
+        })
+    }
+}
+
+/// One leased shard: a job's manifest plus the matrix indices to execute.
+///
+/// Workers reconstruct each point with `pas_scenario::point_at` — shipping
+/// indices instead of points keeps grants a few hundred bytes on top of
+/// the manifest and reuses the manifest parser as the single source of
+/// matrix truth on both sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardGrant {
+    /// Job id the shard belongs to.
+    pub job: u64,
+    /// Server-unique shard id (fresh per lease, even on re-lease).
+    pub shard: u64,
+    /// Matrix indices to execute.
+    pub indices: Vec<usize>,
+    /// The job's manifest, as TOML.
+    pub manifest_toml: String,
+}
+
+impl ShardGrant {
+    /// Encode as the lease response body.
+    pub fn to_json(&self) -> String {
+        let idx: Vec<String> = self.indices.iter().map(|i| i.to_string()).collect();
+        format!(
+            "{{\"job\":{},\"shard\":{},\"indices\":[{}],\"manifest\":{}}}",
+            self.job,
+            self.shard,
+            idx.join(","),
+            json_string(&self.manifest_toml)
+        )
+    }
+
+    /// Decode from a lease response body.
+    pub fn from_json(body: &str) -> Option<ShardGrant> {
+        Some(ShardGrant {
+            job: json::find_u64(body, "job")?,
+            shard: json::find_u64(body, "shard")?,
+            indices: json::find_u64_array(body, "indices")?
+                .into_iter()
+                .map(|i| i as usize)
+                .collect(),
+            manifest_toml: json::find_string(body, "manifest")?,
+        })
+    }
+}
+
+/// One executed point inside a [`ShardReport`].
+#[derive(Debug, Clone)]
+pub struct PointReport {
+    /// Matrix index of the point.
+    pub index: usize,
+    /// Content-address of the run (`ResultCache::key`), computed
+    /// worker-side and verified server-side before anything is stored.
+    pub key: String,
+    /// The measured record, bit-exact.
+    pub record: RunRecord,
+}
+
+/// A completed shard's results.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Job id.
+    pub job: u64,
+    /// Shard id from the grant.
+    pub shard: u64,
+    /// Reporting worker.
+    pub worker: u64,
+    /// One entry per executed point.
+    pub points: Vec<PointReport>,
+}
+
+/// Stanza separator in the report body. Record codec lines always contain
+/// `=`, so a bare `--` line is unambiguous.
+const SEP: &str = "--";
+
+/// Encode a report as the line-oriented request body.
+pub fn encode_report(report: &ShardReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "job={}", report.job);
+    let _ = writeln!(s, "shard={}", report.shard);
+    let _ = writeln!(s, "worker={}", report.worker);
+    for p in &report.points {
+        let _ = writeln!(s, "{SEP}");
+        let _ = writeln!(s, "index={}", p.index);
+        let _ = writeln!(s, "key={}", p.key);
+        s.push_str(&encode_record(&p.record));
+    }
+    s
+}
+
+/// Decode a report body; `None` on any malformed header or stanza.
+/// Stanzas are delimited by lines that are exactly `--` (record codec
+/// lines always contain `=`, so the separator cannot be shadowed even by
+/// hostile policy labels).
+pub fn decode_report(body: &str) -> Option<ShardReport> {
+    let mut stanzas: Vec<Vec<&str>> = vec![Vec::new()];
+    for line in body.lines() {
+        if line == SEP {
+            stanzas.push(Vec::new());
+        } else {
+            stanzas.last_mut().expect("non-empty").push(line);
+        }
+    }
+
+    let mut job = None;
+    let mut shard = None;
+    let mut worker = None;
+    for line in &stanzas[0] {
+        let (k, v) = line.split_once('=')?;
+        match k {
+            "job" => job = Some(v.parse().ok()?),
+            "shard" => shard = Some(v.parse().ok()?),
+            "worker" => worker = Some(v.parse().ok()?),
+            _ => return None,
+        }
+    }
+    let mut points = Vec::new();
+    for stanza in &stanzas[1..] {
+        let mut index = None;
+        let mut key = None;
+        let mut record_lines = String::new();
+        for line in stanza {
+            let (k, v) = line.split_once('=')?;
+            match k {
+                "index" => index = Some(v.parse().ok()?),
+                "key" => key = Some(v.to_string()),
+                _ => {
+                    record_lines.push_str(line);
+                    record_lines.push('\n');
+                }
+            }
+        }
+        points.push(PointReport {
+            index: index?,
+            key: key?,
+            record: decode_record(&record_lines)?,
+        });
+    }
+    Some(ShardReport {
+        job: job?,
+        shard: shard?,
+        worker: worker?,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(seed: u64) -> RunRecord {
+        RunRecord {
+            x: 0.1 + 0.2,
+            policy_label: "PAS=\nweird\\label".to_string(),
+            seed,
+            assignments: vec![("max_sleep_s".to_string(), 4.0)],
+            delay_s: f64::NAN,
+            energy_j: -0.0,
+            reached: 30,
+            detected: 29,
+            missed: 1,
+            requests_sent: 7,
+            responses_sent: 6,
+            events_processed: 12345,
+            duration_s: 1e300,
+        }
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        let reg = Register {
+            name: "w\"1\"".to_string(),
+            threads: 4,
+        };
+        assert_eq!(Register::from_json(&reg.to_json()).unwrap(), reg);
+
+        let ack = Registered {
+            worker: 9,
+            heartbeat_ms: 1000,
+            lease_ms: 10_000,
+        };
+        assert_eq!(Registered::from_json(&ack.to_json()).unwrap(), ack);
+
+        let grant = ShardGrant {
+            job: 3,
+            shard: 17,
+            indices: vec![0, 5, 540],
+            manifest_toml: "[scenario]\nname = \"x\"\n".to_string(),
+        };
+        assert_eq!(ShardGrant::from_json(&grant.to_json()).unwrap(), grant);
+
+        let empty = ShardGrant {
+            indices: Vec::new(),
+            ..grant
+        };
+        assert_eq!(ShardGrant::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn report_roundtrips_bit_exact() {
+        let report = ShardReport {
+            job: 1,
+            shard: 2,
+            worker: 3,
+            points: vec![
+                PointReport {
+                    index: 7,
+                    key: "ab12".to_string(),
+                    record: sample_record(41),
+                },
+                PointReport {
+                    index: 9,
+                    key: "cd34".to_string(),
+                    record: sample_record(42),
+                },
+            ],
+        };
+        let back = decode_report(&encode_report(&report)).expect("decodes");
+        assert_eq!(back.job, 1);
+        assert_eq!(back.shard, 2);
+        assert_eq!(back.worker, 3);
+        assert_eq!(back.points.len(), 2);
+        for (a, b) in back.points.iter().zip(&report.points) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.record.delay_s.to_bits(), b.record.delay_s.to_bits());
+            assert_eq!(a.record.energy_j.to_bits(), b.record.energy_j.to_bits());
+            assert_eq!(a.record.policy_label, b.record.policy_label);
+            assert_eq!(a.record.seed, b.record.seed);
+        }
+
+        // An empty report (no points) is still well-formed.
+        let empty = ShardReport {
+            job: 4,
+            shard: 5,
+            worker: 6,
+            points: Vec::new(),
+        };
+        let back = decode_report(&encode_report(&empty)).expect("decodes");
+        assert!(back.points.is_empty());
+
+        // Garbage is rejected, not mis-decoded.
+        assert!(decode_report("job=x\n").is_none());
+        assert!(decode_report("job=1\nshard=2\nworker=3\n--\nindex=0\n").is_none());
+    }
+}

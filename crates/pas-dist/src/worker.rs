@@ -1,0 +1,343 @@
+//! The worker loop behind `pas worker --connect`.
+//!
+//! A worker registers with the server, then loops: lease a shard →
+//! reconstruct its points with `pas_scenario::point_at` → execute them on
+//! a persistent local pool (`pas_sweep::WorkerPool`, reused across every
+//! shard) → report results with their content keys. A background thread
+//! heartbeats on the server's advertised cadence, renewing all held
+//! leases; if the process dies, heartbeats stop, the lease expires, and
+//! the server re-leases the shard to a live worker — no worker-side
+//! cleanup is ever required for correctness.
+
+use crate::protocol::{encode_report, PointReport, Register, Registered, ShardGrant, ShardReport};
+use pas_diffusion::StimulusField;
+use pas_scenario::{expand_indices, Manifest, RunPoint};
+use pas_server::http::roundtrip;
+use pas_server::json;
+use pas_server::{ClientError, ResultCache, RetryPolicy};
+use pas_sweep::WorkerPool;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Worker configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Name shown in `/dist/workers` (default: `worker-<pid>`).
+    pub name: String,
+    /// Local execution threads (0 = one per core).
+    pub threads: usize,
+    /// Idle poll interval when no work is pending.
+    pub poll: Duration,
+    /// Exit after completing this many shards (`None` = run until drain).
+    pub max_shards: Option<u64>,
+    /// Fault injection for tests and drills: die — stop abruptly without
+    /// reporting or deregistering, exactly like a crash — once this many
+    /// points have been executed.
+    pub fail_after_points: Option<u64>,
+    /// Print lease/report progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            name: format!("worker-{}", std::process::id()),
+            threads: 0,
+            poll: Duration::from_millis(200),
+            max_shards: None,
+            fail_after_points: None,
+            verbose: false,
+        }
+    }
+}
+
+/// What a worker did over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Server-assigned id (the last one, if re-registered).
+    pub worker: u64,
+    /// Shards completed and reported.
+    pub shards: u64,
+    /// Points executed (including any executed before a simulated death).
+    pub points: u64,
+    /// True when the worker stopped via `fail_after_points`.
+    pub died: bool,
+}
+
+/// One shot HTTP call: connect, round-trip, return `(status, body)`.
+fn call(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<(u16, String), ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(600)))?;
+    let (status, _ctype, body) = roundtrip(&mut stream, method, path, None, body)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn register(addr: &str, opts: &WorkerOptions) -> Result<Registered, ClientError> {
+    let body = Register {
+        name: opts.name.clone(),
+        threads: if opts.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1)
+        } else {
+            opts.threads as u64
+        },
+    }
+    .to_json();
+    // The server may still be booting: back off and retry before giving
+    // up, on the same jittered policy as the submit client.
+    let policy = RetryPolicy {
+        attempts: 8,
+        base: Duration::from_millis(100),
+        max: Duration::from_secs(2),
+    };
+    let mut last: Option<ClientError> = None;
+    for attempt in 0..policy.attempts {
+        match call(addr, "POST", "/dist/register", body.as_bytes()) {
+            Ok((200, resp)) => {
+                return Registered::from_json(&resp)
+                    .ok_or_else(|| ClientError::Protocol(format!("bad register response {resp}")))
+            }
+            Ok((status, resp)) => {
+                return Err(ClientError::Api(
+                    status,
+                    json::find_string(&resp, "error").unwrap_or(resp),
+                ))
+            }
+            Err(e) => {
+                last = Some(e);
+                policy.sleep(attempt);
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| ClientError::Protocol("register never attempted".into())))
+}
+
+/// Per-job context a worker keeps warm between that job's shards.
+struct JobCtx {
+    manifest: Manifest,
+    field: Box<dyn StimulusField>,
+}
+
+/// Run a worker against `addr` until the server drains (or an
+/// option-configured exit condition fires). Blocking; returns a summary.
+pub fn run(addr: &str, opts: WorkerOptions) -> Result<WorkerSummary, ClientError> {
+    let reg = register(addr, &opts)?;
+    let worker_id = Arc::new(AtomicU64::new(reg.worker));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let beat = {
+        let addr = addr.to_string();
+        let worker_id = Arc::clone(&worker_id);
+        let stop = Arc::clone(&stop);
+        let interval = Duration::from_millis(reg.heartbeat_ms.max(10));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let body = format!("{{\"worker\":{}}}", worker_id.load(Ordering::Relaxed));
+                let _ = call(&addr, "POST", "/dist/heartbeat", body.as_bytes());
+                // Transport errors and 410s are left to the lease loop;
+                // the drain signal arrives via the lease response.
+            }
+        })
+    };
+
+    let pool = WorkerPool::new(opts.threads);
+    let mut ctx: Option<(u64, Arc<JobCtx>)> = None;
+    let mut summary = WorkerSummary {
+        worker: reg.worker,
+        shards: 0,
+        points: 0,
+        died: false,
+    };
+    let mut io_failures = 0u32;
+
+    let outcome = loop {
+        if opts.max_shards.is_some_and(|m| summary.shards >= m) {
+            break Ok(());
+        }
+        let body = format!("{{\"worker\":{}}}", worker_id.load(Ordering::Relaxed));
+        match call(addr, "POST", "/dist/lease", body.as_bytes()) {
+            Ok((200, resp)) if json::find_bool(&resp, "drain") == Some(true) => break Ok(()),
+            Ok((200, resp)) => {
+                io_failures = 0;
+                let Some(grant) = ShardGrant::from_json(&resp) else {
+                    break Err(ClientError::Protocol(format!("bad lease response {resp}")));
+                };
+                if opts.verbose {
+                    eprintln!(
+                        "worker {}: leased job {} shard {} ({} points)",
+                        worker_id.load(Ordering::Relaxed),
+                        grant.job,
+                        grant.shard,
+                        grant.indices.len()
+                    );
+                }
+                match execute_shard(addr, &opts, &pool, &mut ctx, &grant, &mut summary)? {
+                    ShardOutcome::Reported => summary.shards += 1,
+                    ShardOutcome::Died => {
+                        summary.died = true;
+                        break Ok(());
+                    }
+                }
+            }
+            Ok((204, _)) => {
+                // Idle, but NOT a release: during a drain the server
+                // answers 204 while other workers' shards are still in
+                // flight — if one of them dies, this worker must still
+                // be around to inherit the re-lease. Exit only on the
+                // server's explicit `{"drain":true}` (fleet truly done).
+                io_failures = 0;
+                std::thread::sleep(opts.poll);
+            }
+            Ok((410, _)) => {
+                // The server forgot us (restart, long GC of the fleet):
+                // re-register and carry on.
+                let reg = register(addr, &opts)?;
+                worker_id.store(reg.worker, Ordering::Relaxed);
+                summary.worker = reg.worker;
+            }
+            Ok((status, resp)) => {
+                break Err(ClientError::Api(
+                    status,
+                    json::find_string(&resp, "error").unwrap_or(resp),
+                ));
+            }
+            Err(e) => {
+                // Ride out server restarts: back off (jittered, cap 2 s)
+                // and only give up after minutes of continuous failure —
+                // a worker fleet must survive a redeploy gap.
+                io_failures += 1;
+                if io_failures > 120 {
+                    break Err(e);
+                }
+                RetryPolicy {
+                    attempts: u32::MAX,
+                    base: opts.poll.max(Duration::from_millis(100)),
+                    max: Duration::from_secs(2),
+                }
+                .sleep(io_failures - 1);
+            }
+        }
+    };
+
+    stop.store(true, Ordering::Relaxed);
+    let _ = beat.join();
+    outcome.map(|()| summary)
+}
+
+enum ShardOutcome {
+    Reported,
+    Died,
+}
+
+/// Execute one granted shard and report it. Honours `fail_after_points`
+/// by stopping abruptly (no report) once the budget is exhausted.
+fn execute_shard(
+    addr: &str,
+    opts: &WorkerOptions,
+    pool: &WorkerPool,
+    ctx: &mut Option<(u64, Arc<JobCtx>)>,
+    grant: &ShardGrant,
+    summary: &mut WorkerSummary,
+) -> Result<ShardOutcome, ClientError> {
+    // Parse the manifest once per job, not per shard.
+    let job_ctx = match ctx {
+        Some((id, c)) if *id == grant.job => Arc::clone(c),
+        _ => {
+            let manifest = Manifest::parse(&grant.manifest_toml)
+                .map_err(|e| ClientError::Protocol(format!("bad manifest in lease: {e}")))?;
+            let field = manifest.build_field();
+            let c = Arc::new(JobCtx { manifest, field });
+            *ctx = Some((grant.job, Arc::clone(&c)));
+            c
+        }
+    };
+    let points: Arc<Vec<RunPoint>> = Arc::new(
+        expand_indices(&job_ctx.manifest, &grant.indices)
+            .map_err(|e| ClientError::Protocol(format!("bad shard indices: {e}")))?,
+    );
+
+    let records = if let Some(budget) = opts.fail_after_points {
+        // Fault injection: simulate a crash partway through the shard.
+        let mut records = Vec::new();
+        for pt in points.iter() {
+            if summary.points >= budget {
+                return Ok(ShardOutcome::Died);
+            }
+            records.push(pas_scenario::execute_point(
+                &job_ctx.manifest,
+                job_ctx.field.as_ref(),
+                pt,
+            ));
+            summary.points += 1;
+        }
+        records
+    } else {
+        let c = Arc::clone(&job_ctx);
+        let p = Arc::clone(&points);
+        let records = pool.map_indexed(points.len(), move |i| {
+            pas_scenario::execute_point(&c.manifest, c.field.as_ref(), &p[i])
+        });
+        summary.points += records.len() as u64;
+        records
+    };
+
+    let report = ShardReport {
+        job: grant.job,
+        shard: grant.shard,
+        worker: summary.worker,
+        points: points
+            .iter()
+            .zip(records)
+            .map(|(pt, record)| PointReport {
+                index: pt.index,
+                key: ResultCache::key(&job_ctx.manifest, pt),
+                record,
+            })
+            .collect(),
+    };
+    let body = encode_report(&report);
+
+    // A report is precious (minutes of simulation): retry transient
+    // transport failures before abandoning the shard to lease expiry.
+    let policy = RetryPolicy {
+        attempts: 5,
+        base: Duration::from_millis(100),
+        max: Duration::from_secs(2),
+    };
+    let mut last: Option<ClientError> = None;
+    for attempt in 0..policy.attempts {
+        match call(addr, "POST", "/dist/report", body.as_bytes()) {
+            Ok((200, resp)) => {
+                if opts.verbose {
+                    eprintln!(
+                        "worker {}: reported job {} shard {} ({})",
+                        summary.worker,
+                        grant.job,
+                        grant.shard,
+                        resp.trim()
+                    );
+                }
+                return Ok(ShardOutcome::Reported);
+            }
+            Ok((status, resp)) => {
+                return Err(ClientError::Api(
+                    status,
+                    json::find_string(&resp, "error").unwrap_or(resp),
+                ));
+            }
+            Err(e) => {
+                last = Some(e);
+                policy.sleep(attempt);
+            }
+        }
+    }
+    Err(last.expect("retry loop failed at least once"))
+}

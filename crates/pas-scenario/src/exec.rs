@@ -14,7 +14,7 @@ use crate::manifest::{FailureSpec, Manifest, ManifestError};
 use pas_core::{run, FailurePlan, RunConfig, Scenario};
 use pas_diffusion::StimulusField;
 use pas_sim::{Rng, SimTime};
-use pas_sweep::{cartesian2, parallel_map_with, summarize, with_seeds, SweepOptions};
+use pas_sweep::{parallel_map_with, summarize, SweepOptions};
 
 /// Substream label for failure-plan draws (disjoint from the runner's
 /// deploy/channel/node streams).
@@ -49,45 +49,81 @@ pub fn matrix_size(manifest: &Manifest) -> Option<u64> {
     n.checked_mul(manifest.run.replicates)
 }
 
+/// Resolve matrix point `index` directly, without materialising the rest
+/// of the matrix — the shard-addressable entry point distributed workers
+/// use to reconstruct exactly the points their lease names.
+///
+/// The matrix is a mixed-radix number: axes vary slowest (in `[sweep]`
+/// declaration order, row-major), then policies in declaration order,
+/// then replicate seeds innermost — the same order [`expand`] produces
+/// (and [`expand`] is defined in terms of this function, so the two
+/// cannot drift). An `index` at or beyond [`matrix_size`] is an error,
+/// never a silent alias of a valid point.
+pub fn point_at(manifest: &Manifest, index: usize) -> Result<RunPoint, ManifestError> {
+    let in_range = matrix_size(manifest).is_some_and(|n| (index as u64) < n);
+    if !in_range {
+        return Err(ManifestError::at(
+            0,
+            format!("matrix index {index} out of range"),
+        ));
+    }
+    let n_policies = manifest.policies.len().max(1);
+    let n_seeds = manifest.run.replicates.max(1) as usize;
+
+    // Decode innermost-first: seed, then policy, then the axis digits.
+    let mut rest = index;
+    let seed_k = rest % n_seeds;
+    rest /= n_seeds;
+    let policy_id = rest % n_policies;
+    rest /= n_policies;
+
+    // Axis digits, row-major: the *last* declared axis varies fastest.
+    let mut digits = vec![0usize; manifest.sweep.len()];
+    for (slot, axis) in digits.iter_mut().zip(&manifest.sweep).rev() {
+        let len = axis.values.len().max(1);
+        *slot = rest % len;
+        rest /= len;
+    }
+
+    let assignments: Vec<(String, f64)> = manifest
+        .sweep
+        .iter()
+        .zip(&digits)
+        .map(|(axis, &d)| (axis.field.clone(), axis.values[d]))
+        .collect();
+    let spec = &manifest.policies[policy_id];
+    let policy = manifest.policy(spec, &assignments)?;
+    Ok(RunPoint {
+        index,
+        x: assignments.first().map(|(_, v)| *v).unwrap_or(0.0),
+        assignments,
+        policy_label: spec.label.clone(),
+        policy,
+        seed: manifest.run.base_seed + seed_k as u64,
+    })
+}
+
+/// Resolve an arbitrary subset of matrix indices (a lease's shard) into
+/// [`RunPoint`]s, in the order given. Each returned point carries its
+/// global matrix index, so records can be scattered back into matrix
+/// position by whoever assembles the full batch.
+pub fn expand_indices(
+    manifest: &Manifest,
+    indices: &[usize],
+) -> Result<Vec<RunPoint>, ManifestError> {
+    indices.iter().map(|&i| point_at(manifest, i)).collect()
+}
+
 /// Expand a manifest into its explicit run matrix.
 ///
 /// Order is deterministic: axes vary slowest (in `[sweep]` declaration
 /// order, row-major), then policies in declaration order, then replicate
-/// seeds — the same order the paper's figure tables use.
+/// seeds — the same order the paper's figure tables use. Equivalent to
+/// [`point_at`] over `0..matrix_size`.
 pub fn expand(manifest: &Manifest) -> Result<Vec<RunPoint>, ManifestError> {
-    // Cartesian product of the sweep axes (one empty assignment when
-    // there are none: a fixed-point batch is a 1-point matrix).
-    let mut axis_points: Vec<Vec<(String, f64)>> = vec![Vec::new()];
-    for axis in &manifest.sweep {
-        let mut next = Vec::with_capacity(axis_points.len() * axis.values.len());
-        for prev in &axis_points {
-            for &v in &axis.values {
-                let mut p = prev.clone();
-                p.push((axis.field.clone(), v));
-                next.push(p);
-            }
-        }
-        axis_points = next;
-    }
-
-    let policy_ids: Vec<usize> = (0..manifest.policies.len()).collect();
-    let combos = cartesian2(&axis_points, &policy_ids);
-    let seeded = with_seeds(&combos, manifest.run.base_seed, manifest.run.replicates);
-
-    let mut points = Vec::with_capacity(seeded.len());
-    for (index, ((assignments, policy_id), seed)) in seeded.into_iter().enumerate() {
-        let spec = &manifest.policies[policy_id];
-        let policy = manifest.policy(spec, &assignments)?;
-        points.push(RunPoint {
-            index,
-            x: assignments.first().map(|(_, v)| *v).unwrap_or(0.0),
-            assignments,
-            policy_label: spec.label.clone(),
-            policy,
-            seed,
-        });
-    }
-    Ok(points)
+    let n = matrix_size(manifest)
+        .ok_or_else(|| ManifestError::at(0, "run matrix size overflows u64"))? as usize;
+    (0..n).map(|i| point_at(manifest, i)).collect()
 }
 
 /// The measured outcome of one [`RunPoint`].

@@ -44,8 +44,8 @@ pub mod sink;
 pub mod toml;
 
 pub use exec::{
-    execute, execute_point, expand, failure_plan, matrix_size, reduce, BatchResult, ExecOptions,
-    PointSummary, RunPoint, RunRecord,
+    execute, execute_point, expand, expand_indices, failure_plan, matrix_size, point_at, reduce,
+    BatchResult, ExecOptions, PointSummary, RunPoint, RunRecord,
 };
 pub use manifest::{
     ChannelSpec, DeployKindSpec, DeploymentSpec, FailureSpec, Manifest, ManifestError,
@@ -56,7 +56,8 @@ pub use sink::{summary_csv, summary_table, write_records_jsonl, write_summary_cs
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::exec::{
-        execute, execute_point, expand, reduce, BatchResult, ExecOptions, PointSummary, RunRecord,
+        execute, execute_point, expand, expand_indices, point_at, reduce, BatchResult, ExecOptions,
+        PointSummary, RunRecord,
     };
     pub use crate::manifest::{Manifest, ManifestError};
     pub use crate::registry;

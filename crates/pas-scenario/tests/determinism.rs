@@ -165,3 +165,52 @@ fn sinks_write_summary_and_raw_records() {
         assert!(row.contains("\"delay_s\":"));
     }
 }
+
+/// Shard addressing: [`pas_scenario::point_at`] resolves exactly the
+/// point full expansion puts at that index — over a two-axis matrix, so
+/// the mixed-radix decode crosses every digit position — and
+/// [`pas_scenario::expand_indices`] reconstructs arbitrary subsets.
+#[test]
+fn point_at_matches_full_expansion() {
+    let mut m = registry::builtin("paper-default").unwrap();
+    m.sweep[0].values = vec![4.0, 8.0, 12.0];
+    m.sweep.push(pas_scenario::SweepAxis {
+        field: "base_sleep_s".to_string(),
+        values: vec![0.5, 1.0],
+    });
+    m.run.replicates = 3;
+
+    let all = pas_scenario::expand(&m).unwrap();
+    assert_eq!(all.len(), 3 * 2 * 3 * 3, "axes x policies x seeds");
+    assert_eq!(
+        all.len() as u64,
+        pas_scenario::matrix_size(&m).unwrap(),
+        "matrix_size agrees with materialised expansion"
+    );
+    for (i, want) in all.iter().enumerate() {
+        let got = pas_scenario::point_at(&m, i).unwrap();
+        assert_eq!(got.index, want.index);
+        assert_eq!(got.x.to_bits(), want.x.to_bits());
+        assert_eq!(got.policy_label, want.policy_label);
+        assert_eq!(got.seed, want.seed);
+        assert_eq!(format!("{:?}", got.policy), format!("{:?}", want.policy));
+        assert_eq!(got.assignments.len(), want.assignments.len());
+        for (a, b) in got.assignments.iter().zip(&want.assignments) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    // A scattered shard reconstructs the same points, original indices kept.
+    let shard = [17usize, 0, 53, 2, 17];
+    let points = pas_scenario::expand_indices(&m, &shard).unwrap();
+    for (&i, p) in shard.iter().zip(&points) {
+        assert_eq!(p.index, i);
+        assert_eq!(p.seed, all[i].seed);
+        assert_eq!(p.policy_label, all[i].policy_label);
+    }
+
+    // Out-of-range indices error instead of aliasing a valid point.
+    assert!(pas_scenario::point_at(&m, all.len()).is_err());
+    assert!(pas_scenario::expand_indices(&m, &[0, all.len() + 7]).is_err());
+}

@@ -150,7 +150,11 @@ pub fn environment_toml(manifest: &Manifest) -> String {
     env.to_toml()
 }
 
-fn encode_record(r: &RunRecord) -> String {
+/// Encode one [`RunRecord`] as the cache's line-oriented text payload,
+/// `f64`s as raw bits — the canonical byte-exact record serialisation,
+/// also used by the `pas-dist` wire protocol so a remotely executed
+/// record round-trips bit-identically.
+pub fn encode_record(r: &RunRecord) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     let _ = writeln!(s, "x={:016x}", r.x.to_bits());
@@ -171,7 +175,8 @@ fn encode_record(r: &RunRecord) -> String {
     s
 }
 
-fn decode_record(payload: &str) -> Option<RunRecord> {
+/// Decode an [`encode_record`] payload; `None` on any malformed line.
+pub fn decode_record(payload: &str) -> Option<RunRecord> {
     let mut x = None;
     let mut label = None;
     let mut seed = None;

@@ -5,6 +5,7 @@
 //! wrapper over one route.
 
 use crate::http::roundtrip;
+use crate::json::{find_string as json_find_string, find_u64 as json_find_u64};
 use std::io;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -63,6 +64,97 @@ impl std::fmt::Display for ClientError {
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
         ClientError::Io(e)
+    }
+}
+
+/// Retry schedule for transient failures (connection refused, `429`).
+///
+/// Delays grow exponentially from `base`, capped at `max`, each scaled by
+/// a uniform jitter in `[0.5, 1.5)` so a fleet of clients retrying
+/// against one recovering server spreads out instead of stampeding.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub attempts: u32,
+    /// First retry delay.
+    pub base: Duration,
+    /// Delay ceiling.
+    pub max: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(100),
+            max: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `attempt` (0-based).
+    fn delay(&self, attempt: u32, jitter: &mut Jitter) -> Duration {
+        let cap = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX))
+            .min(self.max);
+        // Uniform in [0.5, 1.5) x cap.
+        cap / 2 + cap.mul_f64(jitter.next_f64())
+    }
+
+    /// Sleep the jittered backoff delay before retry number `attempt`
+    /// (0-based) — the shared building block for every retry loop in the
+    /// workspace (submit, worker register/lease/report), so a restarted
+    /// server is never stampeded by a synchronised fleet.
+    pub fn sleep(&self, attempt: u32) {
+        std::thread::sleep(self.delay(attempt, &mut Jitter::new(u64::from(attempt) ^ 0xb0ff)));
+    }
+}
+
+/// A tiny xorshift64* stream for retry jitter — schedule noise only,
+/// never simulation randomness, so seeding from the wall clock is fine.
+struct Jitter {
+    state: u64,
+}
+
+impl Jitter {
+    fn new(salt: u64) -> Jitter {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0);
+        Jitter {
+            state: (now ^ salt ^ u64::from(std::process::id())) | 1,
+        }
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        let draw = self.state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Whether an error is worth retrying: failures that prove the request
+/// was never accepted — a refused/unreachable connection (server not up
+/// yet) or explicit backpressure (`429`). A transport error *after* the
+/// connection was established (reset mid-response, timeout) is NOT
+/// retried: `POST /jobs` is not idempotent, and the server may have
+/// already enqueued the job before the connection died. Everything else
+/// — bad manifests, unknown routes, protocol junk — fails fast.
+fn retryable(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(e) => matches!(
+            e.kind(),
+            io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::NotFound
+                | io::ErrorKind::AddrNotAvailable
+        ),
+        ClientError::Api(status, _) => *status == 429,
+        ClientError::Protocol(_) => false,
     }
 }
 
@@ -125,6 +217,51 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol(format!("no `id` in {body}")))
     }
 
+    /// [`Client::submit`] with exponential backoff and jitter on transient
+    /// failures — a refused connection (server still booting, restarting)
+    /// or `429` backpressure (queue full). Permanent errors (`400` bad
+    /// manifest, protocol junk) are returned immediately. `on_retry` fires
+    /// before each sleep with the attempt number and the error.
+    pub fn submit_with_retry(
+        &self,
+        manifest_toml: &str,
+        policy: RetryPolicy,
+        mut on_retry: impl FnMut(u32, &ClientError),
+    ) -> Result<u64, ClientError> {
+        let mut jitter = Jitter::new(0x5bb1);
+        let mut attempt = 0u32;
+        loop {
+            match self.submit(manifest_toml) {
+                Ok(id) => return Ok(id),
+                Err(e) if retryable(&e) && attempt + 1 < policy.attempts.max(1) => {
+                    on_retry(attempt + 1, &e);
+                    std::thread::sleep(policy.delay(attempt, &mut jitter));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// `GET /healthz` (served in distributed mode), raw JSON.
+    pub fn healthz(&self) -> Result<String, ClientError> {
+        let out = self.call("GET", "/healthz", None, &[])?;
+        self.expect_ok(out)
+    }
+
+    /// `GET /dist/workers` as the server-rendered plain-text fleet table.
+    pub fn workers_table(&self) -> Result<String, ClientError> {
+        let out = self.call("GET", "/dist/workers", Some("text/plain"), &[])?;
+        self.expect_ok(out)
+    }
+
+    /// `POST /dist/drain`: stop claiming jobs; workers exit when all
+    /// active jobs finish.
+    pub fn drain(&self) -> Result<(), ClientError> {
+        let out = self.call("POST", "/dist/drain", None, &[])?;
+        self.expect_ok(out).map(|_| ())
+    }
+
     /// `GET /jobs/:id`.
     pub fn status(&self, id: u64) -> Result<JobStatus, ClientError> {
         let out = self.call("GET", &format!("/jobs/{id}"), None, &[])?;
@@ -174,66 +311,49 @@ impl Client {
     }
 }
 
-/// Extract `"key": <unsigned int>` from a flat JSON object. The API's
-/// envelopes are single-level with known keys, so a scanning decoder is
-/// sufficient and keeps the client std-only.
-fn json_find_u64(json: &str, key: &str) -> Option<u64> {
-    let needle = format!("\"{key}\":");
-    let at = json.find(&needle)? + needle.len();
-    let rest = json[at..].trim_start();
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    if end == 0 {
-        return None;
-    }
-    rest[..end].parse().ok()
-}
-
-/// Extract `"key": "string"` (with JSON escapes) from a flat JSON object.
-fn json_find_string(json: &str, key: &str) -> Option<String> {
-    let needle = format!("\"{key}\":");
-    let at = json.find(&needle)? + needle.len();
-    let rest = json[at..].trim_start().strip_prefix('"')?;
-    let mut out = String::new();
-    let mut chars = rest.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(out),
-            '\\' => match chars.next()? {
-                '"' => out.push('"'),
-                '\\' => out.push('\\'),
-                'n' => out.push('\n'),
-                't' => out.push('\t'),
-                'r' => out.push('\r'),
-                'u' => {
-                    let code: String = chars.by_ref().take(4).collect();
-                    let v = u32::from_str_radix(&code, 16).ok()?;
-                    out.push(char::from_u32(v)?);
-                }
-                other => out.push(other),
-            },
-            c => out.push(c),
-        }
-    }
-    None
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn json_scanners_decode_envelopes() {
-        let body = "{\"id\":42,\"phase\":\"running\",\"done\":3,\"total\":10,\
-                    \"error\":\"boom \\\"quoted\\\"\\n\"}";
-        assert_eq!(json_find_u64(body, "id"), Some(42));
-        assert_eq!(json_find_u64(body, "done"), Some(3));
-        assert_eq!(json_find_u64(body, "missing"), None);
-        assert_eq!(json_find_string(body, "phase").as_deref(), Some("running"));
-        assert_eq!(
-            json_find_string(body, "error").as_deref(),
-            Some("boom \"quoted\"\n")
-        );
+    fn backoff_grows_exponentially_within_bounds() {
+        let p = RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(100),
+            max: Duration::from_secs(2),
+        };
+        let mut jitter = Jitter::new(7);
+        let mut prev_cap = Duration::ZERO;
+        for attempt in 0..6 {
+            let d = p.delay(attempt, &mut jitter);
+            let cap = p.base.saturating_mul(1 << attempt).min(p.max);
+            assert!(d <= cap + cap / 2, "attempt {attempt}: {d:?} > 1.5x{cap:?}");
+            assert!(d >= cap / 2, "attempt {attempt}: {d:?} < 0.5x{cap:?}");
+            assert!(cap >= prev_cap);
+            prev_cap = cap;
+        }
+        // Deep attempts saturate at `max` (± jitter), never overflow.
+        let deep = p.delay(40, &mut jitter);
+        assert!(deep <= p.max + p.max / 2);
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(retryable(&ClientError::Io(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "refused"
+        ))));
+        assert!(retryable(&ClientError::Api(429, "full".into())));
+        assert!(!retryable(&ClientError::Api(400, "bad manifest".into())));
+        assert!(!retryable(&ClientError::Protocol("junk".into())));
+        // Post-connect transport failures must NOT resubmit: the server
+        // may already hold the job.
+        for kind in [
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::TimedOut,
+        ] {
+            assert!(!retryable(&ClientError::Io(io::Error::new(kind, "late"))));
+        }
     }
 }

@@ -72,12 +72,15 @@ impl Response {
         match self.status {
             200 => "OK",
             202 => "Accepted",
+            204 => "No Content",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             409 => "Conflict",
+            410 => "Gone",
             413 => "Payload Too Large",
             429 => "Too Many Requests",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
     }

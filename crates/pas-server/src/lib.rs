@@ -35,13 +35,14 @@ pub mod cache;
 pub mod client;
 pub mod hash;
 pub mod http;
+pub mod json;
 pub mod queue;
 pub mod server;
 
 pub use cache::{execute_with_cache, CacheStats, ResultCache};
-pub use client::{Client, ClientError, JobStatus, ResultFormat};
+pub use client::{Client, ClientError, JobStatus, ResultFormat, RetryPolicy};
 pub use queue::{Job, JobPhase, JobQueue, SubmitError};
-pub use server::{Server, ServerOptions};
+pub use server::{Router, Server, ServerOptions};
 
 /// Commonly used items, for glob import.
 pub mod prelude {

@@ -192,10 +192,59 @@ impl JobQueue {
         ids
     }
 
+    /// Number of jobs waiting to be claimed.
+    pub fn depth(&self) -> usize {
+        self.inner.jobs.lock().expect("queue poisoned").queue.len()
+    }
+
+    /// Number of jobs currently in the `Running` phase.
+    pub fn running(&self) -> usize {
+        let t = self.inner.jobs.lock().expect("queue poisoned");
+        t.by_id
+            .values()
+            .filter(|j| j.phase == JobPhase::Running)
+            .count()
+    }
+
     /// Wake all workers and make further submissions fail.
     pub fn shutdown(&self) {
         self.inner.jobs.lock().expect("queue poisoned").shutdown = true;
         self.inner.available.notify_all();
+    }
+
+    /// Claim the oldest queued job without blocking, marking it `Running`.
+    /// Used by execution backends that poll (the distributed scheduler);
+    /// in-process workers use the blocking [`JobQueue::work`] loop.
+    pub fn try_claim(&self) -> Option<(u64, Manifest)> {
+        let mut t = self.inner.jobs.lock().expect("queue poisoned");
+        t.claim_front()
+    }
+
+    /// Publish progress for a running job.
+    pub fn set_progress(&self, id: u64, done: usize, total: usize) {
+        self.with_job(id, |j| {
+            j.done = done;
+            j.total = total;
+        });
+    }
+
+    /// Publish a finished job's results and mark it `Completed`.
+    pub fn complete(&self, id: u64, batch: BatchResult, stats: CacheStats) {
+        self.with_job(id, |j| {
+            j.phase = JobPhase::Completed;
+            j.done = j.total;
+            j.stats = stats;
+            j.result = Some(batch);
+        });
+    }
+
+    /// Mark a job `Failed` with an error message.
+    pub fn fail(&self, id: u64, error: impl Into<String>) {
+        let error = error.into();
+        self.with_job(id, |j| {
+            j.phase = JobPhase::Failed;
+            j.error = Some(error);
+        });
     }
 
     /// Block until a job is available, pop it, and return `(id, manifest)`;
@@ -203,12 +252,8 @@ impl JobQueue {
     fn pop(&self) -> Option<(u64, Manifest)> {
         let mut t = self.inner.jobs.lock().expect("queue poisoned");
         loop {
-            if let Some(id) = t.queue.pop_front() {
-                let manifest = t.manifests.remove(&id).expect("manifest for queued job");
-                if let Some(j) = t.by_id.get_mut(&id) {
-                    j.phase = JobPhase::Running;
-                }
-                return Some((id, manifest));
+            if let Some(claimed) = t.claim_front() {
+                return Some(claimed);
             }
             if t.shutdown {
                 return None;
@@ -230,24 +275,25 @@ impl JobQueue {
         while let Some((id, manifest)) = self.pop() {
             let queue = self.clone();
             let outcome = execute_with_cache_progress(&manifest, opts, cache, |done, total| {
-                queue.with_job(id, |j| {
-                    j.done = done;
-                    j.total = total;
-                });
+                queue.set_progress(id, done, total);
             });
             match outcome {
-                Ok((batch, stats)) => self.with_job(id, |j| {
-                    j.phase = JobPhase::Completed;
-                    j.done = j.total;
-                    j.stats = stats;
-                    j.result = Some(batch);
-                }),
-                Err(e) => self.with_job(id, |j| {
-                    j.phase = JobPhase::Failed;
-                    j.error = Some(e.to_string());
-                }),
+                Ok((batch, stats)) => self.complete(id, batch, stats),
+                Err(e) => self.fail(id, e.to_string()),
             }
         }
+    }
+}
+
+impl JobTable {
+    /// Pop the oldest queued job and mark it running.
+    fn claim_front(&mut self) -> Option<(u64, Manifest)> {
+        let id = self.queue.pop_front()?;
+        let manifest = self.manifests.remove(&id).expect("manifest for queued job");
+        if let Some(j) = self.by_id.get_mut(&id) {
+            j.phase = JobPhase::Running;
+        }
+        Some((id, manifest))
     }
 }
 

@@ -31,6 +31,10 @@ pub struct ServerOptions {
     /// Job worker threads. Each job is internally parallel, so 1 (the
     /// default) already saturates the machine on non-trivial batches.
     pub workers: usize,
+    /// Spawn the in-process execution workers. `false` (the
+    /// `pas serve --no-local-exec` mode) leaves jobs in the queue for an
+    /// external backend — the `pas-dist` scheduler — to claim.
+    pub local_exec: bool,
 }
 
 impl Default for ServerOptions {
@@ -39,9 +43,16 @@ impl Default for ServerOptions {
             threads: 0,
             queue_capacity: 64,
             workers: 1,
+            local_exec: true,
         }
     }
 }
+
+/// An extension router consulted before the built-in routes: `Some` is
+/// the response, `None` falls through. This is how the `pas-dist`
+/// scheduler mounts its worker protocol (`/dist/*`, `/healthz`) on the
+/// same listener without this crate depending on it.
+pub type Router = Arc<dyn Fn(&Request) -> Option<Response> + Send + Sync>;
 
 /// A bound batch server, ready to run.
 pub struct Server {
@@ -49,6 +60,7 @@ pub struct Server {
     queue: JobQueue,
     cache: Arc<ResultCache>,
     opts: ServerOptions,
+    router: Option<Router>,
 }
 
 impl Server {
@@ -63,7 +75,13 @@ impl Server {
             queue: JobQueue::new(opts.queue_capacity.max(1)),
             cache: Arc::new(cache),
             opts,
+            router: None,
         })
+    }
+
+    /// Mount an extension [`Router`], consulted before the built-in routes.
+    pub fn set_router(&mut self, router: Router) {
+        self.router = Some(router);
     }
 
     /// The bound address (useful with port 0).
@@ -79,13 +97,15 @@ impl Server {
     /// Serve forever: spawn the worker pool, then accept connections,
     /// one short-lived thread each.
     pub fn run(self) -> io::Result<()> {
-        for _ in 0..self.opts.workers.max(1) {
-            let queue = self.queue.clone();
-            let cache = Arc::clone(&self.cache);
-            let exec = ExecOptions {
-                threads: self.opts.threads,
-            };
-            std::thread::spawn(move || queue.work(&cache, exec));
+        if self.opts.local_exec {
+            for _ in 0..self.opts.workers.max(1) {
+                let queue = self.queue.clone();
+                let cache = Arc::clone(&self.cache);
+                let exec = ExecOptions {
+                    threads: self.opts.threads,
+                };
+                std::thread::spawn(move || queue.work(&cache, exec));
+            }
         }
         for stream in self.listener.incoming() {
             let Ok(mut stream) = stream else { continue };
@@ -95,9 +115,13 @@ impl Server {
             let _ = stream.set_read_timeout(timeout);
             let _ = stream.set_write_timeout(timeout);
             let queue = self.queue.clone();
+            let router = self.router.clone();
             std::thread::spawn(move || {
                 let response = match read_request(&mut stream) {
-                    Ok(req) => route(&queue, &req),
+                    Ok(req) => router
+                        .as_ref()
+                        .and_then(|r| r(&req))
+                        .unwrap_or_else(|| route(&queue, &req)),
                     Err(e) => Response::error(400, &format!("malformed request: {e}")),
                 };
                 let _ = response.write_to(&mut stream);

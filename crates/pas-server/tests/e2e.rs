@@ -119,6 +119,7 @@ fn full_queue_answers_429() {
             threads: 1,
             queue_capacity: 1,
             workers: 1,
+            local_exec: true,
         },
     );
     let (_, toml) = small_manifest_toml();

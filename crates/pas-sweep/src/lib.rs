@@ -23,14 +23,17 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod persistent;
 pub mod pool;
 
 pub use aggregate::{summarize, Summary};
+pub use persistent::WorkerPool;
 pub use pool::{parallel_map, parallel_map_progress, parallel_map_with, SweepOptions};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::aggregate::{summarize, Summary};
+    pub use crate::persistent::WorkerPool;
     pub use crate::pool::{parallel_map, parallel_map_progress, parallel_map_with, SweepOptions};
 }
 

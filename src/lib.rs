@@ -18,6 +18,7 @@
 //! | [`sweep`] | parallel parameter sweeps with ordered, seeded results |
 //! | [`scenario`] | declarative TOML manifests, batch execution, the registry |
 //! | [`server`] | batch HTTP API: job queue, content-addressed result cache |
+//! | [`dist`] | distributed execution: worker fleet, lease scheduler |
 //!
 //! ## Quick start
 //!
@@ -56,6 +57,7 @@
 
 pub use pas_core as core;
 pub use pas_diffusion as diffusion;
+pub use pas_dist as dist;
 pub use pas_geom as geom;
 pub use pas_metrics as metrics;
 pub use pas_net as net;
@@ -69,6 +71,7 @@ pub use pas_sweep as sweep;
 pub mod prelude {
     pub use pas_core::prelude::*;
     pub use pas_diffusion::prelude::*;
+    pub use pas_dist::prelude::*;
     pub use pas_geom::prelude::*;
     pub use pas_metrics::prelude::*;
     pub use pas_net::prelude::*;

@@ -7,8 +7,10 @@
 //! pas expand <name|path>           print the expanded run matrix shape
 //! pas run <name|path> [options]    execute a batch and report summaries
 //! pas serve [options]              run the batch API server
+//! pas worker [options]             join a server as an execution worker
 //! pas submit <name|path> [options] run a batch on a server (with caching)
-//! pas bench [--out FILE]           time expansion + a small batch
+//! pas status [--addr HOST:PORT]    server health + per-worker progress
+//! pas bench [options]              time expansion, batches, dist scaling
 //! ```
 //!
 //! Scenario arguments resolve against the built-in registry first and fall
@@ -16,12 +18,16 @@
 //! `pas run my/batch.toml` both work. `pas submit` sends the same manifest
 //! to a `pas serve` instance and returns results byte-identical to
 //! `pas run` — warm submissions are answered from the server's
-//! content-addressed cache without re-simulating.
+//! content-addressed cache without re-simulating, and with
+//! `--no-local-exec` the batch is sharded across a `pas worker` fleet
+//! with the same byte-for-byte guarantee.
 
+use pas_dist::{Scheduler, SchedulerOptions, WorkerOptions};
 use pas_scenario::{execute, expand, registry, ExecOptions, Manifest};
-use pas_server::{Client, ResultCache, ResultFormat, Server, ServerOptions};
+use pas_server::{Client, ResultCache, ResultFormat, RetryPolicy, Server, ServerOptions};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Default server address (loopback; pick a fixed high port).
 const DEFAULT_ADDR: &str = "127.0.0.1:8479";
@@ -36,8 +42,10 @@ USAGE:
     pas expand <name|path>            print the expanded run matrix shape
     pas run <name|path> [options]     execute a batch and report summaries
     pas serve [options]               run the batch API server
+    pas worker [options]              join a server as an execution worker
     pas submit <name|path> [options]  run a batch on a server (with caching)
-    pas bench [--out FILE]            time expansion + a small batch execute
+    pas status [--addr HOST:PORT]     server health + per-worker progress
+    pas bench [options]               time expansion, batches, dist scaling
 
 RUN OPTIONS:
     --out FILE.csv       write per-point delay/energy summaries
@@ -51,13 +59,36 @@ SERVE OPTIONS:
     --cache-dir DIR      result cache directory  (default .pas-cache)
     --threads N          worker threads per job  (default: manifest, then cores)
     --queue-cap N        max queued jobs before 429 (default 64)
+    --no-local-exec      don't execute jobs in-process; leave them to the
+                         distributed scheduler and `pas worker` fleet
+    --lease-ms N         shard lease lifetime    (default 10000)
+    --heartbeat-ms N     worker heartbeat cadence (default 2000)
+    --shard-points N     points per shard (default 0 = auto)
+
+WORKER OPTIONS:
+    --connect HOST:PORT  server address          (default 127.0.0.1:8479)
+    --threads N          local execution threads (default all cores)
+    --name NAME          fleet display name      (default worker-<pid>)
+    --poll-ms N          idle lease poll interval (default 200)
+    --max-shards N       exit after N shards (default: run until drain)
+    --fail-after-points N  fault-injection drill: crash (no report) after
+                         executing N points
+    --quiet              suppress lease/report progress on stderr
 
 SUBMIT OPTIONS:
     --addr HOST:PORT     server address          (default 127.0.0.1:8479)
     --out FILE.csv       write the returned summary CSV
     --raw FILE.jsonl     also fetch per-run JSONL
     --poll-ms N          status poll interval    (default 200)
+    --retries N          backoff retries on 429/conn-refused (default 8)
     --quiet              suppress progress; print nothing but errors
+
+BENCH OPTIONS:
+    --out FILE           output JSON path (default BENCH_batch.json, or
+                         BENCH_dist.json with --dist)
+    --dist N             distributed scaling bench: cold-run paper-default
+                         on in-process fleets of 1/2/../N single-threaded
+                         workers vs the single-process baseline
 "
 }
 
@@ -269,13 +300,20 @@ struct ServeArgs {
     addr: String,
     cache_dir: PathBuf,
     opts: ServerOptions,
+    sched: SchedulerOptions,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
     let mut addr = DEFAULT_ADDR.to_string();
     let mut cache_dir = PathBuf::from(".pas-cache");
     let mut opts = ServerOptions::default();
+    let mut sched = SchedulerOptions::default();
     let mut it = args.iter();
+    let ms = |v: &String, flag: &str| -> Result<Duration, String> {
+        v.parse::<u64>()
+            .map(Duration::from_millis)
+            .map_err(|_| format!("{flag}: `{v}` is not a number"))
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
@@ -294,6 +332,22 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                     .parse()
                     .map_err(|_| format!("--queue-cap: `{v}` is not a number"))?;
             }
+            "--no-local-exec" => opts.local_exec = false,
+            "--lease-ms" => {
+                sched.lease = ms(it.next().ok_or("--lease-ms needs a number")?, "--lease-ms")?
+            }
+            "--heartbeat-ms" => {
+                sched.heartbeat = ms(
+                    it.next().ok_or("--heartbeat-ms needs a number")?,
+                    "--heartbeat-ms",
+                )?
+            }
+            "--shard-points" => {
+                let v = it.next().ok_or("--shard-points needs a number")?;
+                sched.shard_points = v
+                    .parse()
+                    .map_err(|_| format!("--shard-points: `{v}` is not a number"))?;
+            }
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }
@@ -301,6 +355,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         addr,
         cache_dir,
         opts,
+        sched,
     })
 }
 
@@ -314,14 +369,26 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Err(e) => return fail(format!("opening cache {}: {e}", serve.cache_dir.display())),
     };
     let warm = cache.len();
-    let server = match Server::bind(serve.addr.as_str(), cache, serve.opts) {
+    let mut server = match Server::bind(serve.addr.as_str(), cache.clone(), serve.opts) {
         Ok(s) => s,
         Err(e) => return fail(format!("binding {}: {e}", serve.addr)),
     };
+    // The distributed scheduler rides on the same listener: `/healthz`
+    // plus the `/dist/*` worker protocol. With --no-local-exec it is the
+    // only execution backend; otherwise it coexists with the in-process
+    // pool (each job runs on exactly one of the two).
+    let scheduler = Scheduler::new(server.queue(), cache, serve.sched);
+    scheduler.spawn_ticker();
+    server.set_router(scheduler.into_router());
     match server.local_addr() {
         Ok(addr) => eprintln!(
-            "pas-server listening on {addr} (cache: {}, {warm} warm entries)",
-            serve.cache_dir.display()
+            "pas-server listening on {addr} (cache: {}, {warm} warm entries, {})",
+            serve.cache_dir.display(),
+            if serve.opts.local_exec {
+                "local exec + dist"
+            } else {
+                "dist only"
+            }
         ),
         Err(_) => eprintln!("pas-server listening on {}", serve.addr),
     }
@@ -329,6 +396,110 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(format!("server: {e}")),
     }
+}
+
+// ---------------------------------------------------------------------------
+// worker / status
+// ---------------------------------------------------------------------------
+
+fn parse_worker_args(args: &[String]) -> Result<(String, WorkerOptions), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut opts = WorkerOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => addr = it.next().ok_or("--connect needs HOST:PORT")?.clone(),
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a number")?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a number"))?;
+            }
+            "--name" => opts.name = it.next().ok_or("--name needs a value")?.clone(),
+            "--poll-ms" => {
+                let v = it.next().ok_or("--poll-ms needs a number")?;
+                opts.poll = Duration::from_millis(
+                    v.parse()
+                        .map_err(|_| format!("--poll-ms: `{v}` is not a number"))?,
+                );
+            }
+            "--max-shards" => {
+                let v = it.next().ok_or("--max-shards needs a number")?;
+                opts.max_shards = Some(
+                    v.parse()
+                        .map_err(|_| format!("--max-shards: `{v}` is not a number"))?,
+                );
+            }
+            "--fail-after-points" => {
+                let v = it.next().ok_or("--fail-after-points needs a number")?;
+                opts.fail_after_points = Some(
+                    v.parse()
+                        .map_err(|_| format!("--fail-after-points: `{v}` is not a number"))?,
+                );
+            }
+            "--quiet" => opts.verbose = false,
+            other => return Err(format!("unknown worker option `{other}`")),
+        }
+    }
+    Ok((addr, opts))
+}
+
+fn cmd_worker(args: &[String]) -> ExitCode {
+    let (addr, mut opts) = match parse_worker_args(args) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    opts.verbose = opts.verbose || std::env::var_os("PAS_WORKER_VERBOSE").is_some();
+    eprintln!("pas-worker `{}` connecting to {addr}", opts.name);
+    match pas_dist::worker::run(&addr, opts) {
+        Ok(summary) => {
+            eprintln!(
+                "pas-worker {}: {} shards, {} points{}",
+                summary.worker,
+                summary.shards,
+                summary.points,
+                if summary.died { " (died by drill)" } else { "" }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("worker: {e}")),
+    }
+}
+
+fn cmd_status(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => return fail("--addr needs HOST:PORT"),
+            },
+            other => return fail(format!("unknown status option `{other}`")),
+        }
+    }
+    let client = Client::new(addr.clone());
+    let health = match client.healthz() {
+        Ok(h) => h,
+        Err(e) => return fail(format!("{addr}: {e}")),
+    };
+    println!("server     {addr}");
+    for key in ["queue_depth", "active_jobs", "workers"] {
+        if let Some(v) = pas_server::json::find_u64(&health, key) {
+            println!("{key:<10} {v}");
+        }
+    }
+    if let Some(true) = pas_server::json::find_bool(&health, "draining") {
+        println!("draining   yes");
+    }
+    match client.workers_table() {
+        Ok(table) if !table.trim().is_empty() => {
+            println!();
+            print!("{table}");
+        }
+        _ => {}
+    }
+    ExitCode::SUCCESS
 }
 
 // ---------------------------------------------------------------------------
@@ -341,6 +512,7 @@ struct SubmitArgs {
     out: Option<PathBuf>,
     raw: Option<PathBuf>,
     poll_ms: u64,
+    retries: u32,
     quiet: bool,
 }
 
@@ -350,6 +522,7 @@ fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
     let mut out = None;
     let mut raw = None;
     let mut poll_ms = 200u64;
+    let mut retries = 8u32;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -362,6 +535,12 @@ fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
                 poll_ms = v
                     .parse()
                     .map_err(|_| format!("--poll-ms: `{v}` is not a number"))?;
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a number")?;
+                retries = v
+                    .parse()
+                    .map_err(|_| format!("--retries: `{v}` is not a number"))?;
             }
             "--quiet" => quiet = true,
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
@@ -378,6 +557,7 @@ fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
         out,
         raw,
         poll_ms,
+        retries,
         quiet,
     })
 }
@@ -392,7 +572,20 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         Err(e) => return fail(e),
     };
     let client = Client::new(sub.addr.clone());
-    let id = match client.submit(&m.to_toml()) {
+    // Transient failures — the server still booting (connection refused)
+    // or shedding load (429) — back off exponentially with jitter instead
+    // of failing the whole batch submission.
+    // `--retries N` means N retries on top of the first attempt.
+    let policy = RetryPolicy {
+        attempts: sub.retries.saturating_add(1),
+        ..RetryPolicy::default()
+    };
+    let quiet = sub.quiet;
+    let id = match client.submit_with_retry(&m.to_toml(), policy, |attempt, err| {
+        if !quiet {
+            eprintln!("submit retry {attempt}/{}: {err}", policy.attempts - 1);
+        }
+    }) {
         Ok(id) => id,
         Err(e) => return fail(e),
     };
@@ -453,18 +646,35 @@ fn cmd_submit(args: &[String]) -> ExitCode {
 
 /// Smoke benchmark: expansion throughput and a small batch execute, as
 /// JSON other PRs can diff for a perf trajectory (BENCH_batch.json).
+/// With `--dist N`, instead measure distributed scaling: cold-run the
+/// full paper-default grid on in-process fleets of 1, 2, 4, …, N
+/// single-threaded workers against a real `--no-local-exec` server, and
+/// record throughput and efficiency vs the single-process sequential
+/// baseline (BENCH_dist.json).
 fn cmd_bench(args: &[String]) -> ExitCode {
-    let mut out = PathBuf::from("BENCH_batch.json");
+    let mut out: Option<PathBuf> = None;
+    let mut dist: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => match it.next() {
-                Some(v) => out = PathBuf::from(v),
+                Some(v) => out = Some(PathBuf::from(v)),
                 None => return fail("--out needs a file path"),
+            },
+            "--dist" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => dist = Some(n),
+                _ => return fail("--dist needs a worker count >= 1"),
             },
             other => return fail(format!("unknown bench option `{other}`")),
         }
     }
+    if let Some(max_workers) = dist {
+        return cmd_bench_dist(
+            max_workers,
+            out.unwrap_or_else(|| PathBuf::from("BENCH_dist.json")),
+        );
+    }
+    let out = out.unwrap_or_else(|| PathBuf::from("BENCH_batch.json"));
     let manifest = registry::builtin("paper-default").expect("builtin parses");
     let points = match expand(&manifest) {
         Ok(p) => p,
@@ -515,6 +725,131 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Distributed scaling bench: one in-process server + fleet per
+/// configuration, each starting from a cold cache so every point
+/// simulates remotely.
+fn cmd_bench_dist(max_workers: usize, out: PathBuf) -> ExitCode {
+    let manifest = registry::builtin("paper-default").expect("builtin parses");
+    let toml = manifest.to_toml();
+    let n_runs = match expand(&manifest) {
+        Ok(p) => p.len(),
+        Err(e) => return fail(e),
+    };
+
+    // Single-process sequential baseline (the PR 2 execution path).
+    let t0 = std::time::Instant::now();
+    if let Err(e) = execute(&manifest, ExecOptions { threads: 1 }) {
+        return fail(e);
+    }
+    let base_us = t0.elapsed().as_micros() as u64;
+
+    let mut counts: Vec<usize> = Vec::new();
+    let mut w = 1;
+    while w < max_workers {
+        counts.push(w);
+        w *= 2;
+    }
+    counts.push(max_workers);
+
+    let mut fleets = Vec::new();
+    for &workers in &counts {
+        let dir =
+            std::env::temp_dir().join(format!("pas_bench_dist_{}_{workers}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = match ResultCache::open(&dir) {
+            Ok(c) => c,
+            Err(e) => return fail(format!("opening {}: {e}", dir.display())),
+        };
+        let opts = ServerOptions {
+            local_exec: false,
+            ..ServerOptions::default()
+        };
+        let mut server = match Server::bind("127.0.0.1:0", cache.clone(), opts) {
+            Ok(s) => s,
+            Err(e) => return fail(format!("binding bench server: {e}")),
+        };
+        let addr = match server.local_addr() {
+            Ok(a) => a.to_string(),
+            Err(e) => return fail(format!("bench server addr: {e}")),
+        };
+        let scheduler = Scheduler::new(
+            server.queue(),
+            cache,
+            SchedulerOptions {
+                heartbeat: Duration::from_millis(200),
+                ..SchedulerOptions::default()
+            },
+        );
+        scheduler.spawn_ticker();
+        server.set_router(scheduler.into_router());
+        std::thread::spawn(move || server.run());
+
+        let fleet: Vec<_> = (0..workers)
+            .map(|i| {
+                let addr = addr.clone();
+                let opts = WorkerOptions {
+                    name: format!("bench-{i}"),
+                    threads: 1,
+                    poll: Duration::from_millis(10),
+                    verbose: false,
+                    ..WorkerOptions::default()
+                };
+                std::thread::spawn(move || pas_dist::worker::run(&addr, opts))
+            })
+            .collect();
+
+        let client = Client::new(addr);
+        let t1 = std::time::Instant::now();
+        let id = match client.submit_with_retry(&toml, RetryPolicy::default(), |_, _| {}) {
+            Ok(id) => id,
+            Err(e) => return fail(format!("bench submit: {e}")),
+        };
+        let status = match client.wait(id, Duration::from_millis(20)) {
+            Ok(s) => s,
+            Err(e) => return fail(format!("bench wait: {e}")),
+        };
+        let wall_us = t1.elapsed().as_micros() as u64;
+        if status.phase != "completed" || status.cache_misses != n_runs as u64 {
+            return fail(format!(
+                "bench fleet of {workers}: phase {}, {} simulated (want {n_runs})",
+                status.phase, status.cache_misses
+            ));
+        }
+        if let Err(e) = client.drain() {
+            return fail(format!("bench drain: {e}"));
+        }
+        for handle in fleet {
+            match handle.join() {
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => return fail(format!("bench worker: {e}")),
+                Err(_) => return fail("bench worker panicked"),
+            }
+        }
+        let speedup = base_us as f64 / wall_us as f64;
+        fleets.push(format!(
+            "    {{\"workers\": {workers}, \"wall_us\": {wall_us}, \
+             \"runs_per_s\": {:.1}, \"speedup\": {speedup:.3}, \
+             \"efficiency\": {:.3}}}",
+            n_runs as f64 / (wall_us as f64 / 1e6),
+            speedup / workers as f64,
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"dist\",\n  \"scenario\": \"paper-default\",\n  \
+         \"runs\": {n_runs},\n  \"baseline_sequential_us\": {base_us},\n  \
+         \"fleets\": [\n{}\n  ]\n}}\n",
+        fleets.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        return fail(format!("writing {}: {e}", out.display()));
+    }
+    print!("{json}");
+    eprintln!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -533,7 +868,9 @@ fn main() -> ExitCode {
         },
         Some("run") => cmd_run(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{}", usage());
