@@ -76,7 +76,9 @@ pub fn delay_energy(
     field: &dyn StimulusField,
 ) -> Vec<ExperimentPoint> {
     /// `(x-axis value, policy label)` — the aggregation key of one point.
-    type PointKey = (f64, &'static str);
+    /// The label is owned: predictor-qualified labels ("PAS[kalman]") are
+    /// built per policy, not borrowed from a static table.
+    type PointKey = (f64, String);
 
     // Fan out (point × seed) and run everything in parallel.
     let jobs = with_seeds(policy_points, SEED_BASE, REPLICATES);
@@ -89,11 +91,10 @@ pub fn delay_energy(
         )
     });
 
-    let delays: Vec<((f64, &'static str), f64)> =
-        results.iter().map(|(k, (d, _))| (*k, *d)).collect();
-    let energies: Vec<((f64, &'static str), f64)> =
-        results.iter().map(|(k, (_, e))| (*k, *e)).collect();
-    let delay_sum: Vec<Summary<(f64, &'static str)>> = summarize(&delays);
+    let delays: Vec<(PointKey, f64)> = results.iter().map(|(k, (d, _))| (k.clone(), *d)).collect();
+    let energies: Vec<(PointKey, f64)> =
+        results.iter().map(|(k, (_, e))| (k.clone(), *e)).collect();
+    let delay_sum: Vec<Summary<PointKey>> = summarize(&delays);
     let energy_sum = summarize(&energies);
 
     delay_sum
@@ -103,7 +104,7 @@ pub fn delay_energy(
             debug_assert_eq!(d.key, e.key);
             ExperimentPoint {
                 x: d.key.0,
-                policy: d.key.1.to_string(),
+                policy: d.key.1,
                 delay_mean_s: d.mean,
                 delay_std_s: d.std_dev,
                 energy_mean_j: e.mean,

@@ -34,7 +34,10 @@ fn paper_default_manifest_declares_the_harness_workload() {
     assert_eq!(m.run.replicates, REPLICATES);
     assert_eq!(m.sweep.len(), 1);
     assert_eq!(m.sweep[0].field, "max_sleep_s");
-    assert_eq!(m.sweep[0].values, MAX_SLEEP_AXIS);
+    assert_eq!(
+        m.sweep[0].values,
+        pas_scenario::AxisValues::Numeric(MAX_SLEEP_AXIS.to_vec())
+    );
 
     // Policy grid: NS, degenerate-alert SAS, PAS at the Fig. 4 threshold.
     assert_eq!(m.policies.len(), 3);
@@ -82,7 +85,7 @@ fn manifest_execution_matches_harness_fig4_sweep() {
 
     // Manifest path: the same slice of the registry manifest.
     let mut m = registry::builtin("paper-default").unwrap();
-    m.sweep[0].values = axis_slice.to_vec();
+    m.sweep[0].values = axis_slice.to_vec().into();
     let batch = execute(&m, ExecOptions::default()).unwrap();
 
     assert_eq!(harness.len(), batch.summaries.len());

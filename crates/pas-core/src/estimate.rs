@@ -362,6 +362,78 @@ mod tests {
         assert!(sas > pas, "SAS systematically predicts later");
     }
 
+    // --- numeric edge cases ----------------------------------------------
+    //
+    // These pin the guards the pluggable-predictor layer inherits: every
+    // variant that reuses these primitives relies on exactly this
+    // behaviour at the numeric boundaries.
+
+    #[test]
+    fn min_speed_is_a_closed_boundary() {
+        // Exactly MIN_SPEED is trustworthy; one ULP-scale step below is not.
+        let x = Vec2::new(1.0, 0.0);
+        let at = covered(Vec2::ZERO, 0.0, Some(Vec2::new(MIN_SPEED, 0.0)));
+        assert!(arrival_from_report(x, &at).is_finite());
+        let below = covered(Vec2::ZERO, 0.0, Some(Vec2::new(MIN_SPEED * 0.5, 0.0)));
+        assert_eq!(arrival_from_report(x, &below), SimTime::NEVER);
+        // The SAS path applies the same guard.
+        assert_eq!(sas_expected_arrival(x, &[below]), SimTime::NEVER);
+        assert!(sas_expected_arrival(x, &[at]).is_finite());
+        // And expected_velocity refuses sub-threshold reports outright.
+        assert_eq!(expected_velocity(&[below]), None);
+    }
+
+    #[test]
+    fn coincident_detection_chords_are_discarded() {
+        // dt below MIN_DT (including exactly zero) yields no chord; a
+        // mix keeps only the usable neighbour.
+        let x = Vec2::new(2.0, 0.0);
+        let coincident = covered(Vec2::ZERO, 4.0, None);
+        let usable = covered(Vec2::ZERO, 0.0, None);
+        assert_eq!(actual_velocity(x, t(4.0), &[coincident]), None);
+        let near_coincident = covered(Vec2::ZERO, 4.0 - MIN_DT / 2.0, None);
+        assert_eq!(actual_velocity(x, t(4.0), &[near_coincident]), None);
+        let v = actual_velocity(x, t(4.0), &[coincident, usable]).unwrap();
+        assert!(
+            (v - Vec2::new(0.5, 0.0)).norm() < 1e-12,
+            "only the t=0 chord survives: {v}"
+        );
+    }
+
+    #[test]
+    fn exactly_min_dt_chord_is_usable() {
+        let x = Vec2::new(1.0, 0.0);
+        let r = covered(Vec2::ZERO, 0.0, None);
+        let v = actual_velocity(x, t(MIN_DT), &[r]).unwrap();
+        assert!((v.x - 1.0 / MIN_DT).abs() / v.x < 1e-12);
+    }
+
+    #[test]
+    fn cos_theta_clamp_is_exact_at_perpendicular() {
+        // cos θ = 0 (front moving at right angles to IX): the projection
+        // is exactly zero, so the arrival clamps to the report base — not
+        // epsilon-negative, not in the past.
+        let r = covered(Vec2::ZERO, 7.0, Some(Vec2::new(0.0, 3.0)));
+        let eta = arrival_from_report(Vec2::new(5.0, 0.0), &r);
+        assert_eq!(eta, t(7.0));
+        // Strictly behind: also clamped to the base, never earlier.
+        let eta_behind = arrival_from_report(Vec2::new(5.0, -20.0), &r);
+        assert_eq!(eta_behind, t(7.0));
+    }
+
+    #[test]
+    fn clamp_never_predicts_the_past_across_a_ring() {
+        // Whatever the geometry, a report can never yield an arrival
+        // before its own time base.
+        let r = covered(Vec2::new(3.0, -2.0), 11.0, Some(Vec2::new(-1.3, 0.4)));
+        for i in 0..32 {
+            let a = core::f64::consts::TAU * i as f64 / 32.0;
+            let x = Vec2::new(3.0, -2.0) + Vec2::from_polar(6.0, a);
+            let eta = arrival_from_report(x, &r);
+            assert!(eta >= t(11.0), "angle {a}: eta {eta} before base");
+        }
+    }
+
     #[test]
     fn sas_never_earlier_than_pas() {
         // Property spot-check across a ring of receiver positions.

@@ -23,6 +23,17 @@
 //! * expected velocity = mean of neighbour velocity reports;
 //! * expected arrival `t_X = min_I ( ref_I + |IX| cos θ_I / |v_I| )`.
 //!
+//! ## Predictors ([`predictor`])
+//!
+//! The arrival estimator is pluggable: [`AdaptiveParams::predictor`]
+//! mounts a [`PredictorSpec`] variant — the paper's planar front, the
+//! SAS non-directional baseline, a Kalman-filtered velocity fusion, or a
+//! robust k-th-smallest quantile fusion — and the runner dispatches
+//! through a plain `match` (enum dispatch, no trait objects on the hot
+//! path). The default spec resolves to the policy kind's own estimator,
+//! so `Policy::Pas(params)` / `Policy::Sas(params)` behave exactly as
+//! before the predictor layer existed.
+//!
 //! ## Policies ([`policy`])
 //!
 //! * [`Policy::Ns`] — no sleeping: always awake (zero delay, max energy).
@@ -52,6 +63,7 @@ pub mod failure;
 pub mod msg;
 pub mod node;
 pub mod policy;
+pub mod predictor;
 pub mod runner;
 pub mod state;
 pub mod timeline;
@@ -60,6 +72,7 @@ pub use config::{ChannelKind, DeploymentKind, RunConfig, Scenario};
 pub use failure::FailurePlan;
 pub use msg::{Msg, Report};
 pub use policy::{AdaptiveParams, Policy};
+pub use predictor::{KalmanParams, PredictorSpec, QuantileParams, PREDICTOR_NAMES};
 pub use runner::{run, RunResult};
 pub use state::NodeState;
 pub use timeline::Timeline;
@@ -69,6 +82,7 @@ pub mod prelude {
     pub use crate::config::{ChannelKind, DeploymentKind, RunConfig, Scenario};
     pub use crate::failure::FailurePlan;
     pub use crate::policy::{AdaptiveParams, Policy};
+    pub use crate::predictor::{KalmanParams, PredictorSpec, QuantileParams};
     pub use crate::runner::{run, RunResult};
     pub use crate::state::NodeState;
     pub use crate::timeline::Timeline;

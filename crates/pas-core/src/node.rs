@@ -7,6 +7,7 @@
 //! models and keeps the hot loop monomorphic.
 
 use crate::msg::Report;
+use crate::predictor::PredictorState;
 use crate::state::NodeState;
 use pas_geom::Vec2;
 use pas_platform::{EnergyBreakdown, EnergyMeter, NodeMode};
@@ -50,6 +51,9 @@ pub struct Node {
     pub detect_time: Option<SimTime>,
     /// Current velocity estimate: actual (covered) or expected (alert).
     pub velocity: Option<Vec2>,
+    /// Per-node memory of the policy's arrival predictor (the Kalman
+    /// variant's recursive velocity belief; stateless for the others).
+    pub predictor_state: PredictorState,
     /// Current predicted stimulus arrival ([`SimTime::NEVER`] = unknown).
     pub expected_arrival: SimTime,
     /// Latest report received per neighbour.
@@ -84,6 +88,7 @@ impl Node {
             death_energy: None,
             detect_time: None,
             velocity: None,
+            predictor_state: PredictorState::default(),
             expected_arrival: SimTime::NEVER,
             reports: BTreeMap::new(),
             window: None,

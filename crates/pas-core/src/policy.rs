@@ -3,12 +3,17 @@
 //! [`AdaptiveParams`] carries the knobs shared by the adaptive schemes;
 //! [`Policy`] selects the scheme. The paper's two swept parameters map to
 //! [`AdaptiveParams::max_sleep_s`] (Figs. 4/6 x-axis) and
-//! [`AdaptiveParams::alert_threshold_s`] (Figs. 5/7 x-axis).
+//! [`AdaptiveParams::alert_threshold_s`] (Figs. 5/7 x-axis). The arrival
+//! estimator itself is a parameter too: [`AdaptiveParams::predictor`]
+//! selects a [`PredictorSpec`] variant, defaulting to the policy kind's
+//! own estimator (see [`crate::predictor`] for the dispatch design).
 
+use crate::predictor::PredictorSpec;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Parameters of the adaptive (SAS/PAS) sleeping mechanisms.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AdaptiveParams {
     /// Initial sleep interval (s); the interval resets to this on
     /// alert → safe fallback.
@@ -38,6 +43,9 @@ pub struct AdaptiveParams {
     /// they return to safe after `detection_timeout_s` (§3.2 "the sensor
     /// will wait for a detection timeout").
     pub detection_timeout_s: f64,
+    /// Arrival estimator; [`PredictorSpec::Default`] resolves to the
+    /// policy kind's own (planar front for PAS, non-directional for SAS).
+    pub predictor: PredictorSpec,
 }
 
 impl Default for AdaptiveParams {
@@ -53,7 +61,34 @@ impl Default for AdaptiveParams {
             alert_review_interval_s: 2.0,
             alert_overdue_timeout_s: 10.0,
             detection_timeout_s: 5.0,
+            predictor: PredictorSpec::Default,
         }
+    }
+}
+
+/// Hand-rolled so the output with a [`PredictorSpec::Default`] predictor
+/// is byte-identical to the pre-predictor derived form: `pas-server`
+/// content-addresses cached results by this rendering, and existing
+/// manifests must keep their warm cache entries. Non-default predictors
+/// append a `predictor` field, which is exactly what makes their cache
+/// keys distinct.
+impl fmt::Debug for AdaptiveParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("AdaptiveParams");
+        d.field("base_sleep_s", &self.base_sleep_s)
+            .field("delta_t_s", &self.delta_t_s)
+            .field("max_sleep_s", &self.max_sleep_s)
+            .field("alert_threshold_s", &self.alert_threshold_s)
+            .field("response_window_s", &self.response_window_s)
+            .field("rebroadcast_rel_change", &self.rebroadcast_rel_change)
+            .field("min_broadcast_gap_s", &self.min_broadcast_gap_s)
+            .field("alert_review_interval_s", &self.alert_review_interval_s)
+            .field("alert_overdue_timeout_s", &self.alert_overdue_timeout_s)
+            .field("detection_timeout_s", &self.detection_timeout_s);
+        if self.predictor != PredictorSpec::Default {
+            d.field("predictor", &self.predictor);
+        }
+        d.finish()
     }
 }
 
@@ -85,6 +120,7 @@ impl AdaptiveParams {
             "alert_overdue_timeout_s > 0"
         );
         assert!(self.detection_timeout_s > 0.0, "detection_timeout_s > 0");
+        self.predictor.validate();
     }
 
     /// The next sleep interval after an uneventful wake-up: grow linearly,
@@ -128,6 +164,14 @@ impl Policy {
         Policy::Pas(AdaptiveParams::default())
     }
 
+    /// Default-parameter PAS running the given predictor variant.
+    pub fn pas_with(predictor: PredictorSpec) -> Policy {
+        Policy::Pas(AdaptiveParams {
+            predictor,
+            ..AdaptiveParams::default()
+        })
+    }
+
     /// The adaptive parameters, if this policy has them.
     pub fn params(&self) -> Option<&AdaptiveParams> {
         match self {
@@ -136,20 +180,49 @@ impl Policy {
         }
     }
 
-    /// Short label for tables.
-    pub fn label(&self) -> &'static str {
+    /// The policy kind's own default estimator ([`PredictorSpec::Default`]
+    /// resolves to this).
+    fn kind_default_predictor(&self) -> PredictorSpec {
         match self {
+            Policy::Sas(_) => PredictorSpec::NonDirectional,
+            _ => PredictorSpec::PlanarFront,
+        }
+    }
+
+    /// The resolved arrival predictor this policy runs, if adaptive.
+    pub fn predictor(&self) -> Option<PredictorSpec> {
+        self.params()
+            .map(|p| p.predictor.resolve(self.kind_default_predictor()))
+    }
+
+    /// Short label for tables. The base kind ("NS", "SAS", "PAS",
+    /// "Oracle") is suffixed with the predictor name when a non-default
+    /// estimator is mounted — "PAS[kalman]" — so parameterised variants
+    /// stay distinguishable in every sink; default predictors keep the
+    /// historical bare labels.
+    pub fn label(&self) -> String {
+        let base = match self {
             Policy::Ns => "NS",
             Policy::Sas(_) => "SAS",
             Policy::Pas(_) => "PAS",
             Policy::Oracle => "Oracle",
+        };
+        match self.predictor() {
+            Some(p) if p.name() != self.kind_default_predictor().name() => {
+                crate::predictor::qualified_label(base, p.name())
+            }
+            _ => base.to_string(),
         }
     }
 
     /// `true` if nodes under this policy relay predictions through the
-    /// alert ring (the PAS-only mechanism).
+    /// alert ring — the PAS-only mechanism, and only worth the airtime
+    /// when the mounted predictor actually consumes alert reports. A PAS
+    /// policy demoted to the non-directional estimator therefore stops
+    /// relaying, which is precisely the paper's "PAS can degenerate into
+    /// SAS" claim made exact (see [`crate::predictor`]).
     pub fn relays_predictions(&self) -> bool {
-        matches!(self, Policy::Pas(_))
+        matches!(self, Policy::Pas(_)) && self.predictor().is_some_and(|p| p.uses_alert_reports())
     }
 
     /// Validate any embedded parameters.
@@ -204,6 +277,76 @@ mod tests {
         assert!(Policy::pas_default().relays_predictions());
         assert!(!Policy::sas_default().relays_predictions());
         assert!(!Policy::Ns.relays_predictions());
+    }
+
+    #[test]
+    fn labels_name_non_default_predictors() {
+        use crate::predictor::{KalmanParams, QuantileParams};
+        assert_eq!(
+            Policy::pas_with(PredictorSpec::Kalman(KalmanParams::default())).label(),
+            "PAS[kalman]"
+        );
+        assert_eq!(
+            Policy::pas_with(PredictorSpec::RobustQuantile(QuantileParams::default())).label(),
+            "PAS[quantile]"
+        );
+        assert_eq!(
+            Policy::pas_with(PredictorSpec::NonDirectional).label(),
+            "PAS[non_directional]"
+        );
+        // Explicitly mounting the kind's own default keeps the bare label.
+        assert_eq!(Policy::pas_with(PredictorSpec::PlanarFront).label(), "PAS");
+        assert_eq!(
+            Policy::Sas(AdaptiveParams {
+                predictor: PredictorSpec::PlanarFront,
+                ..AdaptiveParams::default()
+            })
+            .label(),
+            "SAS[planar]"
+        );
+    }
+
+    #[test]
+    fn predictor_resolution_per_kind() {
+        assert_eq!(
+            Policy::pas_default().predictor(),
+            Some(PredictorSpec::PlanarFront)
+        );
+        assert_eq!(
+            Policy::sas_default().predictor(),
+            Some(PredictorSpec::NonDirectional)
+        );
+        assert_eq!(Policy::Ns.predictor(), None);
+        assert_eq!(Policy::Oracle.predictor(), None);
+    }
+
+    #[test]
+    fn non_directional_pas_stops_relaying() {
+        // The degeneration hinge: a PAS whose estimator ignores alert
+        // reports has nothing worth relaying.
+        assert!(!Policy::pas_with(PredictorSpec::NonDirectional).relays_predictions());
+        assert!(Policy::pas_with(PredictorSpec::PlanarFront).relays_predictions());
+    }
+
+    #[test]
+    fn params_debug_is_stable_for_default_predictor() {
+        // pas-server keys its result cache on this rendering; the default
+        // form must match the historical derived output exactly.
+        assert_eq!(
+            format!("{:?}", AdaptiveParams::default()),
+            "AdaptiveParams { base_sleep_s: 1.0, delta_t_s: 1.0, max_sleep_s: 10.0, \
+             alert_threshold_s: 15.0, response_window_s: 0.1, rebroadcast_rel_change: 0.2, \
+             min_broadcast_gap_s: 0.25, alert_review_interval_s: 2.0, \
+             alert_overdue_timeout_s: 10.0, detection_timeout_s: 5.0 }"
+        );
+        let custom = AdaptiveParams {
+            predictor: PredictorSpec::NonDirectional,
+            ..AdaptiveParams::default()
+        };
+        assert!(
+            format!("{custom:?}").contains("predictor: NonDirectional"),
+            "non-default predictors must be visible to the cache key"
+        );
     }
 
     #[test]

@@ -94,8 +94,9 @@ enum Ev {
 /// The outcome of one run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// Policy label ("NS", "SAS", "PAS", "Oracle").
-    pub policy_label: &'static str,
+    /// Policy label ("NS", "SAS", "PAS", "Oracle", or a predictor-
+    /// qualified form like "PAS[kalman]" — see [`Policy::label`]).
+    pub policy_label: String,
     /// Number of nodes simulated.
     pub node_count: usize,
     /// Simulated duration in seconds.
@@ -431,7 +432,7 @@ impl<'f> World<'f> {
                 if self.nodes[i].state != NodeState::Safe || !self.nodes[i].awake {
                     return;
                 }
-                let (eta, vel) = self.estimate_for(i);
+                let (eta, vel) = self.estimate_for(i, now);
                 {
                     let node = &mut self.nodes[i];
                     node.expected_arrival = eta;
@@ -479,7 +480,7 @@ impl<'f> World<'f> {
                 if self.nodes[i].state != NodeState::Alert {
                     return; // got covered mid-refresh; detection handled it
                 }
-                let (eta, vel) = self.estimate_for(i);
+                let (eta, vel) = self.estimate_for(i, now);
                 {
                     let node = &mut self.nodes[i];
                     node.expected_arrival = eta;
@@ -536,7 +537,7 @@ impl<'f> World<'f> {
                 // WindowEnd. Otherwise alert nodes re-estimate immediately
                 // (§3.2: "re-calculates the expected arrival time").
                 if self.nodes[i].window.is_none() && self.nodes[i].state == NodeState::Alert {
-                    let (eta, vel) = self.estimate_for(i);
+                    let (eta, vel) = self.estimate_for(i, now);
                     let old = self.nodes[i].expected_arrival;
                     {
                         let node = &mut self.nodes[i];
@@ -634,18 +635,17 @@ impl<'f> World<'f> {
 
     // --- helpers -----------------------------------------------------------
 
-    /// Run the policy's estimator over node `i`'s stored reports.
-    fn estimate_for(&self, i: usize) -> (SimTime, Option<pas_geom::Vec2>) {
+    /// Run the policy's mounted predictor over node `i`'s stored reports
+    /// (see [`crate::predictor`] for the dispatch design). Takes `&mut
+    /// self` because stateful predictors update the node's
+    /// [`crate::predictor::PredictorState`].
+    fn estimate_for(&mut self, i: usize, now: SimTime) -> (SimTime, Option<pas_geom::Vec2>) {
+        let Some(predictor) = self.policy.predictor() else {
+            return (SimTime::NEVER, None); // NS/Oracle never estimate
+        };
         let reports: Vec<Report> = self.nodes[i].report_values();
         let pos = self.nodes[i].pos;
-        match self.policy {
-            Policy::Pas(_) => (
-                estimate::pas_expected_arrival(pos, &reports),
-                estimate::expected_velocity(&reports),
-            ),
-            Policy::Sas(_) => (estimate::sas_expected_arrival(pos, &reports), None),
-            Policy::Ns | Policy::Oracle => (SimTime::NEVER, None),
-        }
+        predictor.estimate(pos, now, &reports, &mut self.nodes[i].predictor_state)
     }
 
     /// Safe → Alert: stay awake, start the review cycle, and (PAS only)

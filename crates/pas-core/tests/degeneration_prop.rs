@@ -1,0 +1,133 @@
+//! Property test for the paper's degeneration claim, quoted in
+//! `policy.rs`: "By greatly reducing the threshold value of alert time,
+//! PAS can degenerate into SAS."
+//!
+//! The pluggable-predictor layer makes the claim exact rather than
+//! approximate: a PAS policy with SAS's degenerate alert threshold *and*
+//! the `non_directional` predictor ignores alert reports, therefore never
+//! relays predictions, and runs event-for-event identically to SAS with
+//! the same parameters. These properties pin that equivalence — wake/sleep
+//! edges, state transitions, metrics and message counts — across random
+//! seeds, deployments and parameter settings.
+
+use pas_core::{run, AdaptiveParams, DeploymentKind, Policy, PredictorSpec, RunConfig, Scenario};
+use pas_diffusion::RadialFront;
+use pas_geom::Vec2;
+use proptest::prelude::*;
+
+fn deployment() -> impl Strategy<Value = DeploymentKind> {
+    prop_oneof![
+        Just(DeploymentKind::Uniform),
+        Just(DeploymentKind::Grid { cols: 6, rows: 5 }),
+        Just(DeploymentKind::PoissonDisk { min_dist: 4.0 }),
+    ]
+}
+
+fn degenerate_pair(max_sleep_s: f64, alert_threshold_s: f64) -> (Policy, Policy) {
+    let params = AdaptiveParams {
+        max_sleep_s,
+        alert_threshold_s,
+        ..AdaptiveParams::default()
+    };
+    let sas = Policy::Sas(params);
+    let degenerate_pas = Policy::Pas(AdaptiveParams {
+        predictor: PredictorSpec::NonDirectional,
+        ..params
+    });
+    (sas, degenerate_pas)
+}
+
+proptest! {
+    /// Degenerate PAS reproduces SAS wake times exactly: every wake/sleep
+    /// edge of every node happens at the identical instant, and every
+    /// state transition matches — across random seeds, deployments, front
+    /// speeds and sleep/alert settings.
+    #[test]
+    fn degenerate_pas_reproduces_sas_wake_times(
+        seed in 0..10_000u64,
+        kind in deployment(),
+        speed in 0.2..1.5f64,
+        max_sleep in 4.0..16.0f64,
+        alert in 1.0..3.0f64,
+    ) {
+        let scenario = Scenario {
+            deployment: kind,
+            ..Scenario::paper_default(seed)
+        };
+        let field = RadialFront::constant(Vec2::ZERO, speed);
+        let (sas, degenerate_pas) = degenerate_pair(max_sleep, alert);
+
+        let a = run(&scenario, &field, &RunConfig::new(sas).with_timeline());
+        let b = run(
+            &scenario,
+            &field,
+            &RunConfig::new(degenerate_pas).with_timeline(),
+        );
+
+        let (ta, tb) = (a.timeline.as_ref().unwrap(), b.timeline.as_ref().unwrap());
+        prop_assert_eq!(ta.power.len(), tb.power.len(), "wake/sleep edge count");
+        for (pa, pb) in ta.power.iter().zip(&tb.power) {
+            prop_assert_eq!(pa.node, pb.node);
+            prop_assert_eq!(pa.awake, pb.awake);
+            prop_assert_eq!(pa.t, pb.t, "node {} edge at different instants", pa.node);
+        }
+        prop_assert_eq!(ta.transitions.len(), tb.transitions.len());
+        for (xa, xb) in ta.transitions.iter().zip(&tb.transitions) {
+            prop_assert_eq!(xa.node, xb.node);
+            prop_assert_eq!(xa.t, xb.t);
+            prop_assert_eq!(xa.from, xb.from);
+            prop_assert_eq!(xa.to, xb.to);
+        }
+    }
+
+    /// The equivalence extends to every observable metric, not just the
+    /// schedule: delay, energy, traffic and event counts are bit-identical.
+    #[test]
+    fn degenerate_pas_matches_sas_metrics_bit_for_bit(
+        seed in 0..10_000u64,
+        kind in deployment(),
+        max_sleep in 4.0..16.0f64,
+    ) {
+        let scenario = Scenario {
+            deployment: kind,
+            ..Scenario::paper_default(seed)
+        };
+        let field = RadialFront::constant(Vec2::ZERO, 0.5);
+        let (sas, degenerate_pas) = degenerate_pair(max_sleep, 2.0);
+
+        let a = run(&scenario, &field, &RunConfig::new(sas));
+        let b = run(&scenario, &field, &RunConfig::new(degenerate_pas));
+
+        prop_assert_eq!(a.delay.mean_delay_s.to_bits(), b.delay.mean_delay_s.to_bits());
+        prop_assert_eq!(a.mean_energy_j().to_bits(), b.mean_energy_j().to_bits());
+        prop_assert_eq!(a.requests_sent, b.requests_sent);
+        prop_assert_eq!(a.responses_sent, b.responses_sent);
+        prop_assert_eq!(a.frames_delivered, b.frames_delivered);
+        prop_assert_eq!(a.events_processed, b.events_processed);
+        prop_assert_eq!(a.covered_final, b.covered_final);
+        prop_assert_eq!(a.alerted_ever, b.alerted_ever);
+    }
+
+    /// Sanity bound on the construction: full PAS (planar predictor, wide
+    /// alert ring) really does behave differently from the degenerate
+    /// form on the same scenario — the equivalence above is not vacuous.
+    #[test]
+    fn full_pas_differs_from_the_degenerate_form(seed in 0..1_000u64) {
+        let scenario = Scenario::paper_default(seed);
+        let field = RadialFront::constant(Vec2::ZERO, 0.5);
+        let (_, degenerate_pas) = degenerate_pair(12.0, 2.0);
+        let full = Policy::Pas(AdaptiveParams {
+            max_sleep_s: 12.0,
+            alert_threshold_s: 15.0,
+            ..AdaptiveParams::default()
+        });
+        let a = run(&scenario, &field, &RunConfig::new(full));
+        let b = run(&scenario, &field, &RunConfig::new(degenerate_pas));
+        // The wide alert ring must wake more nodes ahead of the front.
+        prop_assert!(a.alerted_ever >= b.alerted_ever);
+        prop_assert!(
+            a.events_processed != b.events_processed || a.alerted_ever != b.alerted_ever,
+            "full PAS must be observably different from degenerate PAS"
+        );
+    }
+}

@@ -234,7 +234,13 @@ mod tests {
             x: 0.1 + 0.2,
             policy_label: "PAS=\nweird\\label".to_string(),
             seed,
-            assignments: vec![("max_sleep_s".to_string(), 4.0)],
+            assignments: vec![
+                ("max_sleep_s".to_string(), pas_scenario::AxisValue::Num(4.0)),
+                (
+                    "predictor".to_string(),
+                    pas_scenario::AxisValue::Name("kalman".to_string()),
+                ),
+            ],
             delay_s: f64::NAN,
             energy_j: -0.0,
             reached: 30,

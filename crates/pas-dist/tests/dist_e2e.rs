@@ -38,7 +38,7 @@ fn boot(tag: &str, sched: SchedulerOptions) -> Rig {
 
 fn small_manifest() -> Manifest {
     let mut m = registry::builtin("paper-default").unwrap();
-    m.sweep[0].values = vec![4.0, 12.0];
+    m.sweep[0].values = vec![4.0, 12.0].into();
     m.run.replicates = 3;
     m
 }

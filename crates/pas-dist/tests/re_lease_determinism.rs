@@ -20,7 +20,7 @@ fn tiny_manifest() -> Manifest {
     let mut m = registry::builtin("paper-default").unwrap();
     // 1 axis value x 3 policies x 2 seeds = 6 points, 3 shards of 2:
     // small enough to run 64 cases, interleaved enough to matter.
-    m.sweep[0].values = vec![8.0];
+    m.sweep[0].values = vec![8.0].into();
     m.run.replicates = 2;
     m
 }

@@ -10,7 +10,7 @@
 //! `execute_point`/`reduce` decomposition is what `pas-server`'s result
 //! cache calls, so cached and direct batches cannot drift apart.
 
-use crate::manifest::{FailureSpec, Manifest, ManifestError};
+use crate::manifest::{AxisValue, FailureSpec, Manifest, ManifestError, SWEEP_PREDICTOR};
 use pas_core::{run, FailurePlan, RunConfig, Scenario};
 use pas_diffusion::StimulusField;
 use pas_sim::{Rng, SimTime};
@@ -25,11 +25,13 @@ pub const STREAM_FAILURES: u64 = 0xFA11;
 pub struct RunPoint {
     /// Position in the expanded matrix.
     pub index: usize,
-    /// Report x value (first sweep axis; 0 for fixed-point batches).
+    /// Report x value: the first sweep axis's value (a names axis reports
+    /// its variant index); 0 for fixed-point batches.
     pub x: f64,
     /// Sweep-axis assignments applied to this point.
-    pub assignments: Vec<(String, f64)>,
-    /// Report label of the policy.
+    pub assignments: Vec<(String, AxisValue)>,
+    /// Report label of the policy (predictor-qualified when the predictor
+    /// axis assigns one, e.g. `PAS[kalman]`).
     pub policy_label: String,
     /// The instantiated policy.
     pub policy: pas_core::Policy,
@@ -85,19 +87,48 @@ pub fn point_at(manifest: &Manifest, index: usize) -> Result<RunPoint, ManifestE
         rest /= len;
     }
 
-    let assignments: Vec<(String, f64)> = manifest
+    let assignments: Vec<(String, AxisValue)> = manifest
         .sweep
         .iter()
         .zip(&digits)
-        .map(|(axis, &d)| (axis.field.clone(), axis.values[d]))
+        .map(|(axis, &d)| (axis.field.clone(), axis.values.at(d)))
         .collect();
     let spec = &manifest.policies[policy_id];
     let policy = manifest.policy(spec, &assignments)?;
+    // Report x: the first axis's numeric value, or a names axis's variant
+    // index (so sweeps over predictors still plot deterministically).
+    let x = match assignments.first() {
+        Some((_, AxisValue::Num(v))) => *v,
+        Some((_, AxisValue::Name(_))) => digits[0] as f64,
+        None => 0.0,
+    };
+    // A swept predictor must be visible in the label, or every variant's
+    // rows would collapse into one table line. The spec's own label may
+    // already carry a declared-predictor suffix; strip it before
+    // appending the swept name so the two never stack.
+    let policy_label = match assignments
+        .iter()
+        .find(|(f, _)| f == SWEEP_PREDICTOR)
+        .and_then(|(_, v)| v.as_name())
+    {
+        Some(name) if spec.is_adaptive() => {
+            let base = spec
+                .predictor
+                .as_ref()
+                .and_then(|p| {
+                    spec.label
+                        .strip_suffix(&pas_core::predictor::qualified_label("", p.name()))
+                })
+                .unwrap_or(&spec.label);
+            pas_core::predictor::qualified_label(base, name)
+        }
+        _ => spec.label.clone(),
+    };
     Ok(RunPoint {
         index,
-        x: assignments.first().map(|(_, v)| *v).unwrap_or(0.0),
+        x,
         assignments,
-        policy_label: spec.label.clone(),
+        policy_label,
         policy,
         seed: manifest.run.base_seed + seed_k as u64,
     })
@@ -136,7 +167,7 @@ pub struct RunRecord {
     /// Replicate seed.
     pub seed: u64,
     /// Sweep assignments of this run.
-    pub assignments: Vec<(String, f64)>,
+    pub assignments: Vec<(String, AxisValue)>,
     /// Mean detection delay (s) over the nodes of this run.
     pub delay_s: f64,
     /// Mean per-node energy (J) of this run.
@@ -244,7 +275,7 @@ pub fn failure_plan(
 /// `field` is the stimulus ground truth built once per batch with
 /// [`Manifest::build_field`] (it is seed-independent and read-only).
 pub fn execute_point(manifest: &Manifest, field: &dyn StimulusField, pt: &RunPoint) -> RunRecord {
-    let scenario = manifest.scenario(pt.seed);
+    let scenario = manifest.scenario_for(pt.seed, &pt.assignments);
     let mut cfg = RunConfig::new(pt.policy)
         .with_channel(manifest.channel.kind())
         .with_failures(failure_plan(manifest, &scenario, field));
@@ -276,13 +307,31 @@ pub fn execute_point(manifest: &Manifest, field: &dyn StimulusField, pt: &RunPoi
 /// the report x — two points differing only in a secondary axis must
 /// not merge.
 pub fn reduce(records: &[RunRecord]) -> Vec<PointSummary> {
-    type Key = (Vec<(String, u64)>, String);
+    /// One assignment's identity: numeric values compare by raw bits so
+    /// distinct points can never merge; named values compare as strings.
+    #[derive(Clone, PartialEq)]
+    enum KeyVal {
+        Bits(u64),
+        Name(String),
+    }
+    type Key = ((Vec<(String, KeyVal)>, u64), String);
     let key_of = |r: &RunRecord| -> Key {
         (
-            r.assignments
-                .iter()
-                .map(|(f, v)| (f.clone(), v.to_bits()))
-                .collect(),
+            (
+                r.assignments
+                    .iter()
+                    .map(|(f, v)| {
+                        (
+                            f.clone(),
+                            match v {
+                                AxisValue::Num(v) => KeyVal::Bits(v.to_bits()),
+                                AxisValue::Name(n) => KeyVal::Name(n.clone()),
+                            },
+                        )
+                    })
+                    .collect(),
+                r.x.to_bits(),
+            ),
             r.policy_label.clone(),
         )
     };
@@ -292,13 +341,9 @@ pub fn reduce(records: &[RunRecord]) -> Vec<PointSummary> {
         .into_iter()
         .zip(summarize(&energies))
         .map(|(d, e)| {
-            debug_assert_eq!(d.key, e.key);
+            debug_assert!(d.key == e.key);
             PointSummary {
-                x: d.key
-                    .0
-                    .first()
-                    .map(|&(_, bits)| f64::from_bits(bits))
-                    .unwrap_or(0.0),
+                x: f64::from_bits(d.key.0 .1),
                 policy_label: d.key.1,
                 delay_mean_s: d.mean,
                 delay_std_s: d.std_dev,

@@ -12,6 +12,9 @@
 //! * [`manifest`] — the typed [`Manifest`] model: parse (with unknown-key
 //!   rejection), validate, serialise back losslessly, and build the
 //!   runtime objects (`Scenario`, stimulus field, channel, failures).
+//!   Policies mount arrival predictors (`predictor = "kalman"` plus
+//!   per-predictor parameter tables), and sweep axes cover the adaptive
+//!   parameters, predictor names, and deployment density (`nodes`).
 //! * [`exec`] — [`expand`] (manifest → cartesian run matrix via the
 //!   `pas-sweep` combinators) and [`execute`] (parallel, bit-deterministic
 //!   batch execution with replicate aggregation).
@@ -27,7 +30,7 @@
 //!
 //! let mut manifest = registry::builtin("paper-default").unwrap();
 //! // Shrink the batch for the doctest: one axis point, two seeds.
-//! manifest.sweep[0].values.truncate(1);
+//! manifest.sweep[0].values = vec![4.0].into();
 //! manifest.run.replicates = 2;
 //! let batch = execute(&manifest, ExecOptions::default()).unwrap();
 //! assert_eq!(batch.summaries.len(), manifest.policies.len());
@@ -48,8 +51,9 @@ pub use exec::{
     BatchResult, ExecOptions, PointSummary, RunPoint, RunRecord,
 };
 pub use manifest::{
-    ChannelSpec, DeployKindSpec, DeploymentSpec, FailureSpec, Manifest, ManifestError,
-    OutputSection, PatchSpec, PolicySpec, ProfileSpec, RunSection, StimulusSpec, SweepAxis,
+    AxisValue, AxisValues, ChannelSpec, DeployKindSpec, DeploymentSpec, FailureSpec, Manifest,
+    ManifestError, OutputSection, PatchSpec, PolicySpec, ProfileSpec, RunSection, StimulusSpec,
+    SweepAxis, SWEEP_NODES, SWEEP_PREDICTOR,
 };
 pub use sink::{summary_csv, summary_table, write_records_jsonl, write_summary_csv};
 

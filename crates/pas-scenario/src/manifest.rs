@@ -9,7 +9,10 @@
 //! round-trip is lossless.
 
 use crate::toml::{self, ParseError, Table, Value};
-use pas_core::{AdaptiveParams, ChannelKind, DeploymentKind, Policy, Scenario};
+use pas_core::{
+    AdaptiveParams, ChannelKind, DeploymentKind, KalmanParams, Policy, PredictorSpec,
+    QuantileParams, Scenario, PREDICTOR_NAMES,
+};
 use pas_diffusion::aniso::DirectionalGain;
 use pas_diffusion::field::NullField;
 use pas_diffusion::{
@@ -400,22 +403,133 @@ pub enum FailureSpec {
 pub struct PolicySpec {
     /// `ns`, `sas`, `pas`, or `oracle`.
     pub kind: String,
-    /// Report label (defaults to the upper-case kind).
+    /// Report label (defaults to the upper-case kind, suffixed with the
+    /// predictor name when a non-default predictor is declared).
     pub label: String,
     /// Fixed numeric overrides on [`AdaptiveParams`] fields.
     pub overrides: Vec<(String, f64)>,
+    /// Declared arrival predictor (`predictor = "kalman"` or an inline
+    /// table with parameters); `None` means the policy kind's default.
+    pub predictor: Option<PredictorSpec>,
+}
+
+impl PolicySpec {
+    /// `true` for the adaptive kinds (`sas`, `pas`) that carry parameters
+    /// and a predictor.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self.kind.as_str(), "sas" | "pas")
+    }
+}
+
+/// One resolved value of a sweep axis: numeric for [`AdaptiveParams`]
+/// fields and the `nodes` axis, a name for the `predictor` axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AxisValue {
+    /// A numeric assignment (`max_sleep_s = 8.0`, `nodes = 45`).
+    Num(f64),
+    /// A named assignment (`predictor = "kalman"`).
+    Name(String),
+}
+
+impl AxisValue {
+    /// The numeric value, if this is a [`AxisValue::Num`].
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            AxisValue::Num(v) => Some(*v),
+            AxisValue::Name(_) => None,
+        }
+    }
+
+    /// The name, if this is a [`AxisValue::Name`].
+    pub fn as_name(&self) -> Option<&str> {
+        match self {
+            AxisValue::Name(n) => Some(n),
+            AxisValue::Num(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AxisValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AxisValue::Num(v) => write!(f, "{v}"),
+            AxisValue::Name(n) => f.write_str(n),
+        }
+    }
+}
+
+/// The value list of one sweep axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AxisValues {
+    /// Numeric values ([`AdaptiveParams`] fields and `nodes`).
+    Numeric(Vec<f64>),
+    /// Predictor names (`predictor = ["planar", "kalman", ...]`).
+    Names(Vec<String>),
+}
+
+impl AxisValues {
+    /// Number of values on the axis.
+    pub fn len(&self) -> usize {
+        match self {
+            AxisValues::Numeric(v) => v.len(),
+            AxisValues::Names(v) => v.len(),
+        }
+    }
+
+    /// `true` when the axis has no values (rejected at parse time).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th value as an [`AxisValue`].
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn at(&self, i: usize) -> AxisValue {
+        match self {
+            AxisValues::Numeric(v) => AxisValue::Num(v[i]),
+            AxisValues::Names(v) => AxisValue::Name(v[i].clone()),
+        }
+    }
+
+    /// Iterate the axis values as [`AxisValue`]s.
+    pub fn iter(&self) -> impl Iterator<Item = AxisValue> + '_ {
+        (0..self.len()).map(|i| self.at(i))
+    }
+
+    /// Keep only the first `n` values (no-op when `n >= len`).
+    pub fn truncate(&mut self, n: usize) {
+        match self {
+            AxisValues::Numeric(v) => v.truncate(n),
+            AxisValues::Names(v) => v.truncate(n),
+        }
+    }
+}
+
+impl From<Vec<f64>> for AxisValues {
+    fn from(values: Vec<f64>) -> Self {
+        AxisValues::Numeric(values)
+    }
 }
 
 /// One swept parameter axis (`[sweep]` entry): every value in `values`
-/// is applied to the named [`AdaptiveParams`] field of every adaptive
-/// policy; the first axis is the report x-axis.
+/// is applied to every policy it concerns — [`AdaptiveParams`] fields and
+/// the `predictor` axis to adaptive policies, the `nodes` axis to the
+/// deployment itself. The first axis is the report x-axis (a names axis
+/// reports its variant index).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepAxis {
-    /// Field name (e.g. `max_sleep_s`).
+    /// Field name (e.g. `max_sleep_s`, `predictor`, `nodes`).
     pub field: String,
     /// Values to sweep (non-empty).
-    pub values: Vec<f64>,
+    pub values: AxisValues,
 }
+
+/// Sweep-axis field selecting the arrival predictor by name.
+pub const SWEEP_PREDICTOR: &str = "predictor";
+
+/// Sweep-axis field selecting the deployment node count (density sweeps).
+pub const SWEEP_NODES: &str = "nodes";
 
 /// Replicate/run parameters (`[run]`).
 #[derive(Debug, Clone, PartialEq)]
@@ -531,6 +645,25 @@ fn check_params(p: &AdaptiveParams, context: &str) -> Result<(), ManifestError> 
             return Err(err(format!("{context}: {msg}")));
         }
     }
+    // Mirror of `PredictorSpec::validate`'s panics.
+    match p.predictor {
+        PredictorSpec::Kalman(k) => {
+            if !(k.process_var.is_finite() && k.process_var >= 0.0) {
+                return Err(err(format!(
+                    "{context}: kalman process_var must be finite and >= 0"
+                )));
+            }
+            if !(k.measurement_var.is_finite() && k.measurement_var > 0.0) {
+                return Err(err(format!(
+                    "{context}: kalman measurement_var must be finite and > 0"
+                )));
+            }
+        }
+        PredictorSpec::RobustQuantile(q) if q.k < 1 => {
+            return Err(err(format!("{context}: quantile k must be >= 1")));
+        }
+        _ => {}
+    }
     Ok(())
 }
 
@@ -633,6 +766,99 @@ fn decode_profile(t: &Table, section: &str) -> Result<ProfileSpec, ManifestError
         other => Err(err(format!(
             "unknown profile kind `{other}` (constant, linear, decaying)"
         ))),
+    }
+}
+
+/// Decode a policy's `predictor` declaration: a bare name string picks
+/// the variant with default parameters; an inline table (`{ kind = ...,
+/// ... }`) carries per-predictor parameters, with unknown-key rejection.
+fn decode_predictor(v: &Value) -> Result<PredictorSpec, ManifestError> {
+    if let Some(name) = v.as_str() {
+        return PredictorSpec::from_name(name).ok_or_else(|| {
+            err(format!(
+                "unknown predictor `{name}` (known: {})",
+                PREDICTOR_NAMES.join(", ")
+            ))
+        });
+    }
+    let t = v
+        .as_table()
+        .ok_or_else(|| err("policy `predictor` must be a name or an inline table"))?;
+    let kind = need_str(t, "kind", "predictor")?;
+    match kind {
+        "planar" => {
+            t.expect_only(&["kind"], "predictor")?;
+            Ok(PredictorSpec::PlanarFront)
+        }
+        "non_directional" => {
+            t.expect_only(&["kind"], "predictor")?;
+            Ok(PredictorSpec::NonDirectional)
+        }
+        "kalman" => {
+            t.expect_only(&["kind", "process_var", "measurement_var"], "predictor")?;
+            let defaults = KalmanParams::default();
+            let get = |key: &str, fallback: f64| -> Result<f64, ManifestError> {
+                match t.get(key) {
+                    None => Ok(fallback),
+                    Some(v) => v
+                        .as_f64()
+                        .ok_or_else(|| err(format!("predictor `{key}` must be a number"))),
+                }
+            };
+            Ok(PredictorSpec::Kalman(KalmanParams {
+                process_var: get("process_var", defaults.process_var)?,
+                measurement_var: get("measurement_var", defaults.measurement_var)?,
+            }))
+        }
+        "quantile" => {
+            t.expect_only(&["kind", "k"], "predictor")?;
+            let k = match t.get("k") {
+                None => QuantileParams::default().k,
+                Some(v) => v
+                    .as_int()
+                    .and_then(|i| usize::try_from(i).ok())
+                    .filter(|k| *k >= 1)
+                    .ok_or_else(|| err("predictor `k` must be an integer >= 1"))?,
+            };
+            Ok(PredictorSpec::RobustQuantile(QuantileParams { k }))
+        }
+        other => Err(err(format!(
+            "unknown predictor `{other}` (known: {})",
+            PREDICTOR_NAMES.join(", ")
+        ))),
+    }
+}
+
+/// The default report label of a policy spec — delegated to
+/// [`Policy::label`] on the instantiated policy, so the label vocabulary
+/// (base names, predictor qualification, kind-default predictors) has
+/// exactly one definition, in `pas-core`.
+fn default_label(kind: &str, predictor: Option<&PredictorSpec>) -> String {
+    let params = AdaptiveParams {
+        predictor: predictor.copied().unwrap_or(PredictorSpec::Default),
+        ..AdaptiveParams::default()
+    };
+    match kind {
+        "ns" => Policy::Ns.label(),
+        "oracle" => Policy::Oracle.label(),
+        "sas" => Policy::Sas(params).label(),
+        _ => Policy::Pas(params).label(),
+    }
+}
+
+/// Canonical TOML rendering of a predictor declaration: the bare name
+/// when the parameters are the variant's defaults, an inline table
+/// otherwise (the exact forms [`decode_predictor`] accepts).
+fn predictor_toml(spec: &PredictorSpec) -> String {
+    match spec {
+        PredictorSpec::Kalman(k) if *k != KalmanParams::default() => format!(
+            "{{ kind = \"kalman\", process_var = {:?}, measurement_var = {:?} }}",
+            k.process_var, k.measurement_var
+        ),
+        PredictorSpec::RobustQuantile(q) if *q != QuantileParams::default() => {
+            format!("{{ kind = \"quantile\", k = {} }}", q.k)
+        }
+        other => format!("\"{}\"", other.name()),
     }
 }
 
@@ -919,7 +1145,7 @@ impl Manifest {
             let pt = p
                 .as_table()
                 .ok_or_else(|| err(format!("policies[{i}] must be a table")))?;
-            let mut allowed = vec!["kind", "label"];
+            let mut allowed = vec!["kind", "label", "predictor"];
             allowed.extend(PARAM_FIELDS);
             pt.expect_only(&allowed, "policies")?;
             let kind = need_str(pt, "kind", "policies")?.to_string();
@@ -928,17 +1154,19 @@ impl Manifest {
                     "unknown policy kind `{kind}` (ns, sas, pas, oracle)"
                 )));
             }
+            let predictor = match pt.get("predictor") {
+                None => None,
+                Some(v) => Some(decode_predictor(v)?),
+            };
+            if matches!(kind.as_str(), "ns" | "oracle") && predictor.is_some() {
+                return Err(err(format!("policy `{kind}` takes no predictor")));
+            }
             let label = match pt.get("label") {
                 Some(v) => v
                     .as_str()
                     .ok_or_else(|| err("policy `label` must be a string"))?
                     .to_string(),
-                None => match kind.as_str() {
-                    "ns" => "NS".to_string(),
-                    "sas" => "SAS".to_string(),
-                    "pas" => "PAS".to_string(),
-                    _ => "Oracle".to_string(),
-                },
+                None => default_label(&kind, predictor.as_ref()),
             };
             let mut overrides = Vec::new();
             for field in PARAM_FIELDS {
@@ -959,6 +1187,7 @@ impl Manifest {
                 kind,
                 label,
                 overrides,
+                predictor,
             });
         }
 
@@ -967,13 +1196,44 @@ impl Manifest {
         if let Some(v) = root.get("sweep") {
             let sw = v.as_table().ok_or_else(|| err("[sweep] must be a table"))?;
             for (field, values) in sw.iter() {
-                if !PARAM_FIELDS.contains(&field) {
+                let values = if field == SWEEP_PREDICTOR {
+                    let items = values
+                        .as_array()
+                        .ok_or_else(|| err("sweep.predictor must be an array of names"))?;
+                    let names: Vec<String> = items
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| {
+                            let name = v.as_str().ok_or_else(|| {
+                                err(format!("sweep.predictor[{i}] must be a string"))
+                            })?;
+                            if PredictorSpec::from_name(name).is_none() {
+                                return Err(err(format!(
+                                    "unknown predictor `{name}` (known: {})",
+                                    PREDICTOR_NAMES.join(", ")
+                                )));
+                            }
+                            Ok(name.to_string())
+                        })
+                        .collect::<Result<_, ManifestError>>()?;
+                    AxisValues::Names(names)
+                } else if field == SWEEP_NODES {
+                    let counts = f64_list(values, "sweep.nodes")?;
+                    for v in &counts {
+                        if !(v.is_finite() && *v >= 1.0 && v.fract() == 0.0) {
+                            return Err(err("sweep.nodes values must be integers >= 1"));
+                        }
+                    }
+                    AxisValues::Numeric(counts)
+                } else if PARAM_FIELDS.contains(&field) {
+                    AxisValues::Numeric(f64_list(values, &format!("sweep.{field}"))?)
+                } else {
                     return Err(err(format!(
-                        "cannot sweep unknown field `{field}` (known: {})",
+                        "cannot sweep unknown field `{field}` (known: {}, {SWEEP_PREDICTOR}, \
+                         {SWEEP_NODES})",
                         PARAM_FIELDS.join(", ")
                     )));
-                }
-                let values = f64_list(values, &format!("sweep.{field}"))?;
+                };
                 if values.is_empty() {
                     return Err(err(format!("sweep.{field} must not be empty")));
                 }
@@ -1094,25 +1354,74 @@ impl Manifest {
                 return Err(err("failure horizon_s must be > 0"));
             }
         }
-        // Every policy must be instantiable at every sweep point.
-        let axis_probe: Vec<Vec<(&str, f64)>> = if self.sweep.is_empty() {
+        // Axis-level constraints.
+        let mut seen_fields: Vec<&str> = Vec::new();
+        for axis in &self.sweep {
+            if seen_fields.contains(&axis.field.as_str()) {
+                return Err(err(format!("duplicate sweep axis `{}`", axis.field)));
+            }
+            seen_fields.push(&axis.field);
+            if axis.field == SWEEP_NODES
+                && matches!(self.deployment.kind, DeployKindSpec::Grid { .. })
+            {
+                return Err(err(
+                    "cannot sweep `nodes` with a grid deployment (cols x rows is fixed)",
+                ));
+            }
+        }
+        // A poisson deployment must be able to hold the densest point of
+        // the run matrix: above the disk-packing area bound, placement is
+        // *certain* to saturate and the runner would panic mid-batch.
+        // (Below the bound the dart-throwing generator can still fail
+        // probabilistically — that risk is unchanged from a declared
+        // `nodes` value and surfaces at the first replicate, not deep
+        // into a sweep.)
+        if let DeployKindSpec::Poisson { min_dist } = self.deployment.kind {
+            let mut densest = self.deployment.nodes as f64;
+            for axis in &self.sweep {
+                if axis.field == SWEEP_NODES {
+                    if let AxisValues::Numeric(vals) = &axis.values {
+                        densest = vals.iter().cloned().fold(densest, f64::max);
+                    }
+                }
+            }
+            let (w, h) = self.deployment.region;
+            // Each point owns an exclusive open disk of radius d/2; the
+            // disks are disjoint and fit in the region inflated by d/2.
+            let cap = (w + min_dist) * (h + min_dist)
+                / (core::f64::consts::PI * min_dist * min_dist / 4.0);
+            if densest > cap {
+                return Err(err(format!(
+                    "poisson deployment cannot hold {densest} nodes at min_dist \
+                     {min_dist} in a {w}x{h} m region (packing bound ~ {} nodes)",
+                    cap.floor()
+                )));
+            }
+        }
+        // Every policy must be instantiable at every sweep point. Numeric
+        // axes are probed at their extremes (linear invariants like
+        // max >= base fail, if at all, at an extreme); a names axis is
+        // probed at every value.
+        let axis_probe: Vec<Vec<AxisValue>> = if self.sweep.is_empty() {
             vec![Vec::new()]
         } else {
-            // Probe extremes of each axis (min/max) — linear invariants
-            // like max >= base fail, if at all, at an extreme.
-            let mut probes = vec![Vec::new()];
+            let mut probes: Vec<Vec<AxisValue>> = vec![Vec::new()];
             for axis in &self.sweep {
-                let lo = axis.values.iter().cloned().fold(f64::INFINITY, f64::min);
-                let hi = axis
-                    .values
-                    .iter()
-                    .cloned()
-                    .fold(f64::NEG_INFINITY, f64::max);
+                let candidates: Vec<AxisValue> = match &axis.values {
+                    AxisValues::Numeric(vals) => {
+                        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                        vec![AxisValue::Num(lo), AxisValue::Num(hi)]
+                    }
+                    AxisValues::Names(names) => {
+                        names.iter().map(|n| AxisValue::Name(n.clone())).collect()
+                    }
+                };
                 let mut next = Vec::new();
                 for probe in &probes {
-                    for v in [lo, hi] {
+                    for v in &candidates {
                         let mut p = probe.clone();
-                        p.push((axis.field.as_str(), v));
+                        p.push(v.clone());
                         next.push(p);
                     }
                 }
@@ -1122,8 +1431,12 @@ impl Manifest {
         };
         for spec in &self.policies {
             for probe in &axis_probe {
-                let assignments: Vec<(String, f64)> =
-                    probe.iter().map(|(f, v)| (f.to_string(), *v)).collect();
+                let assignments: Vec<(String, AxisValue)> = self
+                    .sweep
+                    .iter()
+                    .zip(probe)
+                    .map(|(axis, v)| (axis.field.clone(), v.clone()))
+                    .collect();
                 if let Some(params) = self.adaptive_params(spec, &assignments)? {
                     check_params(&params, &format!("policy `{}`", spec.label))?;
                 }
@@ -1134,14 +1447,28 @@ impl Manifest {
 
     /// The [`Scenario`] for one replicate seed.
     pub fn scenario(&self, seed: u64) -> Scenario {
+        self.scenario_for(seed, &[])
+    }
+
+    /// The [`Scenario`] for one replicate seed under sweep-axis
+    /// assignments: a `nodes` assignment overrides the declared
+    /// deployment density (density sweeps); every other axis leaves the
+    /// physical arena untouched.
+    pub fn scenario_for(&self, seed: u64, assignments: &[(String, AxisValue)]) -> Scenario {
         let kind = match self.deployment.kind {
             DeployKindSpec::Uniform => DeploymentKind::Uniform,
             DeployKindSpec::Grid { cols, rows } => DeploymentKind::Grid { cols, rows },
             DeployKindSpec::Poisson { min_dist } => DeploymentKind::PoissonDisk { min_dist },
         };
+        let node_count = assignments
+            .iter()
+            .find(|(f, _)| f == SWEEP_NODES)
+            .and_then(|(_, v)| v.as_num())
+            .map(|v| v as usize)
+            .unwrap_or(self.deployment.nodes);
         Scenario {
             region: self.region(),
-            node_count: self.deployment.nodes,
+            node_count,
             range_m: self.deployment.range_m,
             deployment: kind,
             seed,
@@ -1161,11 +1488,14 @@ impl Manifest {
     /// Resolved adaptive parameters for a policy spec under the given
     /// sweep-axis assignments, or `None` for parameterless policies.
     /// Axis assignments are applied after per-policy overrides: the swept
-    /// variable really varies, for every adaptive policy.
+    /// variable really varies, for every adaptive policy. A `predictor`
+    /// assignment mounts the named estimator (default parameters); a
+    /// `nodes` assignment concerns the deployment, not the params, and is
+    /// skipped here (see [`Manifest::scenario_for`]).
     pub fn adaptive_params(
         &self,
         spec: &PolicySpec,
-        assignments: &[(String, f64)],
+        assignments: &[(String, AxisValue)],
     ) -> Result<Option<AdaptiveParams>, ManifestError> {
         if matches!(spec.kind.as_str(), "ns" | "oracle") {
             return Ok(None);
@@ -1175,11 +1505,30 @@ impl Manifest {
             // SAS's degenerate alert horizon (see `Policy::sas_default`).
             params.alert_threshold_s = 2.0;
         }
+        if let Some(p) = &spec.predictor {
+            params.predictor = *p;
+        }
         for (field, value) in &spec.overrides {
             set_param(&mut params, field, *value)?;
         }
         for (field, value) in assignments {
-            set_param(&mut params, field, *value)?;
+            match value {
+                AxisValue::Num(_) if field == SWEEP_NODES => {}
+                AxisValue::Num(v) => set_param(&mut params, field, *v)?,
+                AxisValue::Name(name) if field == SWEEP_PREDICTOR => {
+                    params.predictor = PredictorSpec::from_name(name).ok_or_else(|| {
+                        err(format!(
+                            "unknown predictor `{name}` (known: {})",
+                            PREDICTOR_NAMES.join(", ")
+                        ))
+                    })?;
+                }
+                AxisValue::Name(name) => {
+                    return Err(err(format!(
+                        "named assignment `{field} = \"{name}\"` is not a parameter field"
+                    )))
+                }
+            }
         }
         Ok(Some(params))
     }
@@ -1188,7 +1537,7 @@ impl Manifest {
     pub fn policy(
         &self,
         spec: &PolicySpec,
-        assignments: &[(String, f64)],
+        assignments: &[(String, AxisValue)],
     ) -> Result<Policy, ManifestError> {
         Ok(match spec.kind.as_str() {
             "ns" => Policy::Ns,
@@ -1352,13 +1701,10 @@ impl Manifest {
         for p in &self.policies {
             let _ = writeln!(s, "\n[[policies]]");
             let _ = writeln!(s, "kind = {}", toml_str(&p.kind));
-            let default_label = match p.kind.as_str() {
-                "ns" => "NS",
-                "sas" => "SAS",
-                "pas" => "PAS",
-                _ => "Oracle",
-            };
-            if p.label != default_label {
+            if let Some(pred) = &p.predictor {
+                let _ = writeln!(s, "predictor = {}", predictor_toml(pred));
+            }
+            if p.label != default_label(&p.kind, p.predictor.as_ref()) {
                 let _ = writeln!(s, "label = {}", toml_str(&p.label));
             }
             for (field, v) in &p.overrides {
@@ -1368,7 +1714,10 @@ impl Manifest {
         if !self.sweep.is_empty() {
             let _ = writeln!(s, "\n[sweep]");
             for axis in &self.sweep {
-                let vals: Vec<String> = axis.values.iter().map(|v| format!("{v:?}")).collect();
+                let vals: Vec<String> = match &axis.values {
+                    AxisValues::Numeric(vals) => vals.iter().map(|v| format!("{v:?}")).collect(),
+                    AxisValues::Names(names) => names.iter().map(|n| toml_str(n)).collect(),
+                };
                 let _ = writeln!(s, "{} = [{}]", axis.field, vals.join(", "));
             }
         }

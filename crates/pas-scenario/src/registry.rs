@@ -1,15 +1,16 @@
 //! Built-in named scenario manifests.
 //!
 //! The registry ships the paper-default workload (the Fig. 4 grid), the
-//! Fig. 5/7 alert sweep, and the three example scenarios as compiled-in
-//! TOML. `pas list` enumerates them; `pas run <name>` executes one;
-//! `pas show <name>` prints the TOML as a starting point for custom
-//! manifests.
+//! Fig. 5/7 alert sweep, the three example scenarios, and the
+//! predictor-shootout grid (every arrival-estimator variant × deployment
+//! density) as compiled-in TOML. `pas list` enumerates them;
+//! `pas run <name>` executes one; `pas show <name>` prints the TOML as a
+//! starting point for custom manifests.
 
 use crate::manifest::{Manifest, ManifestError};
 
 /// `(name, TOML source)` for every built-in scenario.
-pub const BUILTINS: [(&str, &str); 5] = [
+pub const BUILTINS: [(&str, &str); 6] = [
     (
         "paper-default",
         include_str!("../manifests/paper-default.toml"),
@@ -26,6 +27,10 @@ pub const BUILTINS: [(&str, &str); 5] = [
     (
         "plume-monitoring",
         include_str!("../manifests/plume-monitoring.toml"),
+    ),
+    (
+        "predictor-shootout",
+        include_str!("../manifests/predictor-shootout.toml"),
     ),
 ];
 
@@ -75,6 +80,7 @@ mod tests {
             "wildfire-front",
             "gas-leak-city",
             "plume-monitoring",
+            "predictor-shootout",
         ] {
             assert!(names.contains(&required), "missing {required}");
         }

@@ -62,7 +62,12 @@ pub fn records_jsonl(batch: &BatchResult) -> String {
         let assignments: Vec<String> = r
             .assignments
             .iter()
-            .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v))
+            .map(|(k, v)| match v {
+                crate::manifest::AxisValue::Num(v) => format!("\"{}\":{}", json_escape(k), v),
+                crate::manifest::AxisValue::Name(n) => {
+                    format!("\"{}\":\"{}\"", json_escape(k), json_escape(n))
+                }
+            })
             .collect();
         out.push_str(&format!(
             "{{\"scenario\":\"{}\",\"x\":{},\"policy\":\"{}\",\"seed\":{},\

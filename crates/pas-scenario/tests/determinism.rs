@@ -9,7 +9,7 @@ fn parallel_execution_is_bit_identical_to_sequential() {
     let mut m = registry::builtin("paper-default").unwrap();
     // A representative slice of the grid: 2 axis points × 3 policies ×
     // 4 seeds keeps the test quick while crossing every policy kind.
-    m.sweep[0].values = vec![4.0, 12.0];
+    m.sweep[0].values = vec![4.0, 12.0].into();
     m.run.replicates = 4;
 
     let seq = execute(&m, ExecOptions { threads: 1 }).unwrap();
@@ -50,7 +50,7 @@ fn parallel_execution_is_bit_identical_to_sequential() {
 #[test]
 fn repeated_execution_is_reproducible() {
     let mut m = registry::builtin("gas-leak-city").unwrap();
-    m.sweep[0].values = vec![5.0, 20.0];
+    m.sweep[0].values = vec![5.0, 20.0].into();
     m.run.replicates = 2;
     let a = execute(&m, ExecOptions::default()).unwrap();
     let b = execute(&m, ExecOptions::default()).unwrap();
@@ -117,10 +117,10 @@ fn summaries_have_replicate_counts() {
 #[test]
 fn multi_axis_points_are_not_merged_in_summaries() {
     let mut m = registry::builtin("gas-leak-city").unwrap();
-    m.sweep[0].values = vec![5.0, 20.0];
+    m.sweep[0].values = vec![5.0, 20.0].into();
     m.sweep.push(pas_scenario::SweepAxis {
         field: "max_sleep_s".to_string(),
-        values: vec![4.0, 12.0],
+        values: vec![4.0, 12.0].into(),
     });
     m.run.replicates = 2;
     let batch = execute(&m, ExecOptions::default()).unwrap();
@@ -137,7 +137,7 @@ fn multi_axis_points_are_not_merged_in_summaries() {
 #[test]
 fn sinks_write_summary_and_raw_records() {
     let mut m = registry::builtin("paper-default").unwrap();
-    m.sweep[0].values = vec![8.0];
+    m.sweep[0].values = vec![8.0].into();
     m.run.replicates = 2;
     let batch = execute(&m, ExecOptions::default()).unwrap();
 
@@ -173,10 +173,10 @@ fn sinks_write_summary_and_raw_records() {
 #[test]
 fn point_at_matches_full_expansion() {
     let mut m = registry::builtin("paper-default").unwrap();
-    m.sweep[0].values = vec![4.0, 8.0, 12.0];
+    m.sweep[0].values = vec![4.0, 8.0, 12.0].into();
     m.sweep.push(pas_scenario::SweepAxis {
         field: "base_sleep_s".to_string(),
-        values: vec![0.5, 1.0],
+        values: vec![0.5, 1.0].into(),
     });
     m.run.replicates = 3;
 
@@ -197,7 +197,7 @@ fn point_at_matches_full_expansion() {
         assert_eq!(got.assignments.len(), want.assignments.len());
         for (a, b) in got.assignments.iter().zip(&want.assignments) {
             assert_eq!(a.0, b.0);
-            assert_eq!(a.1.to_bits(), b.1.to_bits());
+            assert_eq!(a.1, b.1);
         }
     }
 

@@ -314,3 +314,236 @@ fn sweep_axis_wins_over_policy_override() {
         ref other => panic!("expected PAS, got {other:?}"),
     }
 }
+
+// ---------------------------------------------------------------------------
+// predictor layer
+// ---------------------------------------------------------------------------
+
+fn pas_with_predictor(decl: &str, sweep: &str) -> String {
+    format!(
+        r#"
+[scenario]
+name = "predictor-test"
+
+[deployment]
+region = [40.0, 40.0]
+nodes = 30
+range_m = 10.0
+kind = "uniform"
+
+[stimulus]
+kind = "radial"
+source = [0.0, 0.0]
+profile = {{ kind = "constant", speed = 0.5 }}
+
+[run]
+base_seed = 1
+replicates = 2
+
+[[policies]]
+kind = "pas"
+{decl}
+{sweep}
+"#
+    )
+}
+
+#[test]
+fn predictor_names_and_parameter_tables_parse() {
+    use pas_core::{KalmanParams, PredictorSpec, QuantileParams};
+    let cases: [(&str, PredictorSpec); 6] = [
+        ("predictor = \"planar\"", PredictorSpec::PlanarFront),
+        (
+            "predictor = \"non_directional\"",
+            PredictorSpec::NonDirectional,
+        ),
+        (
+            "predictor = \"kalman\"",
+            PredictorSpec::Kalman(KalmanParams::default()),
+        ),
+        (
+            "predictor = { kind = \"kalman\", process_var = 0.2, measurement_var = 0.9 }",
+            PredictorSpec::Kalman(KalmanParams {
+                process_var: 0.2,
+                measurement_var: 0.9,
+            }),
+        ),
+        (
+            "predictor = \"quantile\"",
+            PredictorSpec::RobustQuantile(QuantileParams::default()),
+        ),
+        (
+            "predictor = { kind = \"quantile\", k = 3 }",
+            PredictorSpec::RobustQuantile(QuantileParams { k: 3 }),
+        ),
+    ];
+    for (decl, want) in cases {
+        let m = Manifest::parse(&pas_with_predictor(decl, "")).unwrap_or_else(|e| {
+            panic!("parsing `{decl}`: {e}");
+        });
+        assert_eq!(m.policies[0].predictor, Some(want), "decl `{decl}`");
+        // Lossless round-trip through canonical TOML.
+        let back = Manifest::parse(&m.to_toml()).unwrap();
+        assert_eq!(back, m, "round-trip changed `{decl}`");
+    }
+}
+
+#[test]
+fn predictor_default_labels_qualify_non_default_variants() {
+    let m = Manifest::parse(&pas_with_predictor("predictor = \"kalman\"", "")).unwrap();
+    assert_eq!(m.policies[0].label, "PAS[kalman]");
+    let m = Manifest::parse(&pas_with_predictor("predictor = \"planar\"", "")).unwrap();
+    assert_eq!(m.policies[0].label, "PAS", "kind default keeps bare label");
+    let m = Manifest::parse(&pas_with_predictor("", "")).unwrap();
+    assert_eq!(m.policies[0].label, "PAS");
+}
+
+#[test]
+fn predictor_declarations_are_validated() {
+    // Unknown name.
+    let e = Manifest::parse(&pas_with_predictor("predictor = \"psychic\"", "")).unwrap_err();
+    assert!(e.msg.contains("unknown predictor `psychic`"), "{e}");
+    // Unknown parameter key in the table form.
+    let e = Manifest::parse(&pas_with_predictor(
+        "predictor = { kind = \"kalman\", sigma = 1.0 }",
+        "",
+    ))
+    .unwrap_err();
+    assert!(e.msg.contains("unknown key `sigma`"), "{e}");
+    // Out-of-range parameters.
+    let e = Manifest::parse(&pas_with_predictor(
+        "predictor = { kind = \"quantile\", k = 0 }",
+        "",
+    ))
+    .unwrap_err();
+    assert!(e.msg.contains("k` must be an integer >= 1"), "{e}");
+    let e = Manifest::parse(&pas_with_predictor(
+        "predictor = { kind = \"kalman\", measurement_var = 0.0 }",
+        "",
+    ))
+    .unwrap_err();
+    assert!(e.msg.contains("measurement_var"), "{e}");
+    // Parameterless policies take no predictor.
+    let bad = pas_with_predictor("", "")
+        .replace("kind = \"pas\"", "kind = \"ns\"\npredictor = \"kalman\"");
+    let e = Manifest::parse(&bad).unwrap_err();
+    assert!(e.msg.contains("takes no predictor"), "{e}");
+}
+
+#[test]
+fn predictor_sweep_axis_expands_and_labels_variants() {
+    let m = Manifest::parse(&pas_with_predictor(
+        "",
+        "[sweep]\npredictor = [\"planar\", \"non_directional\", \"kalman\", \"quantile\"]",
+    ))
+    .unwrap();
+    let points = expand(&m).unwrap();
+    assert_eq!(points.len(), 4 * 2, "variants x seeds");
+    let labels: Vec<&str> = points.iter().map(|p| p.policy_label.as_str()).collect();
+    assert!(labels.contains(&"PAS[planar]"));
+    assert!(labels.contains(&"PAS[non_directional]"));
+    assert!(labels.contains(&"PAS[kalman]"));
+    assert!(labels.contains(&"PAS[quantile]"));
+    // The x value of a names-first axis is the variant index.
+    assert_eq!(points[0].x, 0.0);
+    assert_eq!(points[2].x, 1.0);
+    // Swept predictors override a declared one, and the label shows the
+    // swept name, not a stacked suffix.
+    let declared = Manifest::parse(&pas_with_predictor(
+        "predictor = \"kalman\"",
+        "[sweep]\npredictor = [\"planar\", \"quantile\"]",
+    ))
+    .unwrap();
+    let pts = expand(&declared).unwrap();
+    assert_eq!(pts[0].policy_label, "PAS[planar]");
+    assert_eq!(
+        pts[0].policy.predictor(),
+        Some(pas_core::PredictorSpec::PlanarFront)
+    );
+}
+
+#[test]
+fn predictor_sweep_rejects_unknown_names() {
+    let e = Manifest::parse(&pas_with_predictor(
+        "",
+        "[sweep]\npredictor = [\"planar\", \"psychic\"]",
+    ))
+    .unwrap_err();
+    assert!(e.msg.contains("unknown predictor `psychic`"), "{e}");
+}
+
+#[test]
+fn nodes_sweep_axis_changes_deployment_density() {
+    let m = Manifest::parse(&pas_with_predictor("", "[sweep]\nnodes = [20, 45]")).unwrap();
+    let points = expand(&m).unwrap();
+    assert_eq!(points.len(), 2 * 2);
+    let s20 = m.scenario_for(1, &points[0].assignments);
+    let s45 = m.scenario_for(1, &points[2].assignments);
+    assert_eq!(s20.node_count, 20);
+    assert_eq!(s45.node_count, 45);
+    assert_eq!(s20.positions().len(), 20);
+    assert_eq!(s45.positions().len(), 45);
+
+    // Fractional or zero node counts are rejected at parse time.
+    let e = Manifest::parse(&pas_with_predictor("", "[sweep]\nnodes = [20.5]")).unwrap_err();
+    assert!(e.msg.contains("integers >= 1"), "{e}");
+    // Grid deployments cannot sweep density.
+    let bad = pas_with_predictor("", "[sweep]\nnodes = [20, 45]")
+        .replace("kind = \"uniform\"", "kind = \"grid\"\ncols = 6\nrows = 5");
+    let e = Manifest::parse(&bad).unwrap_err();
+    assert!(e.msg.contains("grid deployment"), "{e}");
+}
+
+#[test]
+fn predictor_variants_produce_distinct_deterministic_results() {
+    use pas_scenario::{execute, ExecOptions};
+    let m = Manifest::parse(&pas_with_predictor(
+        "",
+        "[sweep]\npredictor = [\"planar\", \"non_directional\", \"kalman\", \"quantile\"]",
+    ))
+    .unwrap();
+    let a = execute(&m, ExecOptions::default()).unwrap();
+    let b = execute(&m, ExecOptions { threads: 1 }).unwrap();
+    // Deterministic: parallel == sequential, bit for bit.
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.delay_s.to_bits(), y.delay_s.to_bits());
+        assert_eq!(x.energy_j.to_bits(), y.energy_j.to_bits());
+        assert_eq!(x.events_processed, y.events_processed);
+    }
+    // Distinct: the four variants cannot all report the same physics.
+    assert_eq!(a.summaries.len(), 4);
+    let delay_bits: std::collections::BTreeSet<u64> = a
+        .summaries
+        .iter()
+        .map(|s| s.delay_mean_s.to_bits())
+        .collect();
+    assert!(
+        delay_bits.len() >= 3,
+        "predictor variants must differentiate the delay metric: {:?}",
+        a.summaries
+            .iter()
+            .map(|s| (s.policy_label.clone(), s.delay_mean_s))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn poisson_density_beyond_the_packing_bound_is_rejected() {
+    // 40x40 m at min_dist 4: the disk-packing bound is ~154 nodes. A
+    // swept density above it must fail validation instead of panicking
+    // mid-batch in the runner.
+    let base = pas_with_predictor("", "[sweep]\nnodes = [20, 400]")
+        .replace("kind = \"uniform\"", "kind = \"poisson\"\nmin_dist = 4.0");
+    let e = Manifest::parse(&base).unwrap_err();
+    assert!(e.msg.contains("packing bound"), "{e}");
+    // The same bound guards the declared (unswept) node count.
+    let declared = pas_with_predictor("", "")
+        .replace("kind = \"uniform\"", "kind = \"poisson\"\nmin_dist = 4.0")
+        .replace("nodes = 30", "nodes = 400");
+    let e = Manifest::parse(&declared).unwrap_err();
+    assert!(e.msg.contains("packing bound"), "{e}");
+    // Feasible densities still pass.
+    let ok = pas_with_predictor("", "[sweep]\nnodes = [20, 45]")
+        .replace("kind = \"uniform\"", "kind = \"poisson\"\nmin_dist = 4.0");
+    assert!(Manifest::parse(&ok).is_ok());
+}

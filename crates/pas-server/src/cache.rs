@@ -10,9 +10,21 @@
 //! key = sha256( CACHE_VERSION
 //!             ‖ canonical TOML of the manifest with name/description,
 //!               policies, sweep, output and replicate fan-out stripped
-//!             ‖ Debug of the resolved Policy (kind + every parameter)
-//!             ‖ policy label ‖ axis assignments (field = f64 bits) ‖ seed )
+//!             ‖ Debug of the resolved Policy (kind + every parameter,
+//!               including a non-default predictor and its parameters)
+//!             ‖ policy label ‖ axis assignments (numeric: field = f64
+//!               bits; named: field $ name) ‖ seed )
 //! ```
+//!
+//! The `Debug` rendering of `AdaptiveParams` is hand-stabilised in
+//! `pas-core`: with the default predictor it is byte-identical to the
+//! pre-predictor-layer derived output, so manifests that never mention a
+//! predictor keep their historical keys (warm caches stay warm), while
+//! every non-default predictor — and every distinct parameterisation of
+//! one — prints an extra `predictor` field and can never collide. The
+//! same split applies to assignments: numeric axes hash exactly as
+//! before, and the predictor axis hashes through a disjoint `$`
+//! separator. `key_stability.rs` pins pre-refactor keys literally.
 //!
 //! Stripping the non-physical sections means overlapping or resubmitted
 //! batches — same environment, different sweep grids or replicate counts —
@@ -23,7 +35,8 @@
 
 use crate::hash::{hex, sha256, Sha256};
 use pas_scenario::{
-    execute_point, expand, reduce, BatchResult, ExecOptions, Manifest, RunPoint, RunRecord,
+    execute_point, expand, reduce, AxisValue, BatchResult, ExecOptions, Manifest, RunPoint,
+    RunRecord,
 };
 use pas_sweep::parallel_map_with;
 use std::io;
@@ -92,8 +105,18 @@ impl ResultCache {
         h.update(b"\x00");
         for (field, value) in &pt.assignments {
             h.update(field.as_bytes());
-            h.update(b"=");
-            h.update(&value.to_bits().to_be_bytes());
+            match value {
+                AxisValue::Num(v) => {
+                    h.update(b"=");
+                    h.update(&v.to_bits().to_be_bytes());
+                }
+                AxisValue::Name(n) => {
+                    // Disjoint separator: a named assignment can never
+                    // collide with any numeric bit pattern.
+                    h.update(b"$");
+                    h.update(n.as_bytes());
+                }
+            }
             h.update(b";");
         }
         h.update(b"\x00");
@@ -161,7 +184,14 @@ pub fn encode_record(r: &RunRecord) -> String {
     let _ = writeln!(s, "label={}", escape(&r.policy_label));
     let _ = writeln!(s, "seed={}", r.seed);
     for (field, value) in &r.assignments {
-        let _ = writeln!(s, "assign={}={:016x}", escape(field), value.to_bits());
+        match value {
+            AxisValue::Num(v) => {
+                let _ = writeln!(s, "assign={}={:016x}", escape(field), v.to_bits());
+            }
+            AxisValue::Name(n) => {
+                let _ = writeln!(s, "nassign={}={}", escape(field), escape(n));
+            }
+        }
     }
     let _ = writeln!(s, "delay={:016x}", r.delay_s.to_bits());
     let _ = writeln!(s, "energy={:016x}", r.energy_j.to_bits());
@@ -198,7 +228,11 @@ pub fn decode_record(payload: &str) -> Option<RunRecord> {
             "seed" => seed = Some(v.parse().ok()?),
             "assign" => {
                 let (field, value) = v.rsplit_once('=')?;
-                assignments.push((unescape(field)?, bits(value)?));
+                assignments.push((unescape(field)?, AxisValue::Num(bits(value)?)));
+            }
+            "nassign" => {
+                let (field, value) = v.rsplit_once('=')?;
+                assignments.push((unescape(field)?, AxisValue::Name(unescape(value)?)));
             }
             "delay" => delay = Some(bits(v)?),
             "energy" => energy = Some(bits(v)?),
@@ -334,7 +368,7 @@ mod tests {
 
     fn small_manifest() -> Manifest {
         let mut m = registry::builtin("paper-default").unwrap();
-        m.sweep[0].values = vec![2.0, 8.0];
+        m.sweep[0].values = vec![2.0, 8.0].into();
         m.run.replicates = 2;
         m
     }
@@ -345,7 +379,13 @@ mod tests {
             x: 0.1 + 0.2,
             policy_label: "PAS=\nweird\\label\r".to_string(),
             seed: u64::MAX,
-            assignments: vec![("max_sleep_s".to_string(), f64::MIN_POSITIVE)],
+            assignments: vec![
+                ("max_sleep_s".to_string(), AxisValue::Num(f64::MIN_POSITIVE)),
+                (
+                    "predictor".to_string(),
+                    AxisValue::Name("name=with\\escapes\n".to_string()),
+                ),
+            ],
             delay_s: f64::NAN,
             energy_j: -0.0,
             reached: 30,
@@ -361,9 +401,13 @@ mod tests {
         assert_eq!(back.policy_label, r.policy_label);
         assert_eq!(back.seed, r.seed);
         assert_eq!(back.assignments[0].0, r.assignments[0].0);
+        match (&back.assignments[0].1, &r.assignments[0].1) {
+            (AxisValue::Num(a), AxisValue::Num(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+            other => panic!("numeric assignment changed shape: {other:?}"),
+        }
         assert_eq!(
-            back.assignments[0].1.to_bits(),
-            r.assignments[0].1.to_bits()
+            back.assignments[1], r.assignments[1],
+            "named assignment round-trips through its own escaping"
         );
         assert_eq!(back.delay_s.to_bits(), r.delay_s.to_bits());
         assert_eq!(back.energy_j.to_bits(), r.energy_j.to_bits());
@@ -379,7 +423,7 @@ mod tests {
         // name: identical keys for identical coordinates.
         let mut overlapping = m.clone();
         overlapping.name = "renamed".to_string();
-        overlapping.sweep[0].values = vec![8.0, 32.0];
+        overlapping.sweep[0].values = vec![8.0, 32.0].into();
         overlapping.run.replicates = 5;
         let pts2 = expand(&overlapping).unwrap();
         let same: Vec<_> = pts2

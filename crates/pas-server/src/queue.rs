@@ -304,7 +304,7 @@ mod tests {
 
     fn tiny_manifest() -> Manifest {
         let mut m = registry::builtin("paper-default").unwrap();
-        m.sweep[0].values = vec![4.0];
+        m.sweep[0].values = vec![4.0].into();
         m.run.replicates = 1;
         m
     }

@@ -221,7 +221,14 @@ fn expansion_json(m: &Manifest, runs: usize) -> String {
         .sweep
         .iter()
         .map(|a| {
-            let vals: Vec<String> = a.values.iter().map(|v| format!("{v}")).collect();
+            let vals: Vec<String> = a
+                .values
+                .iter()
+                .map(|v| match v {
+                    pas_scenario::AxisValue::Num(v) => format!("{v}"),
+                    pas_scenario::AxisValue::Name(n) => json_string(&n),
+                })
+                .collect();
             format!(
                 "{{\"field\":{},\"values\":[{}]}}",
                 json_string(&a.field),

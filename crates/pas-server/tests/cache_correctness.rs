@@ -112,14 +112,14 @@ fn cached_batches_are_bit_identical_cold_and_warm() {
 fn overlapping_batches_reuse_shared_points() {
     let (dir, cache) = temp_cache("overlap");
     let mut a = registry::builtin("paper-default").unwrap();
-    a.sweep[0].values = vec![2.0, 8.0];
+    a.sweep[0].values = vec![2.0, 8.0].into();
     a.run.replicates = 2;
     let (_, first) = execute_with_cache(&a, ExecOptions::default(), &cache).unwrap();
     assert_eq!(first.hits, 0);
 
     let mut b = a.clone();
     b.name = "paper-default-extended".to_string();
-    b.sweep[0].values = vec![8.0, 32.0]; // shares the 8.0 column
+    b.sweep[0].values = vec![8.0, 32.0].into(); // shares the 8.0 column
     b.run.replicates = 3; // shares seeds 0..2 of each point
     let n_b = pas_scenario::expand(&b).unwrap().len() as u64;
     let (_, second) = execute_with_cache(&b, ExecOptions::default(), &cache).unwrap();
@@ -136,7 +136,7 @@ fn overlapping_batches_reuse_shared_points() {
 fn evicted_and_corrupted_entries_fall_back_to_recomputation() {
     let (dir, cache) = temp_cache("corrupt");
     let mut m = registry::builtin("paper-default").unwrap();
-    m.sweep[0].values = vec![4.0];
+    m.sweep[0].values = vec![4.0].into();
     m.run.replicates = 2;
     let n = pas_scenario::expand(&m).unwrap().len() as u64;
 

@@ -18,7 +18,7 @@ fn boot(tag: &str, opts: ServerOptions) -> (Client, std::path::PathBuf) {
 
 fn small_manifest_toml() -> (pas_scenario::Manifest, String) {
     let mut m = registry::builtin("paper-default").unwrap();
-    m.sweep[0].values = vec![4.0, 12.0];
+    m.sweep[0].values = vec![4.0, 12.0].into();
     m.run.replicates = 2;
     (m.clone(), m.to_toml())
 }

@@ -1,0 +1,168 @@
+//! Cache-key stability and predictor-distinctness guarantees.
+//!
+//! The predictor refactor changed the `Policy` serialisation that feeds
+//! the content-addressed result cache. Two promises hold it together:
+//!
+//! 1. **Warm caches stay warm** — manifests that never mention a
+//!    predictor produce byte-identical keys to the pre-refactor code.
+//!    The hex digests below were computed on the commit *before* the
+//!    predictor layer existed and are pinned literally; if any of them
+//!    changes, every deployed cache goes cold and this test fails first.
+//! 2. **Distinct predictors never collide** — every predictor variant,
+//!    and every distinct parameterisation of one, produces a different
+//!    key for the same environment/seed coordinate.
+
+use pas_scenario::{expand, registry, AxisValues, Manifest};
+use pas_server::ResultCache;
+
+/// `(matrix index, sha256 hex)` pairs captured from the pre-predictor
+/// build for `paper-default`, spanning every policy kind and both ends
+/// of the matrix.
+const PAPER_DEFAULT_PINNED: [(usize, &str); 5] = [
+    (
+        0,
+        "c18f3e086595dc50bd35346733474668bb22afc2da80a35ea011afb8544c63bd",
+    ),
+    (
+        1,
+        "f58f41d53e8ae4e40487803a5973119d1b36494685522ed031918beea360a75a",
+    ),
+    (
+        20,
+        "7ca159a6501a142406263ee2a2f9bfd10c7fc794135247f484b79fc63bc32a70",
+    ),
+    (
+        200,
+        "64e5a0e89a343a86173ccae8228b1201b6c1600d85844eda4fc84e30e852e493",
+    ),
+    (
+        539,
+        "9d1dbd3445fd0a95b94d5fa71c6712caa74a84ef925abb29a7dc7565fc718bde",
+    ),
+];
+
+/// Pre-refactor key of `plume-monitoring` point 0 (a no-sweep batch, so
+/// the assignments section of the hash is empty).
+const PLUME_PINNED: &str = "14d9be646dffe6ef034780e16f6f3bf946e8657867307657ddd63e52e64e0a04";
+
+#[test]
+fn predictorless_manifests_keep_their_pre_refactor_keys() {
+    let m = registry::builtin("paper-default").unwrap();
+    let pts = expand(&m).unwrap();
+    for (index, want) in PAPER_DEFAULT_PINNED {
+        assert_eq!(
+            ResultCache::key(&m, &pts[index]),
+            want,
+            "paper-default point {index} went cache-cold"
+        );
+    }
+    let plume = registry::builtin("plume-monitoring").unwrap();
+    let plume_pts = expand(&plume).unwrap();
+    assert_eq!(ResultCache::key(&plume, &plume_pts[0]), PLUME_PINNED);
+}
+
+fn single_pas_manifest(policy_lines: &str, sweep: &str) -> Manifest {
+    let src = format!(
+        r#"
+        [scenario]
+        name = "key-distinct"
+        [deployment]
+        region = [40.0, 40.0]
+        nodes = 30
+        range_m = 10.0
+        kind = "uniform"
+        [stimulus]
+        kind = "radial"
+        source = [0.0, 0.0]
+        profile = {{ kind = "constant", speed = 0.5 }}
+        [run]
+        base_seed = 1
+        replicates = 1
+        [[policies]]
+        kind = "pas"
+        {policy_lines}
+        {sweep}
+    "#
+    );
+    Manifest::parse(&src).unwrap()
+}
+
+#[test]
+fn every_predictor_variant_gets_a_distinct_key() {
+    let m = single_pas_manifest(
+        "",
+        "[sweep]\npredictor = [\"planar\", \"non_directional\", \"kalman\", \"quantile\"]",
+    );
+    let pts = expand(&m).unwrap();
+    assert_eq!(pts.len(), 4);
+    let keys: std::collections::BTreeSet<String> =
+        pts.iter().map(|p| ResultCache::key(&m, p)).collect();
+    assert_eq!(keys.len(), 4, "predictor variants must never share a key");
+}
+
+#[test]
+fn predictor_parameters_are_part_of_the_key() {
+    let default_kalman = single_pas_manifest("predictor = \"kalman\"", "");
+    let tuned_kalman = single_pas_manifest(
+        "predictor = { kind = \"kalman\", process_var = 0.2, measurement_var = 0.9 }",
+        "",
+    );
+    let default_quantile = single_pas_manifest("predictor = \"quantile\"", "");
+    let tuned_quantile = single_pas_manifest("predictor = { kind = \"quantile\", k = 3 }", "");
+
+    let key_of = |m: &Manifest| {
+        let pts = expand(m).unwrap();
+        ResultCache::key(m, &pts[0])
+    };
+    let keys = [
+        key_of(&default_kalman),
+        key_of(&tuned_kalman),
+        key_of(&default_quantile),
+        key_of(&tuned_quantile),
+    ];
+    let distinct: std::collections::BTreeSet<&String> = keys.iter().collect();
+    assert_eq!(distinct.len(), keys.len(), "parameterisations collided");
+}
+
+#[test]
+fn explicit_kind_default_predictor_matches_bare_key_semantics() {
+    // `predictor = "planar"` on a PAS policy is behaviourally identical
+    // to no declaration; its key may differ (the declaration is hashed),
+    // but the *label* and the executed policy must match.
+    let bare = single_pas_manifest("", "");
+    let planar = single_pas_manifest("predictor = \"planar\"", "");
+    let a = &expand(&bare).unwrap()[0];
+    let b = &expand(&planar).unwrap()[0];
+    assert_eq!(a.policy_label, "PAS");
+    assert_eq!(b.policy_label, "PAS");
+    assert_eq!(a.policy.predictor(), b.policy.predictor());
+}
+
+#[test]
+fn node_density_assignments_change_the_key() {
+    let m = single_pas_manifest("", "[sweep]\nnodes = [20, 30, 45]");
+    let pts = expand(&m).unwrap();
+    assert_eq!(pts.len(), 3);
+    let keys: std::collections::BTreeSet<String> =
+        pts.iter().map(|p| ResultCache::key(&m, p)).collect();
+    assert_eq!(keys.len(), 3, "density points must never share a key");
+}
+
+#[test]
+fn shrinking_a_names_axis_preserves_overlapping_keys() {
+    // The environment hash strips the sweep grid, so a re-submission
+    // sweeping fewer predictors still hits the warm entries.
+    let full = single_pas_manifest(
+        "",
+        "[sweep]\npredictor = [\"planar\", \"kalman\", \"quantile\"]",
+    );
+    let mut narrow = full.clone();
+    narrow.sweep[0].values = AxisValues::Names(vec!["kalman".to_string()]);
+    let full_pts = expand(&full).unwrap();
+    let narrow_pts = expand(&narrow).unwrap();
+    assert_eq!(
+        ResultCache::key(&full, &full_pts[1]),
+        ResultCache::key(&narrow, &narrow_pts[0]),
+        "same coordinate, different grids: keys must match"
+    );
+}

@@ -31,7 +31,10 @@ fn main() {
 
     // The manifest's policy grid (NS, SAS, PAS) at the paper's default
     // maximum sleep interval, plus the clairvoyant Oracle lower bound.
-    let at_default_sleep = vec![("max_sleep_s".to_string(), 10.0)];
+    let at_default_sleep = vec![(
+        "max_sleep_s".to_string(),
+        pas_scenario::AxisValue::Num(10.0),
+    )];
     let mut policies: Vec<Policy> = manifest
         .policies
         .iter()

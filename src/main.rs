@@ -84,11 +84,15 @@ SUBMIT OPTIONS:
     --quiet              suppress progress; print nothing but errors
 
 BENCH OPTIONS:
-    --out FILE           output JSON path (default BENCH_batch.json, or
-                         BENCH_dist.json with --dist)
+    --out FILE           output JSON path (default BENCH_batch.json,
+                         BENCH_dist.json with --dist, or
+                         BENCH_predictors.json with --predictors)
     --dist N             distributed scaling bench: cold-run paper-default
                          on in-process fleets of 1/2/../N single-threaded
                          workers vs the single-process baseline
+    --predictors         per-predictor hot-path bench: sequential point
+                         throughput of every arrival-predictor variant on
+                         the paper workload
 "
 }
 
@@ -177,20 +181,21 @@ fn cmd_expand(arg: &str) -> ExitCode {
         points.len()
     );
     for axis in &m.sweep {
-        println!("axis       {} = {:?}", axis.field, axis.values);
+        let values: Vec<String> = axis.values.iter().map(|v| v.to_string()).collect();
+        println!("axis       {} = [{}]", axis.field, values.join(", "));
     }
     for p in &m.policies {
-        let overrides: Vec<String> = p
-            .overrides
-            .iter()
-            .map(|(k, v)| format!("{k}={v}"))
-            .collect();
+        let mut details: Vec<String> = Vec::new();
+        if let Some(pred) = &p.predictor {
+            details.push(format!("predictor={}", pred.name()));
+        }
+        details.extend(p.overrides.iter().map(|(k, v)| format!("{k}={v}")));
         println!(
             "policy     {:<10} ({}{}{})",
             p.label,
             p.kind,
-            if overrides.is_empty() { "" } else { "; " },
-            overrides.join(", ")
+            if details.is_empty() { "" } else { "; " },
+            details.join(", ")
         );
     }
     ExitCode::SUCCESS
@@ -654,6 +659,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut dist: Option<usize> = None;
+    let mut predictors = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -665,8 +671,12 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 Some(Ok(n)) if n >= 1 => dist = Some(n),
                 _ => return fail("--dist needs a worker count >= 1"),
             },
+            "--predictors" => predictors = true,
             other => return fail(format!("unknown bench option `{other}`")),
         }
+    }
+    if predictors {
+        return cmd_bench_predictors(out.unwrap_or_else(|| PathBuf::from("BENCH_predictors.json")));
     }
     if let Some(max_workers) = dist {
         return cmd_bench_dist(
@@ -692,7 +702,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 
     // Execution: a fixed sub-grid, sequential for machine-independence.
     let mut small = manifest.clone();
-    small.sweep[0].values = vec![4.0, 12.0];
+    small.sweep[0].values = vec![4.0, 12.0].into();
     small.run.replicates = 4;
     let n_runs = match expand(&small) {
         Ok(p) => p.len(),
@@ -716,6 +726,56 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             .iter()
             .map(|r| r.events_processed)
             .sum::<u64>(),
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        return fail(format!("writing {}: {e}", out.display()));
+    }
+    print!("{json}");
+    eprintln!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+/// Per-predictor hot-path bench: sequential point throughput of every
+/// arrival-predictor variant on a fixed paper-workload sub-grid, so the
+/// perf trajectory tracks the estimation path itself — the code inside
+/// the wake-decision loop — not just batch/dist plumbing
+/// (BENCH_predictors.json).
+fn cmd_bench_predictors(out: PathBuf) -> ExitCode {
+    let base = registry::builtin("paper-default").expect("builtin parses");
+    let mut entries = Vec::new();
+    let mut runs_per_predictor = 0usize;
+    for name in pas_core::PREDICTOR_NAMES {
+        // One PAS policy mounting the variant, over the Fig. 4 operating
+        // slice: 2 axis points x 8 seeds, sequential for comparability.
+        let mut m = base.clone();
+        m.name = "bench-predictors".to_string();
+        m.policies.retain(|p| p.kind == "pas");
+        m.policies[0].predictor = pas_core::PredictorSpec::from_name(name);
+        m.sweep[0].values = vec![4.0, 12.0].into();
+        m.run.replicates = 8;
+        let n_runs = match expand(&m) {
+            Ok(p) => p.len(),
+            Err(e) => return fail(e),
+        };
+        runs_per_predictor = n_runs;
+        let t0 = std::time::Instant::now();
+        let batch = match execute(&m, ExecOptions { threads: 1 }) {
+            Ok(b) => b,
+            Err(e) => return fail(e),
+        };
+        let us = t0.elapsed().as_micros() as u64;
+        let events: u64 = batch.records.iter().map(|r| r.events_processed).sum();
+        entries.push(format!(
+            "    {{\"predictor\": \"{name}\", \"execute_us\": {us}, \
+             \"us_per_run\": {}, \"runs_per_s\": {:.1}, \"events_total\": {events}}}",
+            us / n_runs as u64,
+            n_runs as f64 / (us as f64 / 1e6),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"predictors\",\n  \"scenario\": \"paper-default\",\n  \
+         \"runs_per_predictor\": {runs_per_predictor},\n  \"predictors\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
     );
     if let Err(e) = std::fs::write(&out, &json) {
         return fail(format!("writing {}: {e}", out.display()));
