@@ -1,0 +1,642 @@
+//! Unified, versioned bench-result files with trend history and a
+//! regression gate.
+//!
+//! The three bench commands (`pas bench`, `--dist`, `--predictors`)
+//! used to overwrite three ad-hoc single-snapshot JSON files, so the
+//! perf trajectory between PRs lived only in git archaeology. This
+//! module gives them one schema:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "batch",
+//!   "scenario": "paper-default",
+//!   "history": [
+//!     { "commit": "abc1234", "date": "2026-07-27", "payload": { ... } }
+//!   ]
+//! }
+//! ```
+//!
+//! `payload` is the bench's own result object, unchanged — the writer
+//! *appends* a stamped entry instead of overwriting, and the loader
+//! also reads the legacy single-object files (as a one-entry history
+//! with no metadata), so old `BENCH_*.json` files stay readable. The
+//! [`gate`] compares the newest entry's throughput against the
+//! previous one and fails on a drop beyond a tolerance — the CI
+//! regression gate `pas bench --gate` exposes.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Version of the history file layout. Bump on any schema change.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Default tolerated throughput drop, percent. Bench numbers on shared
+/// CI machines are noisy; the gate is for cliffs, not jitter.
+pub const DEFAULT_MAX_DROP_PCT: f64 = 35.0;
+
+/// One recorded bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Short commit hash at the time of the run, when known.
+    pub commit: Option<String>,
+    /// `YYYY-MM-DD` date of the run, when known.
+    pub date: Option<String>,
+    /// The bench's own JSON result object, verbatim.
+    pub payload: String,
+}
+
+/// A bench file's full history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchHistory {
+    /// Bench kind: `batch`, `dist`, or `predictors`.
+    pub bench: String,
+    /// Scenario the bench runs.
+    pub scenario: String,
+    /// Entries, oldest first.
+    pub entries: Vec<HistoryEntry>,
+}
+
+/// Why a bench file could not be read.
+#[derive(Debug)]
+pub enum HistoryError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file declares a version this build does not speak.
+    Schema {
+        /// Declared version.
+        found: u64,
+        /// Supported version.
+        supported: u32,
+    },
+    /// Structurally broken JSON.
+    Malformed(String),
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::Io(e) => write!(f, "{e}"),
+            HistoryError::Schema { found, supported } => write!(
+                f,
+                "unsupported bench schema_version {found} (this build reads v{supported})"
+            ),
+            HistoryError::Malformed(m) => write!(f, "malformed bench file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+impl From<io::Error> for HistoryError {
+    fn from(e: io::Error) -> Self {
+        HistoryError::Io(e)
+    }
+}
+
+// --- JSON scanning ----------------------------------------------------------
+
+fn scan_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn scan_string(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    // Escape-aware: a `\"` inside the value must not terminate it.
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Every `"key": <number>` occurrence in the text, in order.
+fn scan_all_f64(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        let tail = rest[at + needle.len()..].trim_start();
+        let end = tail
+            .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .unwrap_or(tail.len());
+        if let Ok(v) = tail[..end].parse() {
+            out.push(v);
+        }
+        rest = &rest[at + needle.len()..];
+    }
+    out
+}
+
+/// `s` starts at `{`: index just past the matching `}` (string- and
+/// escape-aware).
+fn object_end(s: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+impl BenchHistory {
+    /// Read a bench file, or `None` when it does not exist. Reads both
+    /// the versioned history layout and legacy single-object files
+    /// (one metadata-free entry).
+    pub fn load(path: &Path) -> Result<Option<BenchHistory>, HistoryError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Self::parse(&text).map(Some)
+    }
+
+    /// Parse a bench file body.
+    pub fn parse(text: &str) -> Result<BenchHistory, HistoryError> {
+        // Legacy files have no top-level stamp; their payload starts at
+        // the `bench` key.
+        let is_versioned = text
+            .find("\"history\"")
+            .is_some_and(|h| text.find("\"schema_version\"").is_some_and(|s| s < h));
+        if !is_versioned {
+            let payload = text.trim();
+            let bench = scan_string(payload, "bench")
+                .ok_or_else(|| HistoryError::Malformed("no `bench` field".to_string()))?;
+            let scenario = scan_string(payload, "scenario").unwrap_or_default();
+            return Ok(BenchHistory {
+                bench,
+                scenario,
+                entries: vec![HistoryEntry {
+                    commit: None,
+                    date: None,
+                    payload: payload.to_string(),
+                }],
+            });
+        }
+        match scan_u64(text, "schema_version") {
+            Some(v) if v == u64::from(BENCH_SCHEMA_VERSION) => {}
+            Some(v) => {
+                return Err(HistoryError::Schema {
+                    found: v,
+                    supported: BENCH_SCHEMA_VERSION,
+                })
+            }
+            None => return Err(HistoryError::Malformed("no schema_version".to_string())),
+        }
+        let bench = scan_string(text, "bench")
+            .ok_or_else(|| HistoryError::Malformed("no `bench` field".to_string()))?;
+        let scenario = scan_string(text, "scenario").unwrap_or_default();
+        let hist_at = text
+            .find("\"history\":")
+            .ok_or_else(|| HistoryError::Malformed("no `history` array".to_string()))?;
+        let mut rest = text[hist_at + "\"history\":".len()..]
+            .trim_start()
+            .strip_prefix('[')
+            .ok_or_else(|| HistoryError::Malformed("`history` is not an array".to_string()))?;
+        let mut entries = Vec::new();
+        loop {
+            rest = rest.trim_start().trim_start_matches(',').trim_start();
+            if rest.starts_with(']') || rest.is_empty() {
+                break;
+            }
+            let end = object_end(rest)
+                .ok_or_else(|| HistoryError::Malformed("unterminated entry".to_string()))?;
+            let entry = &rest[..end];
+            // Metadata keys precede `payload`; scan only that prefix so
+            // payload fields can never alias them.
+            let payload_at = entry
+                .find("\"payload\":")
+                .ok_or_else(|| HistoryError::Malformed("entry without payload".to_string()))?;
+            let head = &entry[..payload_at];
+            let payload_src = entry[payload_at + "\"payload\":".len()..].trim_start();
+            let payload_end = object_end(payload_src)
+                .ok_or_else(|| HistoryError::Malformed("unterminated payload".to_string()))?;
+            entries.push(HistoryEntry {
+                commit: scan_string(head, "commit"),
+                date: scan_string(head, "date"),
+                payload: payload_src[..payload_end].to_string(),
+            });
+            rest = &rest[end..];
+        }
+        Ok(BenchHistory {
+            bench,
+            scenario,
+            entries,
+        })
+    }
+
+    /// Render the versioned history file.
+    pub fn render(&self) -> String {
+        let entries: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let commit = match &e.commit {
+                    Some(c) => format!("\"{c}\""),
+                    None => "null".to_string(),
+                };
+                let date = match &e.date {
+                    Some(d) => format!("\"{d}\""),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "    {{\"commit\": {commit}, \"date\": {date}, \"payload\": {}}}",
+                    e.payload.trim()
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"bench\": \"{}\",\n  \
+             \"scenario\": \"{}\",\n  \"history\": [\n{}\n  ]\n}}\n",
+            self.bench,
+            self.scenario,
+            entries.join(",\n")
+        )
+    }
+}
+
+/// Append one bench result to `path` (creating or upgrading the file)
+/// and return the updated history. `payload` must be the bench's JSON
+/// object carrying `bench` and `scenario` fields.
+pub fn append(
+    path: &Path,
+    payload: &str,
+    commit: Option<String>,
+    date: Option<String>,
+) -> Result<BenchHistory, HistoryError> {
+    let bench = scan_string(payload, "bench")
+        .ok_or_else(|| HistoryError::Malformed("payload has no `bench` field".to_string()))?;
+    let scenario = scan_string(payload, "scenario").unwrap_or_default();
+    let mut history = BenchHistory::load(path)?.unwrap_or(BenchHistory {
+        bench: bench.clone(),
+        scenario: scenario.clone(),
+        entries: Vec::new(),
+    });
+    if history.bench != bench {
+        return Err(HistoryError::Malformed(format!(
+            "file records `{}` benches, payload is `{bench}`",
+            history.bench
+        )));
+    }
+    history.entries.push(HistoryEntry {
+        commit,
+        date,
+        payload: payload.trim().to_string(),
+    });
+    std::fs::write(path, history.render())?;
+    Ok(history)
+}
+
+/// Throughput samples of one payload (runs/s; higher is better), keyed
+/// by the measured configuration so the gate only ever compares like
+/// with like: a `--dist 8` entry and a `--dist 2` entry share only
+/// their common fleet sizes, and adding or removing a predictor
+/// variant changes the key set rather than silently shifting a mean.
+pub fn throughput_by_key(bench: &str, payload: &str) -> Vec<(String, f64)> {
+    match bench {
+        "batch" => {
+            let runs = scan_u64(payload, "execute_runs").map(|v| v as f64);
+            let us = scan_u64(payload, "execute_us_sequential").map(|v| v as f64);
+            match (runs, us) {
+                (Some(r), Some(u)) if u > 0.0 => vec![("sequential".to_string(), r * 1e6 / u)],
+                _ => Vec::new(),
+            }
+        }
+        // One sample per fleet size: `{"workers": N, ..., "runs_per_s": V}`.
+        "dist" => scan_keyed(payload, "workers", |v| format!("workers={v}")),
+        // One sample per predictor variant.
+        "predictors" => scan_keyed(payload, "predictor", |v| v.trim_matches('"').to_string()),
+        _ => Vec::new(),
+    }
+}
+
+/// Pair each `"key_field": <value>` occurrence with the next
+/// `"runs_per_s": <number>` after it (our own writers emit the key
+/// field first within each result object).
+fn scan_keyed(
+    payload: &str,
+    key_field: &str,
+    label: impl Fn(&str) -> String,
+) -> Vec<(String, f64)> {
+    let needle = format!("\"{key_field}\":");
+    let mut out = Vec::new();
+    let mut rest = payload;
+    while let Some(at) = rest.find(&needle) {
+        let tail = rest[at + needle.len()..].trim_start();
+        let end = tail.find([',', '}', '\n']).unwrap_or(tail.len());
+        let key = label(tail[..end].trim());
+        if let Some(v) = scan_all_f64(&tail[end..], "runs_per_s").first() {
+            out.push((key, *v));
+        }
+        rest = &rest[at + needle.len()..];
+    }
+    out
+}
+
+/// The headline throughput of one payload: its best keyed sample.
+/// `None` when the payload carries no usable metric. (Display only —
+/// the [`gate`] compares per key, never headline vs headline.)
+pub fn throughput(bench: &str, payload: &str) -> Option<f64> {
+    throughput_by_key(bench, payload)
+        .into_iter()
+        .map(|(_, v)| v)
+        .reduce(f64::max)
+}
+
+/// Outcome of gating one bench history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Bench kind.
+    pub bench: String,
+    /// The worst-regressing shared configuration (`None` when the two
+    /// newest entries measured no common configuration).
+    pub key: Option<String>,
+    /// Previous entry's throughput at that configuration (runs/s).
+    pub previous: Option<f64>,
+    /// Latest entry's throughput at that configuration (runs/s).
+    pub latest: Option<f64>,
+    /// Worst per-configuration throughput drop, percent (negative =
+    /// improvement).
+    pub drop_pct: f64,
+    /// False only when the drop exceeds the tolerance.
+    pub ok: bool,
+}
+
+/// Compare the newest entry against the previous one, configuration by
+/// configuration (only keys both entries measured — a `--dist 8` run
+/// vs a `--dist 2` run compares just their shared fleet sizes, never a
+/// larger fleet's throughput against a smaller one's). Fails on a drop
+/// beyond `max_drop_pct` at any shared configuration. Histories with
+/// fewer than two entries, or with no shared configuration, pass
+/// trivially.
+pub fn gate(history: &BenchHistory, max_drop_pct: f64) -> GateOutcome {
+    let pass = |key, previous, latest, drop_pct| GateOutcome {
+        bench: history.bench.clone(),
+        key,
+        previous,
+        latest,
+        drop_pct,
+        ok: drop_pct <= max_drop_pct,
+    };
+    let n = history.entries.len();
+    if n < 2 {
+        return pass(None, None, None, 0.0);
+    }
+    let prev = throughput_by_key(&history.bench, &history.entries[n - 2].payload);
+    let latest = throughput_by_key(&history.bench, &history.entries[n - 1].payload);
+    let mut worst: Option<(String, f64, f64, f64)> = None;
+    for (key, l) in &latest {
+        let Some((_, p)) = prev.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        if *p <= 0.0 {
+            continue;
+        }
+        let drop_pct = (1.0 - l / p) * 100.0;
+        if worst.as_ref().is_none_or(|(_, _, _, w)| drop_pct > *w) {
+            worst = Some((key.clone(), *p, *l, drop_pct));
+        }
+    }
+    match worst {
+        Some((key, p, l, drop_pct)) => pass(Some(key), Some(p), Some(l), drop_pct),
+        None => pass(None, None, None, 0.0),
+    }
+}
+
+/// `YYYY-MM-DD` of a Unix timestamp (days-to-civil, Hinnant's
+/// algorithm) — enough calendar for a metadata stamp without a date
+/// dependency.
+pub fn civil_date(epoch_secs: u64) -> String {
+    let days = (epoch_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEGACY: &str = "{\n  \"bench\": \"batch\",\n  \"scenario\": \"paper-default\",\n  \
+         \"expand_runs\": 540,\n  \"execute_runs\": 24,\n  \"execute_us_sequential\": 9000\n}\n";
+
+    #[test]
+    fn legacy_single_object_reads_as_one_entry() {
+        let h = BenchHistory::parse(LEGACY).unwrap();
+        assert_eq!(h.bench, "batch");
+        assert_eq!(h.scenario, "paper-default");
+        assert_eq!(h.entries.len(), 1);
+        assert_eq!(h.entries[0].commit, None);
+        assert!(h.entries[0].payload.contains("\"execute_runs\": 24"));
+    }
+
+    #[test]
+    fn append_upgrades_and_round_trips() {
+        let dir = std::env::temp_dir().join(format!("pas_bench_hist_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_batch.json");
+        std::fs::write(&path, LEGACY).unwrap();
+
+        let payload = LEGACY.replace("9000", "8000");
+        let h = append(
+            &path,
+            &payload,
+            Some("abc1234".to_string()),
+            Some("2026-07-27".to_string()),
+        )
+        .unwrap();
+        assert_eq!(h.entries.len(), 2, "legacy entry kept, new one appended");
+
+        let back = BenchHistory::load(&path).unwrap().unwrap();
+        assert_eq!(back, h, "render/parse round-trips");
+        assert_eq!(back.entries[1].commit.as_deref(), Some("abc1234"));
+        assert_eq!(back.entries[1].date.as_deref(), Some("2026-07-27"));
+        assert_eq!(back.entries[0].commit, None);
+
+        // A third append keeps growing the same file.
+        let h3 = append(&path, LEGACY, None, None).unwrap();
+        assert_eq!(h3.entries.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_bench_kind_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("pas_bench_mix_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_batch.json");
+        std::fs::write(&path, LEGACY).unwrap();
+        let dist = LEGACY.replace("\"batch\"", "\"dist\"");
+        assert!(append(&path, &dist, None, None).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_a_clear_error() {
+        let future = "{\n  \"schema_version\": 99,\n  \"bench\": \"batch\",\n  \
+             \"scenario\": \"s\",\n  \"history\": []\n}\n";
+        match BenchHistory::parse(future) {
+            Err(HistoryError::Schema { found: 99, .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn throughput_is_keyed_by_configuration() {
+        assert_eq!(
+            throughput_by_key("batch", LEGACY),
+            vec![("sequential".to_string(), 24.0 * 1e6 / 9000.0)]
+        );
+        let dist = "{\"bench\":\"dist\",\"fleets\":[\
+             {\"workers\": 1, \"runs_per_s\": 100.5},\
+             {\"workers\": 2, \"runs_per_s\": 220.0}]}";
+        assert_eq!(
+            throughput_by_key("dist", dist),
+            vec![
+                ("workers=1".to_string(), 100.5),
+                ("workers=2".to_string(), 220.0)
+            ]
+        );
+        assert_eq!(throughput("dist", dist), Some(220.0));
+        let pred = "{\"bench\":\"predictors\",\"predictors\":[\
+             {\"predictor\": \"planar\", \"runs_per_s\": 100.0},\
+             {\"predictor\": \"kalman\", \"runs_per_s\": 300.0}]}";
+        assert_eq!(
+            throughput_by_key("predictors", pred),
+            vec![("planar".to_string(), 100.0), ("kalman".to_string(), 300.0)]
+        );
+        assert_eq!(throughput("mystery", "{}"), None);
+    }
+
+    /// The gate never compares across configurations: a big-fleet entry
+    /// followed by a small-fleet entry only compares the shared sizes,
+    /// and with nothing shared it passes trivially.
+    #[test]
+    fn gate_compares_like_with_like() {
+        let fleet = |pairs: &[(u64, f64)]| HistoryEntry {
+            commit: None,
+            date: None,
+            payload: format!(
+                "{{\"bench\": \"dist\", \"fleets\": [{}]}}",
+                pairs
+                    .iter()
+                    .map(|(w, v)| format!("{{\"workers\": {w}, \"runs_per_s\": {v}}}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        };
+        let mut h = BenchHistory {
+            bench: "dist".to_string(),
+            scenario: "paper-default".to_string(),
+            // --dist 8 style entry: big fleet, high headline number.
+            entries: vec![fleet(&[(1, 1000.0), (2, 2000.0), (8, 5000.0)])],
+        };
+        // --dist 2 follow-up: same per-fleet numbers, no 8-worker run.
+        // Headline-vs-headline would read a 56% "drop"; keyed comparison
+        // sees no regression.
+        h.entries.push(fleet(&[(1, 1010.0), (2, 1990.0)]));
+        let out = gate(&h, 35.0);
+        assert!(out.ok, "configuration change is not a regression: {out:?}");
+        assert!(out.drop_pct < 5.0);
+
+        // A real cliff at a shared size still fails.
+        h.entries.push(fleet(&[(1, 1000.0), (2, 900.0)]));
+        let out = gate(&h, 35.0);
+        assert!(!out.ok, "shared-key cliff must fail: {out:?}");
+        assert_eq!(out.key.as_deref(), Some("workers=2"));
+
+        // Disjoint configurations pass trivially.
+        h.entries.push(fleet(&[(16, 8000.0)]));
+        let out = gate(&h, 35.0);
+        assert!(out.ok && out.key.is_none());
+    }
+
+    #[test]
+    fn gate_fails_on_cliff_passes_on_jitter() {
+        let entry = |us: u64| HistoryEntry {
+            commit: None,
+            date: None,
+            payload: format!(
+                "{{\"bench\": \"batch\", \"execute_runs\": 24, \"execute_us_sequential\": {us}}}"
+            ),
+        };
+        let mut h = BenchHistory {
+            bench: "batch".to_string(),
+            scenario: "paper-default".to_string(),
+            entries: vec![entry(9000)],
+        };
+        assert!(gate(&h, 35.0).ok, "single entry passes trivially");
+
+        h.entries.push(entry(10_000)); // ~10% slower: jitter
+        let out = gate(&h, 35.0);
+        assert!(out.ok, "10% drop within tolerance: {out:?}");
+        assert!(out.drop_pct > 5.0 && out.drop_pct < 15.0);
+
+        h.entries.push(entry(20_000)); // 2x slower than previous: cliff
+        let out = gate(&h, 35.0);
+        assert!(!out.ok, "50% drop must fail: {out:?}");
+
+        h.entries.push(entry(9_000)); // recovery
+        assert!(gate(&h, 35.0).ok);
+    }
+
+    #[test]
+    fn civil_dates() {
+        assert_eq!(civil_date(0), "1970-01-01");
+        assert_eq!(civil_date(86_400), "1970-01-02");
+        // 2026-07-27 00:00:00 UTC.
+        assert_eq!(civil_date(1_785_110_400), "2026-07-27");
+    }
+}

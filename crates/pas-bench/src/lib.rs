@@ -13,6 +13,12 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod history;
+
+pub use history::{
+    append, civil_date, gate, throughput, throughput_by_key, BenchHistory, GateOutcome,
+    HistoryEntry, HistoryError, BENCH_SCHEMA_VERSION, DEFAULT_MAX_DROP_PCT,
+};
 
 pub use harness::{
     delay_energy, paper_field, paper_scenario, report, results_dir, ExperimentPoint, ALERT_AXIS,

@@ -102,17 +102,23 @@ impl Histogram {
     /// Approximate `q`-quantile (`q` in `[0, 1]`) by linear interpolation
     /// within the containing bin. Returns `None` when empty.
     ///
-    /// Underflow mass is attributed to `lo`, overflow to `hi`.
+    /// Underflow mass is attributed to `lo`, overflow to `hi`. Bin-edge
+    /// targets interpolate exactly to the edge: `q == 0` lands on the
+    /// low edge of the first occupied bin (not the histogram's `lo`
+    /// unless underflow mass exists), and a `target` falling on the
+    /// boundary between two occupied bins yields the shared edge.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.total == 0 {
             return None;
         }
         let target = q * self.total as f64;
-        let mut cum = self.underflow as f64;
-        if target <= cum {
+        // `lo` only represents actual underflow mass; with none, fall
+        // through so q = 0 finds the first occupied bin's low edge.
+        if self.underflow > 0 && target <= self.underflow as f64 {
             return Some(self.lo);
         }
+        let mut cum = self.underflow as f64;
         for (i, &c) in self.counts.iter().enumerate() {
             let next = cum + c as f64;
             if target <= next && c > 0 {
@@ -197,6 +203,49 @@ mod tests {
     fn quantile_empty_is_none() {
         let h = Histogram::new(0.0, 1.0, 4);
         assert_eq!(h.median(), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    /// Bin-edge interpolation: a target landing exactly on the boundary
+    /// between two occupied bins must yield the shared edge, and q = 0 /
+    /// q = 1 must land on the edges of the occupied mass.
+    #[test]
+    fn quantile_interpolates_exactly_at_bin_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for _ in 0..4 {
+            h.record(3.0); // bin 1: [2, 4)
+        }
+        for _ in 0..4 {
+            h.record(5.0); // bin 2: [4, 6)
+        }
+        // q = 0.5 → target = 4 = cumulative count at the 4.0 boundary.
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        // q = 0 with no underflow: low edge of the first occupied bin,
+        // not the histogram's lo.
+        assert_eq!(h.quantile(0.0), Some(2.0));
+        // q = 1: high edge of the last occupied bin.
+        assert_eq!(h.quantile(1.0), Some(6.0));
+    }
+
+    #[test]
+    fn quantile_zero_with_underflow_is_lo() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(-1.0);
+        h.record(5.0);
+        assert_eq!(h.quantile(0.0), Some(0.0), "underflow mass sits at lo");
+    }
+
+    #[test]
+    fn single_sample_histogram() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(7.0);
+        assert_eq!(h.total(), 1);
+        // All quantiles interpolate within the one occupied bin [6, 8).
+        let med = h.median().unwrap();
+        assert!((6.0..=8.0).contains(&med), "median {med}");
+        assert_eq!(h.quantile(0.0), Some(6.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
     }
 
     #[test]

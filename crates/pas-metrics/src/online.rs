@@ -184,6 +184,26 @@ mod tests {
         assert_eq!(s.max(), 3.5);
     }
 
+    /// Empty and single-sample accumulators must yield finite (never
+    /// NaN) statistics everywhere: downstream report maths divides by
+    /// and renders these values directly.
+    #[test]
+    fn no_nan_statistics_at_the_edges() {
+        for s in [OnlineStats::new(), OnlineStats::from_slice(&[2.25])] {
+            assert!(!s.mean().is_nan());
+            assert!(!s.variance().is_nan());
+            assert!(!s.sample_variance().is_nan());
+            assert!(!s.std_dev().is_nan());
+            assert!(!s.sample_std_dev().is_nan());
+            assert!(!s.std_error().is_nan());
+            assert!(!s.sum().is_nan());
+        }
+        // Single sample: Bessel correction must not divide by zero.
+        let one = OnlineStats::from_slice(&[2.25]);
+        assert_eq!(one.sample_variance(), 0.0);
+        assert_eq!(one.std_error(), 0.0);
+    }
+
     #[test]
     #[should_panic(expected = "NaN")]
     fn nan_rejected() {

@@ -1,0 +1,60 @@
+//! # pas-report — statistical analysis and figure reproduction
+//!
+//! The pipeline can sweep predictors × policies × densities across a
+//! cluster, but a batch ends as raw per-run rows. This crate is the
+//! missing last mile: it ingests point results from any source — an
+//! in-process [`pas_scenario::BatchResult`], a saved JSONL/CSV sink
+//! file, or the server's cached records — reduces them per
+//! `(axis-assignment, policy)` cell into paper-grade statistics
+//! (Welford means, fixed-seed bootstrap 95% confidence intervals, miss
+//! rates, paired-by-seed PAS-vs-SAS deltas with significance), and
+//! renders them as deterministic Markdown tables, self-contained SVG
+//! delay/energy curves (the paper's Fig. 4/5 shapes), and a
+//! machine-readable `report.json`.
+//!
+//! * [`report`] — the [`Report`] model and its canonical reduction:
+//!   cells and replicates are sorted into a total order, so reports are
+//!   byte-identical regardless of record order, thread count, or cache
+//!   state.
+//! * [`stats`] — Welford moments plus the percentile bootstrap with a
+//!   fixed resampling seed (common random numbers across cells).
+//! * [`ingest`] — JSONL/CSV sink loaders; files without the current
+//!   `schema_version` stamp are rejected with a clear error.
+//! * [`render`] / [`svg`] — Markdown, JSON, and SVG renderers.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pas_report::{render_md, Report, ReportOptions};
+//! use pas_scenario::{execute, registry, ExecOptions};
+//!
+//! let mut manifest = registry::builtin("paper-default").unwrap();
+//! // Shrink the batch for the doctest: one axis point, two seeds.
+//! manifest.sweep[0].values = vec![8.0].into();
+//! manifest.run.replicates = 2;
+//! let batch = execute(&manifest, ExecOptions::default()).unwrap();
+//! let report = Report::from_batch(&batch, &ReportOptions::default()).unwrap();
+//! assert_eq!(report.compared, Some(("PAS".into(), "SAS".into())));
+//! assert!(render_md(&report).contains("## Per-cell statistics"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ingest;
+pub mod render;
+pub mod report;
+pub mod stats;
+pub mod svg;
+
+pub use ingest::{
+    parse_records_jsonl, parse_summary_csv, IngestError, IngestedRecords, IngestedSummaries,
+};
+pub use render::{render_json, render_md};
+pub use report::{
+    CellStats, Comparison, Report, ReportError, ReportOptions, Source, REPORT_SCHEMA_VERSION,
+};
+pub use stats::{
+    bootstrap_ci, DeltaStats, MetricStats, BOOTSTRAP_RESAMPLES, BOOTSTRAP_SEED, CONFIDENCE,
+};
+pub use svg::render_svg;

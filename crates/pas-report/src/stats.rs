@@ -1,0 +1,175 @@
+//! Replicate-level statistics: Welford moments and fixed-seed bootstrap
+//! confidence intervals.
+//!
+//! Replicate counts are small (the paper uses 20 seeds per point), so
+//! normal-theory intervals lean on an asymptotic assumption the data
+//! does not grant — detection delay is bounded below by zero and
+//! visibly skewed near it. The percentile bootstrap makes no such
+//! assumption, and a *fixed* resampling seed (common random numbers
+//! across every cell and metric) keeps reports bit-deterministic and
+//! paired comparisons free of resampling noise.
+
+use pas_metrics::OnlineStats;
+use pas_sim::Rng;
+
+/// Bootstrap resamples per interval.
+pub const BOOTSTRAP_RESAMPLES: u32 = 1000;
+
+/// Seed of the resampling stream. Every cell draws the *same* index
+/// sequence (common random numbers), which both keeps reports
+/// order-invariant — a cell's interval cannot depend on how many cells
+/// were reduced before it — and cancels resampling noise out of
+/// cell-to-cell comparisons.
+pub const BOOTSTRAP_SEED: u64 = 0x9A5_2E90;
+
+/// Two-sided confidence level of every interval.
+pub const CONFIDENCE: f64 = 0.95;
+
+/// Substream labels, one per metric context, so the delay and energy
+/// intervals of one cell do not share a resampling sequence.
+pub mod stream {
+    /// Per-cell detection delay.
+    pub const DELAY: u64 = 1;
+    /// Per-cell energy.
+    pub const ENERGY: u64 = 2;
+    /// Paired delay deltas.
+    pub const DELAY_DELTA: u64 = 3;
+    /// Paired energy deltas.
+    pub const ENERGY_DELTA: u64 = 4;
+}
+
+/// Mean, spread, and bootstrap interval of one metric over replicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricStats {
+    /// Replicate mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single replicate).
+    pub std: f64,
+    /// Lower edge of the 95% bootstrap CI.
+    pub ci_lo: f64,
+    /// Upper edge of the 95% bootstrap CI.
+    pub ci_hi: f64,
+    /// Smallest replicate.
+    pub min: f64,
+    /// Largest replicate.
+    pub max: f64,
+}
+
+impl MetricStats {
+    /// Reduce one metric's replicate values (in canonical order) with a
+    /// bootstrap CI drawn from the given substream.
+    pub fn from_values(values: &[f64], stream: u64) -> MetricStats {
+        let s = OnlineStats::from_slice(values);
+        let (ci_lo, ci_hi) = bootstrap_ci(values, stream);
+        MetricStats {
+            mean: s.mean(),
+            std: s.sample_std_dev(),
+            ci_lo,
+            ci_hi,
+            min: if s.count() > 0 { s.min() } else { 0.0 },
+            max: if s.count() > 0 { s.max() } else { 0.0 },
+        }
+    }
+}
+
+/// Paired-difference statistics (metric of policy A minus policy B at
+/// the same seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaStats {
+    /// Mean paired difference.
+    pub mean: f64,
+    /// Lower edge of the 95% bootstrap CI of the mean difference.
+    pub ci_lo: f64,
+    /// Upper edge.
+    pub ci_hi: f64,
+    /// True when the CI excludes zero (and at least two pairs exist).
+    pub significant: bool,
+}
+
+impl DeltaStats {
+    /// Reduce paired differences with a bootstrap CI.
+    pub fn from_deltas(deltas: &[f64], stream: u64) -> DeltaStats {
+        let s = OnlineStats::from_slice(deltas);
+        let (ci_lo, ci_hi) = bootstrap_ci(deltas, stream);
+        DeltaStats {
+            mean: s.mean(),
+            ci_lo,
+            ci_hi,
+            significant: deltas.len() >= 2 && (ci_lo > 0.0 || ci_hi < 0.0),
+        }
+    }
+}
+
+/// Percentile-bootstrap 95% CI of the mean of `values`.
+///
+/// Deterministic in `(values, stream)`: the resampling RNG is seeded
+/// from [`BOOTSTRAP_SEED`] and the substream label only, never from the
+/// data or any global state. Fewer than two values give a degenerate
+/// point interval.
+pub fn bootstrap_ci(values: &[f64], stream: u64) -> (f64, f64) {
+    let n = values.len();
+    if n < 2 {
+        let v = values.first().copied().unwrap_or(0.0);
+        return (v, v);
+    }
+    let mut rng = Rng::substream(BOOTSTRAP_SEED, stream);
+    let mut means = Vec::with_capacity(BOOTSTRAP_RESAMPLES as usize);
+    for _ in 0..BOOTSTRAP_RESAMPLES {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let i = ((rng.next_f64() * n as f64) as usize).min(n - 1);
+            sum += values[i];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    let tail = (1.0 - CONFIDENCE) / 2.0;
+    let idx = |q: f64| ((q * (BOOTSTRAP_RESAMPLES - 1) as f64).round()) as usize;
+    (means[idx(tail)], means[idx(1.0 - tail)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_inputs_give_point_intervals() {
+        assert_eq!(bootstrap_ci(&[], stream::DELAY), (0.0, 0.0));
+        assert_eq!(bootstrap_ci(&[3.25], stream::DELAY), (3.25, 3.25));
+    }
+
+    #[test]
+    fn ci_brackets_the_mean_and_is_deterministic() {
+        let values: Vec<f64> = (0..20).map(|i| 1.0 + (i % 7) as f64 * 0.5).collect();
+        let (lo, hi) = bootstrap_ci(&values, stream::DELAY);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!(lo < mean && mean < hi, "[{lo}, {hi}] around {mean}");
+        assert_eq!(
+            (lo, hi),
+            bootstrap_ci(&values, stream::DELAY),
+            "same values, same stream, same bits"
+        );
+        let other = bootstrap_ci(&values, stream::ENERGY);
+        assert_ne!((lo, hi), other, "streams are independent");
+    }
+
+    #[test]
+    fn constant_sample_collapses_the_interval() {
+        let values = [2.0; 12];
+        assert_eq!(bootstrap_ci(&values, stream::DELAY), (2.0, 2.0));
+    }
+
+    #[test]
+    fn delta_significance_requires_excluding_zero() {
+        // All-positive deltas: clearly significant.
+        let up: Vec<f64> = (0..16).map(|i| 1.0 + (i % 3) as f64 * 0.1).collect();
+        assert!(DeltaStats::from_deltas(&up, stream::DELAY_DELTA).significant);
+        // Zero-centred deltas: must not be.
+        let mixed: Vec<f64> = (0..16)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(!DeltaStats::from_deltas(&mixed, stream::DELAY_DELTA).significant);
+        // A single pair can never be significant.
+        assert!(!DeltaStats::from_deltas(&[5.0], stream::DELAY_DELTA).significant);
+    }
+}

@@ -1,0 +1,302 @@
+//! Self-contained SVG rendering: the paper's Fig. 4/5-shaped curves.
+//!
+//! Two panels — detection delay vs x and per-node energy vs x — one
+//! polyline per policy series with 95% CI error bars. Pure text output,
+//! no external fonts or scripts, coordinates formatted to fixed
+//! precision so the bytes are deterministic everywhere.
+
+use crate::report::{CellStats, Report};
+use crate::stats::MetricStats;
+use std::fmt::Write as _;
+
+const PANEL_W: f64 = 430.0;
+const PANEL_H: f64 = 300.0;
+const MARGIN_L: f64 = 62.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 34.0;
+const MARGIN_B: f64 = 46.0;
+const GAP: f64 = 34.0;
+
+/// Colour cycle for series, in series order.
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22",
+];
+
+/// XML-escape a label.
+fn xml(raw: &str) -> String {
+    raw.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// One plotted series: a policy (qualified by secondary assignments)
+/// and its per-x metric statistics.
+struct Series<'a> {
+    name: String,
+    points: Vec<(f64, &'a MetricStats)>,
+}
+
+/// Collect series in cell order (cells are canonically sorted, so
+/// series order and point order are deterministic).
+fn series_for<'a>(
+    cells: &'a [CellStats],
+    metric: impl Fn(&'a CellStats) -> &'a MetricStats,
+) -> Vec<Series<'a>> {
+    let mut series: Vec<Series<'a>> = Vec::new();
+    for c in cells {
+        let name = if c.extra.is_empty() {
+            c.policy.clone()
+        } else {
+            format!("{} [{}]", c.policy, c.extra.join("; "))
+        };
+        let stats = metric(c);
+        match series.iter_mut().find(|s| s.name == name) {
+            Some(s) => s.points.push((c.x, stats)),
+            None => series.push(Series {
+                name,
+                points: vec![(c.x, stats)],
+            }),
+        }
+    }
+    for s in &mut series {
+        s.points.sort_by(|a, b| a.0.total_cmp(&b.0));
+    }
+    series
+}
+
+/// Format an axis coordinate.
+fn c(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a tick label: up to 3 significant decimals, trailing zeros
+/// trimmed.
+fn tick_label(v: f64) -> String {
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+struct Panel {
+    x0: f64,
+    title: String,
+    y_label: String,
+}
+
+fn render_panel(out: &mut String, panel: &Panel, series: &[Series<'_>], x_label: &str) {
+    // Data ranges, padded; degenerate spans widen symmetrically.
+    let mut x_lo = f64::INFINITY;
+    let mut x_hi = f64::NEG_INFINITY;
+    let mut y_lo = f64::INFINITY;
+    let mut y_hi = f64::NEG_INFINITY;
+    for s in series {
+        for (x, m) in &s.points {
+            x_lo = x_lo.min(*x);
+            x_hi = x_hi.max(*x);
+            y_lo = y_lo.min(m.ci_lo);
+            y_hi = y_hi.max(m.ci_hi);
+        }
+    }
+    if x_lo > x_hi {
+        (x_lo, x_hi) = (0.0, 1.0);
+    }
+    if x_lo == x_hi {
+        x_lo -= 1.0;
+        x_hi += 1.0;
+    }
+    if y_lo > y_hi {
+        (y_lo, y_hi) = (0.0, 1.0);
+    }
+    let pad = ((y_hi - y_lo) * 0.06).max(1e-9);
+    y_lo -= pad;
+    y_hi += pad;
+
+    let plot_x0 = panel.x0 + MARGIN_L;
+    let plot_x1 = panel.x0 + PANEL_W - MARGIN_R;
+    let plot_y0 = MARGIN_T;
+    let plot_y1 = PANEL_H - MARGIN_B;
+    let sx = |v: f64| plot_x0 + (v - x_lo) / (x_hi - x_lo) * (plot_x1 - plot_x0);
+    let sy = |v: f64| plot_y1 - (v - y_lo) / (y_hi - y_lo) * (plot_y1 - plot_y0);
+
+    // Frame, title, axis labels.
+    let _ = writeln!(
+        out,
+        "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"none\" stroke=\"#444\"/>",
+        c(plot_x0),
+        c(plot_y0),
+        c(plot_x1 - plot_x0),
+        c(plot_y1 - plot_y0)
+    );
+    let _ = writeln!(
+        out,
+        "  <text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"13\" \
+         font-weight=\"bold\">{}</text>",
+        c((plot_x0 + plot_x1) / 2.0),
+        c(plot_y0 - 12.0),
+        xml(&panel.title)
+    );
+    let _ = writeln!(
+        out,
+        "  <text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"11\">{}</text>",
+        c((plot_x0 + plot_x1) / 2.0),
+        c(PANEL_H - 10.0),
+        xml(x_label)
+    );
+    let _ = writeln!(
+        out,
+        "  <text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"11\" \
+         transform=\"rotate(-90 {} {})\">{}</text>",
+        c(panel.x0 + 14.0),
+        c((plot_y0 + plot_y1) / 2.0),
+        c(panel.x0 + 14.0),
+        c((plot_y0 + plot_y1) / 2.0),
+        xml(&panel.y_label)
+    );
+
+    // Ticks: 5 per axis, linearly spaced.
+    for i in 0..5 {
+        let fx = x_lo + (x_hi - x_lo) * i as f64 / 4.0;
+        let px = sx(fx);
+        let _ = writeln!(
+            out,
+            "  <line x1=\"{px}\" y1=\"{y1}\" x2=\"{px}\" y2=\"{y2}\" stroke=\"#444\"/>",
+            px = c(px),
+            y1 = c(plot_y1),
+            y2 = c(plot_y1 + 4.0)
+        );
+        let _ = writeln!(
+            out,
+            "  <text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"10\">{}</text>",
+            c(px),
+            c(plot_y1 + 16.0),
+            tick_label(fx)
+        );
+        let fy = y_lo + (y_hi - y_lo) * i as f64 / 4.0;
+        let py = sy(fy);
+        let _ = writeln!(
+            out,
+            "  <line x1=\"{x1}\" y1=\"{py}\" x2=\"{x2}\" y2=\"{py}\" stroke=\"#444\"/>",
+            x1 = c(plot_x0 - 4.0),
+            x2 = c(plot_x0),
+            py = c(py)
+        );
+        let _ = writeln!(
+            out,
+            "  <text x=\"{}\" y=\"{}\" text-anchor=\"end\" font-size=\"10\">{}</text>",
+            c(plot_x0 - 7.0),
+            c(py + 3.5),
+            tick_label(fy)
+        );
+    }
+
+    // Series: CI error bars under the polyline and markers.
+    for (si, s) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        for (x, m) in &s.points {
+            let px = sx(*x);
+            let (lo, hi) = (sy(m.ci_lo), sy(m.ci_hi));
+            let _ = writeln!(
+                out,
+                "  <line x1=\"{px}\" y1=\"{lo}\" x2=\"{px}\" y2=\"{hi}\" \
+                 stroke=\"{color}\" stroke-width=\"1\"/>",
+                px = c(px),
+                lo = c(lo),
+                hi = c(hi)
+            );
+            for y in [lo, hi] {
+                let _ = writeln!(
+                    out,
+                    "  <line x1=\"{x1}\" y1=\"{y}\" x2=\"{x2}\" y2=\"{y}\" \
+                     stroke=\"{color}\" stroke-width=\"1\"/>",
+                    x1 = c(px - 3.0),
+                    x2 = c(px + 3.0),
+                    y = c(y)
+                );
+            }
+        }
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|(x, m)| format!("{},{}", c(sx(*x)), c(sy(m.mean))))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  <polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>",
+            path.join(" ")
+        );
+        for (x, m) in &s.points {
+            let _ = writeln!(
+                out,
+                "  <circle cx=\"{}\" cy=\"{}\" r=\"2.5\" fill=\"{color}\"/>",
+                c(sx(*x)),
+                c(sy(m.mean))
+            );
+        }
+    }
+
+    // Legend, top-right inside the frame.
+    for (si, s) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let ly = plot_y0 + 14.0 + si as f64 * 15.0;
+        let _ = writeln!(
+            out,
+            "  <rect x=\"{}\" y=\"{}\" width=\"10\" height=\"10\" fill=\"{color}\"/>",
+            c(plot_x1 - 112.0),
+            c(ly - 9.0)
+        );
+        let _ = writeln!(
+            out,
+            "  <text x=\"{}\" y=\"{}\" font-size=\"10\">{}</text>",
+            c(plot_x1 - 98.0),
+            c(ly),
+            xml(&s.name)
+        );
+    }
+}
+
+/// Render the report as one SVG document: delay and energy panels side
+/// by side (the paper's Fig. 4/5 shapes with explicit CIs).
+pub fn render_svg(report: &Report) -> String {
+    let width = PANEL_W * 2.0 + GAP;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\" font-family=\"sans-serif\">",
+        c(width),
+        c(PANEL_H),
+        c(width),
+        c(PANEL_H)
+    );
+    let _ = writeln!(
+        out,
+        "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>"
+    );
+    render_panel(
+        &mut out,
+        &Panel {
+            x0: 0.0,
+            title: format!("{} — detection delay", report.scenario),
+            y_label: "mean detection delay (s)".to_string(),
+        },
+        &series_for(&report.cells, |c| &c.delay),
+        &report.x_label,
+    );
+    render_panel(
+        &mut out,
+        &Panel {
+            x0: PANEL_W + GAP,
+            title: format!("{} — energy", report.scenario),
+            y_label: "mean per-node energy (J)".to_string(),
+        },
+        &series_for(&report.cells, |c| &c.energy),
+        &report.x_label,
+    );
+    let _ = writeln!(out, "</svg>");
+    out
+}

@@ -1,0 +1,65 @@
+//! Order-invariance property: report aggregation over shuffled JSONL
+//! rows is bit-identical to in-order aggregation.
+//!
+//! Rows arrive in matrix order from `pas run`, in completion order from
+//! the distributed scheduler, and in whatever order a user's
+//! concatenated files put them in. The canonical reduction must erase
+//! that history: same rows, same bytes.
+
+use pas_report::{render_json, render_md, render_svg, Report, ReportOptions};
+use pas_scenario::{execute, records_jsonl, registry, ExecOptions};
+use proptest::prelude::*;
+
+/// The baseline rows: a small two-axis-point, three-policy batch,
+/// simulated once per process (the property permutes, it never
+/// re-simulates).
+fn baseline_rows() -> &'static [String] {
+    static ROWS: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+    ROWS.get_or_init(|| {
+        let mut m = registry::builtin("paper-default").unwrap();
+        m.sweep[0].values = vec![4.0, 12.0].into();
+        m.run.replicates = 5;
+        let batch = execute(&m, ExecOptions { threads: 1 }).unwrap();
+        records_jsonl(&batch).lines().map(String::from).collect()
+    })
+}
+
+fn report_of(rows: &[String]) -> Report {
+    let text = rows.join("\n");
+    let ingested = pas_report::parse_records_jsonl(&text).expect("rows parse");
+    Report::from_records(
+        &ingested.scenario,
+        &ingested.x_label,
+        &ingested.records,
+        &ReportOptions::default(),
+    )
+    .expect("report builds")
+}
+
+/// Apply a permutation drawn as sort keys: row `i` moves to the rank of
+/// `keys[i]` (a uniform random permutation as `keys` are distinct with
+/// overwhelming probability; ties break by index, still a permutation).
+fn permute(rows: &[String], keys: &[u64]) -> Vec<String> {
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by_key(|&i| (keys.get(i).copied().unwrap_or(0), i));
+    order.into_iter().map(|i| rows[i].clone()).collect()
+}
+
+proptest! {
+    #[test]
+    fn shuffled_rows_reduce_to_identical_bytes(
+        keys in prop::collection::vec(any::<u64>(), 30..31)
+    ) {
+        let rows = baseline_rows();
+        let in_order = report_of(rows);
+        let shuffled_rows = permute(rows, &keys);
+        let shuffled = report_of(&shuffled_rows);
+        prop_assert_eq!(
+            render_json(&in_order),
+            render_json(&shuffled),
+            "JSON must be order-invariant"
+        );
+        prop_assert_eq!(render_md(&in_order), render_md(&shuffled));
+        prop_assert_eq!(render_svg(&in_order), render_svg(&shuffled));
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end report behaviour on real batches: sink round-trips,
+//! determinism across thread counts, comparison correctness, and
+//! renderer sanity.
+
+use pas_report::{render_json, render_md, render_svg, Report, ReportError, ReportOptions};
+use pas_scenario::{execute, records_jsonl, registry, summary_csv, ExecOptions, Manifest};
+
+fn small_batch() -> (Manifest, pas_scenario::BatchResult) {
+    let mut m = registry::builtin("paper-default").unwrap();
+    m.sweep[0].values = vec![4.0, 12.0].into();
+    m.run.replicates = 6;
+    let batch = execute(&m, ExecOptions { threads: 1 }).unwrap();
+    (m, batch)
+}
+
+/// JSONL written by the sink ingests back into the byte-identical
+/// report the in-process batch produces — the round-trip that makes
+/// saved raw files first-class report sources.
+#[test]
+fn jsonl_round_trips_to_identical_report() {
+    let (_, batch) = small_batch();
+    let direct = Report::from_batch(&batch, &ReportOptions::default()).unwrap();
+
+    let jsonl = records_jsonl(&batch);
+    let ingested = pas_report::parse_records_jsonl(&jsonl).unwrap();
+    assert_eq!(ingested.scenario, "paper-default");
+    assert_eq!(ingested.x_label, "max_sleep_s");
+    let from_file = Report::from_records(
+        &ingested.scenario,
+        &ingested.x_label,
+        &ingested.records,
+        &ReportOptions::default(),
+    )
+    .unwrap();
+
+    assert_eq!(render_json(&direct), render_json(&from_file));
+    assert_eq!(render_md(&direct), render_md(&from_file));
+    assert_eq!(render_svg(&direct), render_svg(&from_file));
+}
+
+/// A summary CSV ingests into a degraded (means-only) report whose
+/// means match the replicate-level report exactly.
+#[test]
+fn summary_csv_ingests_with_matching_means() {
+    let (_, batch) = small_batch();
+    let full = Report::from_batch(&batch, &ReportOptions::default()).unwrap();
+
+    let csv = summary_csv(&batch).render();
+    let ingested = pas_report::parse_summary_csv(&csv).unwrap();
+    let degraded =
+        Report::from_summaries("paper-default", &ingested.x_label, &ingested.summaries).unwrap();
+
+    assert_eq!(degraded.cells.len(), full.cells.len());
+    for (a, b) in degraded.cells.iter().zip(&full.cells) {
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.delay.mean.to_bits(), b.delay.mean.to_bits());
+        assert_eq!(a.energy.mean.to_bits(), b.energy.mean.to_bits());
+    }
+    assert!(degraded.comparisons.is_empty(), "no pairing without seeds");
+}
+
+/// Reports are bit-deterministic across thread counts — the records
+/// are reassembled in matrix order and the reduction is canonical.
+#[test]
+fn report_is_identical_across_thread_counts() {
+    let mut m = registry::builtin("paper-default").unwrap();
+    m.sweep[0].values = vec![8.0].into();
+    m.run.replicates = 4;
+    let sequential = execute(&m, ExecOptions { threads: 1 }).unwrap();
+    let parallel = execute(&m, ExecOptions { threads: 4 }).unwrap();
+    let a = Report::from_batch(&sequential, &ReportOptions::default()).unwrap();
+    let b = Report::from_batch(&parallel, &ReportOptions::default()).unwrap();
+    assert_eq!(render_json(&a), render_json(&b));
+    assert_eq!(render_md(&a), render_md(&b));
+}
+
+/// The auto-comparison pairs PAS and SAS by seed and carries one row
+/// per shared cell coordinate.
+#[test]
+fn auto_comparison_covers_every_coordinate() {
+    let (m, batch) = small_batch();
+    let report = Report::from_batch(&batch, &ReportOptions::default()).unwrap();
+    assert_eq!(
+        report.compared,
+        Some(("PAS".to_string(), "SAS".to_string()))
+    );
+    assert_eq!(report.comparisons.len(), m.sweep[0].values.len());
+    for c in &report.comparisons {
+        assert_eq!(c.n_pairs, 6, "every replicate pairs by seed");
+        assert!(c.delay.ci_lo <= c.delay.mean && c.delay.mean <= c.delay.ci_hi);
+    }
+}
+
+/// An explicit `--compare` with an unknown label fails with the list
+/// of labels that do exist.
+#[test]
+fn unknown_compare_label_is_a_clear_error() {
+    let (_, batch) = small_batch();
+    let err = Report::from_batch(
+        &batch,
+        &ReportOptions {
+            compare: Some(("PAS".to_string(), "NOPE".to_string())),
+        },
+    )
+    .unwrap_err();
+    match err {
+        ReportError::UnknownPolicy { label, available } => {
+            assert_eq!(label, "NOPE");
+            assert!(available.contains(&"SAS".to_string()));
+        }
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+/// Renderer sanity: every policy appears in every format, and the JSON
+/// stamps its schema version.
+#[test]
+fn renders_cover_all_policies() {
+    let (_, batch) = small_batch();
+    let report = Report::from_batch(&batch, &ReportOptions::default()).unwrap();
+    let md = render_md(&report);
+    let json = render_json(&report);
+    let svg = render_svg(&report);
+    for policy in ["NS", "SAS", "PAS"] {
+        assert!(md.contains(policy), "{policy} missing from md");
+        assert!(json.contains(policy), "{policy} missing from json");
+        assert!(svg.contains(policy), "{policy} missing from svg");
+    }
+    assert!(json.starts_with("{\n  \"schema_version\": 1,"));
+    assert!(svg.starts_with("<svg ") && svg.trim_end().ends_with("</svg>"));
+    assert!(md.contains("(paired by seed)"));
+}

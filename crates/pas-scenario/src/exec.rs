@@ -14,7 +14,7 @@ use crate::manifest::{AxisValue, FailureSpec, Manifest, ManifestError, SWEEP_PRE
 use pas_core::{run, FailurePlan, RunConfig, Scenario};
 use pas_diffusion::StimulusField;
 use pas_sim::{Rng, SimTime};
-use pas_sweep::{parallel_map_with, summarize, SweepOptions};
+use pas_sweep::{parallel_map_with, SweepOptions};
 
 /// Substream label for failure-plan draws (disjoint from the runner's
 /// deploy/channel/node streams).
@@ -301,55 +301,137 @@ pub fn execute_point(manifest: &Manifest, field: &dyn StimulusField, pt: &RunPoi
     }
 }
 
+/// The per-replicate measurements of one run, as carried by a
+/// [`PointCell`]. This is the seam statistical consumers (`pas-report`)
+/// build on: confidence intervals and paired-by-seed deltas need the raw
+/// replicate values, not the reduced means of [`PointSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replicate {
+    /// Replicate seed (the pairing key across policies).
+    pub seed: u64,
+    /// Mean detection delay (s) of this run.
+    pub delay_s: f64,
+    /// Mean per-node energy (J) of this run.
+    pub energy_j: f64,
+    /// Nodes the stimulus reached.
+    pub reached: usize,
+    /// Nodes that detected it.
+    pub detected: usize,
+    /// Nodes reached but never detecting.
+    pub missed: usize,
+}
+
+impl Replicate {
+    /// Extract the replicate view of one record.
+    pub fn of(r: &RunRecord) -> Replicate {
+        Replicate {
+            seed: r.seed,
+            delay_s: r.delay_s,
+            energy_j: r.energy_j,
+            reached: r.reached,
+            detected: r.detected,
+            missed: r.missed,
+        }
+    }
+}
+
+/// One `(assignments, policy)` cell of the matrix with every replicate's
+/// values, in the order the records were given (matrix order for batch
+/// output: seeds ascending).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointCell {
+    /// Report x value.
+    pub x: f64,
+    /// Policy label.
+    pub policy_label: String,
+    /// Sweep assignments identifying the cell.
+    pub assignments: Vec<(String, AxisValue)>,
+    /// Per-replicate values.
+    pub replicates: Vec<Replicate>,
+}
+
+/// One assignment's identity: numeric values compare by raw bits so
+/// distinct points can never merge; named values compare as strings.
+#[derive(Clone, PartialEq)]
+enum KeyVal {
+    Bits(u64),
+    Name(String),
+}
+
+/// Full cell identity: `((assignments, x bits), policy label)`.
+type CellKey = ((Vec<(String, KeyVal)>, u64), String);
+
+fn cell_key(r: &RunRecord) -> CellKey {
+    (
+        (
+            r.assignments
+                .iter()
+                .map(|(f, v)| {
+                    (
+                        f.clone(),
+                        match v {
+                            AxisValue::Num(v) => KeyVal::Bits(v.to_bits()),
+                            AxisValue::Name(n) => KeyVal::Name(n.clone()),
+                        },
+                    )
+                })
+                .collect(),
+            r.x.to_bits(),
+        ),
+        r.policy_label.clone(),
+    )
+}
+
+/// Group per-run records into per-point cells carrying every replicate's
+/// values. Cells keep the records' first-appearance order and replicates
+/// keep record order; the key covers every sweep axis, not just the
+/// report x — two points differing only in a secondary axis must not
+/// merge. [`reduce`] is defined on top of this, so summaries and
+/// replicate-level consumers can never disagree about cell identity.
+pub fn group(records: &[RunRecord]) -> Vec<PointCell> {
+    let mut keys: Vec<CellKey> = Vec::new();
+    let mut cells: Vec<PointCell> = Vec::new();
+    for r in records {
+        let key = cell_key(r);
+        match keys.iter().position(|k| *k == key) {
+            Some(i) => cells[i].replicates.push(Replicate::of(r)),
+            None => {
+                keys.push(key);
+                cells.push(PointCell {
+                    x: r.x,
+                    policy_label: r.policy_label.clone(),
+                    assignments: r.assignments.clone(),
+                    replicates: vec![Replicate::of(r)],
+                });
+            }
+        }
+    }
+    cells
+}
+
 /// Reduce per-run records (in matrix order) to per-point summaries,
 /// aggregating replicates per `(assignments, policy)` point and
-/// preserving matrix order. The key covers every sweep axis, not just
-/// the report x — two points differing only in a secondary axis must
-/// not merge.
+/// preserving matrix order. Defined as [`group`] + per-cell Welford
+/// reduction, pushing replicates in record order — bit-identical to the
+/// historical `summarize`-based implementation.
 pub fn reduce(records: &[RunRecord]) -> Vec<PointSummary> {
-    /// One assignment's identity: numeric values compare by raw bits so
-    /// distinct points can never merge; named values compare as strings.
-    #[derive(Clone, PartialEq)]
-    enum KeyVal {
-        Bits(u64),
-        Name(String),
-    }
-    type Key = ((Vec<(String, KeyVal)>, u64), String);
-    let key_of = |r: &RunRecord| -> Key {
-        (
-            (
-                r.assignments
-                    .iter()
-                    .map(|(f, v)| {
-                        (
-                            f.clone(),
-                            match v {
-                                AxisValue::Num(v) => KeyVal::Bits(v.to_bits()),
-                                AxisValue::Name(n) => KeyVal::Name(n.clone()),
-                            },
-                        )
-                    })
-                    .collect(),
-                r.x.to_bits(),
-            ),
-            r.policy_label.clone(),
-        )
-    };
-    let delays: Vec<(Key, f64)> = records.iter().map(|r| (key_of(r), r.delay_s)).collect();
-    let energies: Vec<(Key, f64)> = records.iter().map(|r| (key_of(r), r.energy_j)).collect();
-    summarize(&delays)
+    group(records)
         .into_iter()
-        .zip(summarize(&energies))
-        .map(|(d, e)| {
-            debug_assert!(d.key == e.key);
+        .map(|cell| {
+            let mut delay = pas_metrics::OnlineStats::new();
+            let mut energy = pas_metrics::OnlineStats::new();
+            for rep in &cell.replicates {
+                delay.push(rep.delay_s);
+                energy.push(rep.energy_j);
+            }
             PointSummary {
-                x: f64::from_bits(d.key.0 .1),
-                policy_label: d.key.1,
-                delay_mean_s: d.mean,
-                delay_std_s: d.std_dev,
-                energy_mean_j: e.mean,
-                energy_std_j: e.std_dev,
-                n: d.n,
+                x: cell.x,
+                policy_label: cell.policy_label,
+                delay_mean_s: delay.mean(),
+                delay_std_s: delay.sample_std_dev(),
+                energy_mean_j: energy.mean(),
+                energy_std_j: energy.sample_std_dev(),
+                n: delay.count(),
             }
         })
         .collect()

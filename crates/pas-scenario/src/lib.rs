@@ -47,21 +47,24 @@ pub mod sink;
 pub mod toml;
 
 pub use exec::{
-    execute, execute_point, expand, expand_indices, failure_plan, matrix_size, point_at, reduce,
-    BatchResult, ExecOptions, PointSummary, RunPoint, RunRecord,
+    execute, execute_point, expand, expand_indices, failure_plan, group, matrix_size, point_at,
+    reduce, BatchResult, ExecOptions, PointCell, PointSummary, Replicate, RunPoint, RunRecord,
 };
 pub use manifest::{
     AxisValue, AxisValues, ChannelSpec, DeployKindSpec, DeploymentSpec, FailureSpec, Manifest,
     ManifestError, OutputSection, PatchSpec, PolicySpec, ProfileSpec, RunSection, StimulusSpec,
     SweepAxis, SWEEP_NODES, SWEEP_PREDICTOR,
 };
-pub use sink::{summary_csv, summary_table, write_records_jsonl, write_summary_csv};
+pub use sink::{
+    records_jsonl, summary_csv, summary_table, write_records_jsonl, write_summary_csv,
+    SCHEMA_VERSION,
+};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::exec::{
-        execute, execute_point, expand, expand_indices, point_at, reduce, BatchResult, ExecOptions,
-        PointSummary, RunRecord,
+        execute, execute_point, expand, expand_indices, group, point_at, reduce, BatchResult,
+        ExecOptions, PointCell, PointSummary, Replicate, RunRecord,
     };
     pub use crate::manifest::{Manifest, ManifestError};
     pub use crate::registry;

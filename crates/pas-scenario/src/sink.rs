@@ -3,13 +3,24 @@
 //! The CSV column layout matches `pas-bench`'s figure CSVs so downstream
 //! plotting scripts work on either producer. JSONL carries the full
 //! per-run records (one JSON object per line) for raw-data analysis.
+//!
+//! Both file sinks stamp [`SCHEMA_VERSION`] — a trailing
+//! `schema_version` CSV column and a leading `"schema_version"` JSONL
+//! field — so loaders (`pas-report`'s ingest) can reject files written
+//! by an incompatible layout with a clear error instead of silently
+//! misreading columns.
 
 use crate::exec::BatchResult;
 use pas_metrics::{Csv, Table};
 use std::io;
 use std::path::Path;
 
-/// Build the per-point summary CSV (same columns as the figure CSVs).
+/// Version stamped into the CSV/JSONL sink layouts. Bump on any column
+/// or field change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Build the per-point summary CSV (same columns as the figure CSVs,
+/// plus the trailing `schema_version` stamp).
 pub fn summary_csv(batch: &BatchResult) -> Csv {
     let mut csv = Csv::new(&[
         &batch.x_label,
@@ -19,6 +30,7 @@ pub fn summary_csv(batch: &BatchResult) -> Csv {
         "energy_mean_j",
         "energy_std_j",
         "n",
+        "schema_version",
     ]);
     for p in &batch.summaries {
         csv.push_raw(vec![
@@ -29,6 +41,7 @@ pub fn summary_csv(batch: &BatchResult) -> Csv {
             format!("{}", p.energy_mean_j),
             format!("{}", p.energy_std_j),
             format!("{}", p.n),
+            format!("{SCHEMA_VERSION}"),
         ]);
     }
     csv
@@ -70,7 +83,8 @@ pub fn records_jsonl(batch: &BatchResult) -> String {
             })
             .collect();
         out.push_str(&format!(
-            "{{\"scenario\":\"{}\",\"x\":{},\"policy\":\"{}\",\"seed\":{},\
+            "{{\"schema_version\":{SCHEMA_VERSION},\
+             \"scenario\":\"{}\",\"x\":{},\"policy\":\"{}\",\"seed\":{},\
              \"assignments\":{{{}}},\"delay_s\":{},\"energy_j\":{},\
              \"reached\":{},\"detected\":{},\"missed\":{},\
              \"requests_sent\":{},\"responses_sent\":{},\
@@ -157,5 +171,53 @@ mod tests {
         assert_eq!(back, csv);
         assert_eq!(back.header()[0], batch.x_label);
         assert_eq!(back.rows()[0][1], batch.summaries[0].policy_label);
+    }
+
+    /// Both file sinks carry the layout version: the CSV as a trailing
+    /// column, the JSONL as a leading field on every row.
+    #[test]
+    fn sinks_stamp_schema_version() {
+        let batch = BatchResult {
+            name: "stamped".to_string(),
+            x_label: "max_sleep_s".to_string(),
+            records: vec![crate::exec::RunRecord {
+                x: 4.0,
+                policy_label: "PAS".to_string(),
+                seed: 7,
+                assignments: vec![("max_sleep_s".to_string(), crate::AxisValue::Num(4.0))],
+                delay_s: 1.0,
+                energy_j: 2.0,
+                reached: 30,
+                detected: 30,
+                missed: 0,
+                requests_sent: 1,
+                responses_sent: 1,
+                events_processed: 10,
+                duration_s: 100.0,
+            }],
+            summaries: vec![PointSummary {
+                x: 4.0,
+                policy_label: "PAS".to_string(),
+                delay_mean_s: 1.0,
+                delay_std_s: 0.0,
+                energy_mean_j: 2.0,
+                energy_std_j: 0.0,
+                n: 1,
+            }],
+        };
+        let csv = summary_csv(&batch);
+        assert_eq!(
+            csv.header().last().map(String::as_str),
+            Some("schema_version")
+        );
+        assert_eq!(
+            csv.rows()[0].last().map(String::as_str),
+            Some(&*format!("{SCHEMA_VERSION}"))
+        );
+        let jsonl = records_jsonl(&batch);
+        assert!(
+            jsonl.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},")),
+            "every JSONL row leads with the stamp: {jsonl}"
+        );
     }
 }

@@ -152,7 +152,7 @@ fn sinks_write_summary_and_raw_records() {
     let mut lines = csv.lines();
     assert_eq!(
         lines.next().unwrap(),
-        "max_sleep_s,policy,delay_mean_s,delay_std_s,energy_mean_j,energy_std_j,n"
+        "max_sleep_s,policy,delay_mean_s,delay_std_s,energy_mean_j,energy_std_j,n,schema_version"
     );
     assert_eq!(lines.count(), 3, "one row per (x, policy) point");
 

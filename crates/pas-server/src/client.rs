@@ -21,6 +21,29 @@ pub enum ResultFormat {
     Jsonl,
 }
 
+/// Report format for [`Client::report`] (`GET /jobs/:id/report`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Markdown tables (`text/markdown`) — byte-identical to
+    /// `pas report`.
+    Markdown,
+    /// `report.json` (`application/json`).
+    Json,
+    /// Delay/energy curves (`image/svg+xml`).
+    Svg,
+}
+
+impl ReportFormat {
+    /// The `Accept` value selecting this format.
+    pub fn accept(&self) -> &'static str {
+        match self {
+            ReportFormat::Markdown => "text/markdown",
+            ReportFormat::Json => "application/json",
+            ReportFormat::Svg => "image/svg+xml",
+        }
+    }
+}
+
 /// Progress snapshot of a submitted job, decoded from `GET /jobs/:id`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobStatus {
@@ -301,6 +324,23 @@ impl Client {
             ResultFormat::Jsonl => "application/x-ndjson",
         };
         let (status, body) = self.call("GET", &format!("/jobs/{id}/results"), Some(accept), &[])?;
+        if status == 200 {
+            Ok(body)
+        } else {
+            let text = String::from_utf8_lossy(&body).into_owned();
+            let msg = json_find_string(&text, "error").unwrap_or(text);
+            Err(ClientError::Api(status, msg))
+        }
+    }
+
+    /// `GET /jobs/:id/report` in the requested format, as raw bytes.
+    pub fn report(&self, id: u64, format: ReportFormat) -> Result<Vec<u8>, ClientError> {
+        let (status, body) = self.call(
+            "GET",
+            &format!("/jobs/{id}/report"),
+            Some(format.accept()),
+            &[],
+        )?;
         if status == 200 {
             Ok(body)
         } else {

@@ -40,13 +40,13 @@ pub mod queue;
 pub mod server;
 
 pub use cache::{execute_with_cache, CacheStats, ResultCache};
-pub use client::{Client, ClientError, JobStatus, ResultFormat, RetryPolicy};
+pub use client::{Client, ClientError, JobStatus, ReportFormat, ResultFormat, RetryPolicy};
 pub use queue::{Job, JobPhase, JobQueue, SubmitError};
 pub use server::{Router, Server, ServerOptions};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::cache::{execute_with_cache, CacheStats, ResultCache};
-    pub use crate::client::{Client, ResultFormat};
+    pub use crate::client::{Client, ReportFormat, ResultFormat};
     pub use crate::server::{Server, ServerOptions};
 }

@@ -8,6 +8,7 @@
 //! | `POST /jobs` | submit a manifest as an async batch job (`202`/`429`) |
 //! | `GET /jobs/:id` | phase, progress, cache hit/miss counters |
 //! | `GET /jobs/:id/results` | summary CSV, or per-run JSONL via `Accept` |
+//! | `GET /jobs/:id/report` | statistical report: Markdown (default), `report.json`, or SVG curves via `Accept` |
 //!
 //! One thread per connection (requests are one round trip and jobs are
 //! asynchronous, so connections are short-lived); simulation work happens
@@ -164,6 +165,7 @@ fn route(queue: &JobQueue, req: &Request) -> Response {
             None => Response::error(404, "no such job"),
         },
         ("GET", ["jobs", id, "results"]) => results(queue, req, id),
+        ("GET", ["jobs", id, "report"]) => report(queue, req, id),
         ("GET", _) | ("POST", _) => Response::error(404, "no such route"),
         _ => Response::error(405, "method not allowed"),
     }
@@ -284,5 +286,40 @@ fn results(queue: &JobQueue, req: &Request, id: &str) -> Response {
     } else {
         // Byte-identical to `pas run --out`: same sink, same renderer.
         Response::new(200, "text/csv", sink::summary_csv(&batch).render())
+    }
+}
+
+/// `GET /jobs/:id/report`: the statistical report of a completed job,
+/// computed from its cached records. Content-negotiated: Markdown by
+/// default, `report.json` for `Accept: application/json`, SVG curves
+/// for `Accept: image/svg+xml`. Every body is rendered through
+/// `pas-report`'s canonical reduction, so it is byte-identical to
+/// `pas report` run locally on the same batch — cold or warm cache,
+/// local or distributed execution.
+fn report(queue: &JobQueue, req: &Request, id: &str) -> Response {
+    let Some(id) = id.parse::<u64>().ok() else {
+        return Response::error(404, "no such job");
+    };
+    let Some(job) = queue.status(id) else {
+        return Response::error(404, "no such job");
+    };
+    let Some(batch) = queue.result(id) else {
+        return Response::error(
+            409,
+            &format!("job is {} — report not available", job.phase.as_str()),
+        );
+    };
+    let report = match pas_report::Report::from_batch(&batch, &pas_report::ReportOptions::default())
+    {
+        Ok(r) => r,
+        Err(e) => return Response::error(409, &e.to_string()),
+    };
+    let accept = req.header("accept").unwrap_or("text/markdown");
+    if accept.contains("json") {
+        Response::json(200, pas_report::render_json(&report))
+    } else if accept.contains("svg") {
+        Response::new(200, "image/svg+xml", pas_report::render_svg(&report))
+    } else {
+        Response::new(200, "text/markdown", pas_report::render_md(&report))
     }
 }

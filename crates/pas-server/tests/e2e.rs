@@ -141,3 +141,54 @@ fn full_queue_answers_429() {
     assert!(saw_429, "a capacity-1 queue must eventually push back");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `GET /jobs/:id/report`: every negotiated format is byte-identical
+/// to the report `pas report` computes locally on the same batch —
+/// cold or warm cache, any thread count — because both paths render
+/// through `pas-report`'s canonical reduction.
+#[test]
+fn served_report_matches_local_report_cold_and_warm() {
+    use pas_server::ReportFormat;
+
+    let (client, dir) = boot("report", ServerOptions::default());
+    let (manifest, toml) = small_manifest_toml();
+
+    // The local reference, from a sequential direct execution.
+    let direct = execute(&manifest, ExecOptions { threads: 1 }).unwrap();
+    let report =
+        pas_report::Report::from_batch(&direct, &pas_report::ReportOptions::default()).unwrap();
+    let expected_md = pas_report::render_md(&report);
+    let expected_json = pas_report::render_json(&report);
+    let expected_svg = pas_report::render_svg(&report);
+    assert!(
+        expected_md.contains("PAS − SAS (paired by seed)"),
+        "paper-default auto-compares PAS vs SAS"
+    );
+
+    // Cold job: simulated on the server's own (parallel) workers.
+    let id = client.submit(&toml).unwrap();
+    let done = client.wait(id, Duration::from_millis(25)).unwrap();
+    assert_eq!(done.phase, "completed", "error: {:?}", done.error);
+    let md = client.report(id, ReportFormat::Markdown).unwrap();
+    assert_eq!(String::from_utf8(md).unwrap(), expected_md);
+    let json = client.report(id, ReportFormat::Json).unwrap();
+    assert_eq!(String::from_utf8(json).unwrap(), expected_json);
+    let svg = client.report(id, ReportFormat::Svg).unwrap();
+    assert_eq!(String::from_utf8(svg).unwrap(), expected_svg);
+
+    // Warm resubmission: answered from cache, identical report bytes.
+    let id2 = client.submit(&toml).unwrap();
+    let done2 = client.wait(id2, Duration::from_millis(25)).unwrap();
+    assert_eq!(done2.phase, "completed");
+    assert_eq!(done2.cache_misses, 0, "warm job must not re-simulate");
+    let warm_md = client.report(id2, ReportFormat::Markdown).unwrap();
+    assert_eq!(String::from_utf8(warm_md).unwrap(), expected_md);
+
+    // Unknown jobs answer 404, incomplete jobs never 200.
+    match client.report(999, ReportFormat::Markdown).unwrap_err() {
+        pas_server::ClientError::Api(404, _) => {}
+        other => panic!("expected 404, got {other}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

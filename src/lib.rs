@@ -17,6 +17,7 @@
 //! | [`metrics`] | delay/energy metrics, statistics, tables, CSV |
 //! | [`sweep`] | parallel parameter sweeps with ordered, seeded results |
 //! | [`scenario`] | declarative TOML manifests, batch execution, the registry |
+//! | [`report`] | statistical analysis: bootstrap CIs, paired deltas, md/json/svg |
 //! | [`server`] | batch HTTP API: job queue, content-addressed result cache |
 //! | [`dist`] | distributed execution: worker fleet, lease scheduler |
 //!
@@ -62,6 +63,7 @@ pub use pas_geom as geom;
 pub use pas_metrics as metrics;
 pub use pas_net as net;
 pub use pas_platform as platform;
+pub use pas_report as report;
 pub use pas_scenario as scenario;
 pub use pas_server as server;
 pub use pas_sim as sim;
@@ -76,6 +78,7 @@ pub mod prelude {
     pub use pas_metrics::prelude::*;
     pub use pas_net::prelude::*;
     pub use pas_platform::prelude::*;
+    pub use pas_report::{render_json, render_md, render_svg, Report, ReportOptions};
     pub use pas_scenario::prelude::*;
     pub use pas_server::prelude::*;
     pub use pas_sim::prelude::*;

@@ -6,6 +6,8 @@
 //! pas validate <path>              parse + validate a manifest file
 //! pas expand <name|path>           print the expanded run matrix shape
 //! pas run <name|path> [options]    execute a batch and report summaries
+//! pas report <src> [options]       statistical report (md/json/svg) of a
+//!                                  batch, manifest, or saved sink file
 //! pas serve [options]              run the batch API server
 //! pas worker [options]             join a server as an execution worker
 //! pas submit <name|path> [options] run a batch on a server (with caching)
@@ -41,11 +43,15 @@ USAGE:
     pas validate <path>               parse + validate a manifest file
     pas expand <name|path>            print the expanded run matrix shape
     pas run <name|path> [options]     execute a batch and report summaries
+    pas report <src> [options]        statistical report of a batch: src is a
+                                      scenario name, manifest path, or a saved
+                                      .jsonl/.csv sink file
     pas serve [options]               run the batch API server
     pas worker [options]              join a server as an execution worker
     pas submit <name|path> [options]  run a batch on a server (with caching)
     pas status [--addr HOST:PORT]     server health + per-worker progress
-    pas bench [options]               time expansion, batches, dist scaling
+    pas bench [options]               time expansion, batches, dist scaling;
+                                      gate on the unified bench history
 
 RUN OPTIONS:
     --out FILE.csv       write per-point delay/energy summaries
@@ -53,6 +59,14 @@ RUN OPTIONS:
     --threads N          worker threads (0 = manifest [run] threads, then
                          all cores; 1 = sequential)
     --quiet              suppress the stdout table
+
+REPORT OPTIONS:
+    --format FMT         md (default) | json | svg
+    --out FILE           write the report to FILE instead of stdout
+    --compare A B        paired-by-seed comparison of policies A − B
+                         (default: PAS − SAS when both labels exist)
+    --threads N          worker threads when src needs executing
+    --quiet              suppress progress on stderr
 
 SERVE OPTIONS:
     --addr HOST:PORT     bind address            (default 127.0.0.1:8479)
@@ -86,13 +100,20 @@ SUBMIT OPTIONS:
 BENCH OPTIONS:
     --out FILE           output JSON path (default BENCH_batch.json,
                          BENCH_dist.json with --dist, or
-                         BENCH_predictors.json with --predictors)
+                         BENCH_predictors.json with --predictors); results
+                         append to the file's versioned history with
+                         commit/date metadata (legacy files upgrade in place)
     --dist N             distributed scaling bench: cold-run paper-default
                          on in-process fleets of 1/2/../N single-threaded
                          workers vs the single-process baseline
     --predictors         per-predictor hot-path bench: sequential point
                          throughput of every arrival-predictor variant on
                          the paper workload
+    --gate [FILES...]    regression gate: compare each history's newest
+                         entry against the previous one; exit non-zero on a
+                         throughput drop beyond the tolerance (default
+                         files: the three BENCH_*.json)
+    --max-drop PCT       gate tolerance, percent (default 35)
 "
 }
 
@@ -293,6 +314,168 @@ fn cmd_run(args: &[String]) -> ExitCode {
         if !run_args.quiet {
             println!("wrote {}", path.display());
         }
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// report
+// ---------------------------------------------------------------------------
+
+struct ReportArgs {
+    source: String,
+    format: String,
+    out: Option<PathBuf>,
+    compare: Option<(String, String)>,
+    threads: usize,
+    quiet: bool,
+}
+
+fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
+    let mut source = None;
+    let mut format = "md".to_string();
+    let mut out = None;
+    let mut compare = None;
+    let mut threads = 0usize;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs md|json|svg")?;
+                if !["md", "json", "svg"].contains(&v.as_str()) {
+                    return Err(format!("--format: `{v}` is not md, json, or svg"));
+                }
+                format = v.clone();
+            }
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a file path")?)),
+            "--compare" => {
+                let a = it.next().ok_or("--compare needs two policy labels")?;
+                let b = it.next().ok_or("--compare needs two policy labels")?;
+                compare = Some((a.clone(), b.clone()));
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a number")?;
+                threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a number"))?;
+            }
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other => {
+                if source.replace(other.to_string()).is_some() {
+                    return Err("more than one source argument".to_string());
+                }
+            }
+        }
+    }
+    Ok(ReportArgs {
+        source: source.ok_or("missing source: scenario name, manifest, .jsonl, or .csv")?,
+        format,
+        out,
+        compare,
+        threads,
+        quiet,
+    })
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    let rep = match parse_report_args(args) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let opts = pas_report::ReportOptions {
+        compare: rep.compare.clone(),
+    };
+    let path = Path::new(&rep.source);
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_ascii_lowercase);
+    let is_sink_file =
+        path.exists() && matches!(ext.as_deref(), Some("jsonl") | Some("ndjson") | Some("csv"));
+    let report = if is_sink_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(format!("reading {}: {e}", path.display())),
+        };
+        let built = if ext.as_deref() == Some("csv") {
+            // A summary CSV carries only means — there are no per-run
+            // replicates to pair, so an explicit comparison request
+            // must fail loudly rather than be silently dropped.
+            if rep.compare.is_some() {
+                return fail(format!(
+                    "{}: --compare needs per-run records (a .jsonl sink); \
+                     a summary CSV carries only means",
+                    path.display()
+                ));
+            }
+            pas_report::parse_summary_csv(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))
+                .and_then(|ing| {
+                    let name = path
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or("summary")
+                        .to_string();
+                    pas_report::Report::from_summaries(&name, &ing.x_label, &ing.summaries)
+                        .map_err(|e| e.to_string())
+                })
+        } else {
+            pas_report::parse_records_jsonl(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))
+                .and_then(|ing| {
+                    pas_report::Report::from_records(
+                        &ing.scenario,
+                        &ing.x_label,
+                        &ing.records,
+                        &opts,
+                    )
+                    .map_err(|e| e.to_string())
+                })
+        };
+        match built {
+            Ok(r) => r,
+            Err(e) => return fail(e),
+        }
+    } else {
+        let m = match load(&rep.source) {
+            Ok(m) => m,
+            Err(e) => return fail(e),
+        };
+        if !rep.quiet {
+            let runs = expand(&m).map(|p| p.len()).unwrap_or(0);
+            eprintln!("reporting `{}`: {} runs ...", m.name, runs);
+        }
+        let batch = match execute(
+            &m,
+            ExecOptions {
+                threads: rep.threads,
+            },
+        ) {
+            Ok(b) => b,
+            Err(e) => return fail(e),
+        };
+        match pas_report::Report::from_batch(&batch, &opts) {
+            Ok(r) => r,
+            Err(e) => return fail(e),
+        }
+    };
+    let body = match rep.format.as_str() {
+        "json" => pas_report::render_json(&report),
+        "svg" => pas_report::render_svg(&report),
+        _ => pas_report::render_md(&report),
+    };
+    match &rep.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &body) {
+                return fail(format!("writing {}: {e}", path.display()));
+            }
+            if !rep.quiet {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        None => print!("{body}"),
     }
     ExitCode::SUCCESS
 }
@@ -649,17 +832,100 @@ fn cmd_submit(args: &[String]) -> ExitCode {
 // bench
 // ---------------------------------------------------------------------------
 
+/// Record one bench payload into its history file: append with
+/// commit/date metadata (upgrading legacy single-object files in
+/// place), echo the payload, and report the history depth.
+fn record_bench(out: &Path, payload: &str) -> ExitCode {
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string());
+    let date = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()
+        .map(|d| pas_bench::civil_date(d.as_secs()));
+    match pas_bench::append(out, payload, commit, date) {
+        Ok(history) => {
+            print!("{payload}");
+            eprintln!(
+                "appended to {} ({} entries)",
+                out.display(),
+                history.entries.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("recording {}: {e}", out.display())),
+    }
+}
+
+/// `pas bench --gate`: fail on a throughput cliff between the two
+/// newest entries of each bench history.
+fn cmd_bench_gate(max_drop_pct: f64, files: &[PathBuf]) -> ExitCode {
+    let defaults = [
+        "BENCH_batch.json",
+        "BENCH_dist.json",
+        "BENCH_predictors.json",
+    ];
+    let files: Vec<PathBuf> = if files.is_empty() {
+        defaults.iter().map(PathBuf::from).collect()
+    } else {
+        files.to_vec()
+    };
+    let mut failed = false;
+    for path in &files {
+        let history = match pas_bench::BenchHistory::load(path) {
+            Ok(Some(h)) => h,
+            Ok(None) => {
+                println!("gate {:<28} absent, skipped", path.display());
+                continue;
+            }
+            Err(e) => return fail(format!("{}: {e}", path.display())),
+        };
+        let outcome = pas_bench::gate(&history, max_drop_pct);
+        let verdict = if !outcome.ok {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        match (outcome.previous, outcome.latest, &outcome.key) {
+            (Some(prev), Some(latest), Some(key)) => println!(
+                "gate {:<28} {verdict}: {latest:.1} runs/s vs {prev:.1} at {key} \
+                 ({:+.1}% drop, tolerance {max_drop_pct:.0}%)",
+                path.display(),
+                outcome.drop_pct
+            ),
+            _ => println!(
+                "gate {:<28} {verdict}: no two entries with a shared configuration",
+                path.display()
+            ),
+        }
+    }
+    if failed {
+        fail("bench regression gate failed")
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// Smoke benchmark: expansion throughput and a small batch execute, as
 /// JSON other PRs can diff for a perf trajectory (BENCH_batch.json).
 /// With `--dist N`, instead measure distributed scaling: cold-run the
 /// full paper-default grid on in-process fleets of 1, 2, 4, …, N
 /// single-threaded workers against a real `--no-local-exec` server, and
 /// record throughput and efficiency vs the single-process sequential
-/// baseline (BENCH_dist.json).
+/// baseline (BENCH_dist.json). Every result appends to the unified
+/// versioned history (`pas-bench::history`); `--gate` checks the
+/// newest entries for throughput cliffs instead of running anything.
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut dist: Option<usize> = None;
     let mut predictors = false;
+    let mut gate = false;
+    let mut max_drop_pct = pas_bench::DEFAULT_MAX_DROP_PCT;
+    let mut files: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -672,8 +938,22 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 _ => return fail("--dist needs a worker count >= 1"),
             },
             "--predictors" => predictors = true,
-            other => return fail(format!("unknown bench option `{other}`")),
+            "--gate" => gate = true,
+            "--max-drop" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(p)) if p >= 0.0 => max_drop_pct = p,
+                _ => return fail("--max-drop needs a percentage >= 0"),
+            },
+            other if other.starts_with('-') => {
+                return fail(format!("unknown bench option `{other}`"))
+            }
+            other => files.push(PathBuf::from(other)),
         }
+    }
+    if gate {
+        return cmd_bench_gate(max_drop_pct, &files);
+    }
+    if !files.is_empty() {
+        return fail("positional files only apply to --gate");
     }
     if predictors {
         return cmd_bench_predictors(out.unwrap_or_else(|| PathBuf::from("BENCH_predictors.json")));
@@ -727,12 +1007,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             .map(|r| r.events_processed)
             .sum::<u64>(),
     );
-    if let Err(e) = std::fs::write(&out, &json) {
-        return fail(format!("writing {}: {e}", out.display()));
-    }
-    print!("{json}");
-    eprintln!("wrote {}", out.display());
-    ExitCode::SUCCESS
+    record_bench(&out, &json)
 }
 
 /// Per-predictor hot-path bench: sequential point throughput of every
@@ -777,12 +1052,7 @@ fn cmd_bench_predictors(out: PathBuf) -> ExitCode {
          \"runs_per_predictor\": {runs_per_predictor},\n  \"predictors\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
     );
-    if let Err(e) = std::fs::write(&out, &json) {
-        return fail(format!("writing {}: {e}", out.display()));
-    }
-    print!("{json}");
-    eprintln!("wrote {}", out.display());
-    ExitCode::SUCCESS
+    record_bench(&out, &json)
 }
 
 /// Distributed scaling bench: one in-process server + fleet per
@@ -902,12 +1172,7 @@ fn cmd_bench_dist(max_workers: usize, out: PathBuf) -> ExitCode {
          \"fleets\": [\n{}\n  ]\n}}\n",
         fleets.join(",\n"),
     );
-    if let Err(e) = std::fs::write(&out, &json) {
-        return fail(format!("writing {}: {e}", out.display()));
-    }
-    print!("{json}");
-    eprintln!("wrote {}", out.display());
-    ExitCode::SUCCESS
+    record_bench(&out, &json)
 }
 
 fn main() -> ExitCode {
@@ -927,6 +1192,7 @@ fn main() -> ExitCode {
             None => fail("expand needs a scenario name or manifest path"),
         },
         Some("run") => cmd_run(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),

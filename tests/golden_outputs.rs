@@ -3,10 +3,13 @@
 //!
 //! The files under `tests/golden/` were written by `pas run <scenario>
 //! --out` on the commit *before* the estimation path was refactored into
-//! the pluggable `Predictor` subsystem. Executing the same manifests
-//! through today's code must reproduce them byte for byte — the
-//! refactor's central no-regression promise (CI double-checks the same
-//! equality through the real CLI binary).
+//! the pluggable `Predictor` subsystem, then re-stamped when the sinks
+//! gained the trailing `schema_version` column (every numeric byte was
+//! verified unchanged across that regeneration — only the stamp column
+//! was appended). Executing the same manifests through today's code
+//! must reproduce them byte for byte — the refactor's central
+//! no-regression promise (CI double-checks the same equality through
+//! the real CLI binary).
 
 use pas_scenario::{execute, registry, summary_csv, ExecOptions};
 
