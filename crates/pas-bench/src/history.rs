@@ -339,11 +339,22 @@ pub fn throughput_by_key(bench: &str, payload: &str) -> Vec<(String, f64)> {
     match bench {
         "batch" => {
             let runs = scan_u64(payload, "execute_runs").map(|v| v as f64);
-            let us = scan_u64(payload, "execute_us_sequential").map(|v| v as f64);
-            match (runs, us) {
-                (Some(r), Some(u)) if u > 0.0 => vec![("sequential".to_string(), r * 1e6 / u)],
-                _ => Vec::new(),
+            let mut out = Vec::new();
+            // Older entries carry only the metrics-on measurement; the
+            // obs-off companion key appears once a post-observability
+            // bench has run, and is gated forward like any other.
+            for (key, field) in [
+                ("sequential", "execute_us_sequential"),
+                ("sequential-obs-off", "execute_us_obs_off"),
+            ] {
+                let us = scan_u64(payload, field).map(|v| v as f64);
+                if let (Some(r), Some(u)) = (runs, us) {
+                    if u > 0.0 {
+                        out.push((key.to_string(), r * 1e6 / u));
+                    }
+                }
             }
+            out
         }
         // One sample per fleet size: `{"workers": N, ..., "runs_per_s": V}`.
         "dist" => scan_keyed(payload, "workers", |v| format!("workers={v}")),
@@ -538,6 +549,18 @@ mod tests {
         assert_eq!(
             throughput_by_key("batch", LEGACY),
             vec![("sequential".to_string(), 24.0 * 1e6 / 9000.0)]
+        );
+        // Post-observability payloads add the obs-off companion key.
+        let with_off = LEGACY.replace(
+            "\"execute_us_sequential\": 9000",
+            "\"execute_us_sequential\": 9000,\n  \"execute_us_obs_off\": 8000",
+        );
+        assert_eq!(
+            throughput_by_key("batch", &with_off),
+            vec![
+                ("sequential".to_string(), 24.0 * 1e6 / 9000.0),
+                ("sequential-obs-off".to_string(), 24.0 * 1e6 / 8000.0)
+            ]
         );
         let dist = "{\"bench\":\"dist\",\"fleets\":[\
              {\"workers\": 1, \"runs_per_s\": 100.5},\

@@ -112,7 +112,9 @@ struct DistJob {
     filled: usize,
     /// Shards awaiting a lease (matrix indices; may contain already
     /// filled indices after a zombie report — filtered at grant time).
-    pending: VecDeque<Vec<usize>>,
+    /// The flag marks re-pended shards (lease expiry or partial report),
+    /// so their next grant is counted as a re-lease.
+    pending: VecDeque<(Vec<usize>, bool)>,
     leases: HashMap<u64, Lease>,
     /// Points answered from the cache when the job was claimed.
     hits: u64,
@@ -139,6 +141,7 @@ pub struct Scheduler {
     cache: ResultCache,
     opts: SchedulerOptions,
     state: Arc<Mutex<State>>,
+    started: Instant,
 }
 
 impl Scheduler {
@@ -157,6 +160,7 @@ impl Scheduler {
                 claiming: 0,
                 draining: false,
             })),
+            started: Instant::now(),
         }
     }
 
@@ -188,11 +192,35 @@ impl Scheduler {
     }
 
     /// Record a heartbeat: refreshes the worker and renews every lease it
-    /// holds. Returns `Some(drain)` or `None` for an unknown worker.
-    pub fn heartbeat(&self, worker: u64) -> Option<bool> {
+    /// holds. Workers piggyback their cumulative execute telemetry
+    /// (`points`, `busy_us`) on the beat; when present it is published
+    /// as per-worker gauges. Returns `Some(drain)` or `None` for an
+    /// unknown worker.
+    pub fn heartbeat(
+        &self,
+        worker: u64,
+        points: Option<u64>,
+        busy_us: Option<u64>,
+    ) -> Option<bool> {
         let now = Instant::now();
         let mut s = self.lock();
-        s.workers.get_mut(&worker)?.last_seen = now;
+        let w = s.workers.get_mut(&worker)?;
+        w.last_seen = now;
+        pas_obs::inc("pas.dist.heartbeat.count", &[("worker", &w.name)]);
+        if let Some(p) = points {
+            pas_obs::gauge_set(
+                "pas.dist.worker.executed.points",
+                &[("worker", &w.name)],
+                p as i64,
+            );
+        }
+        if let Some(b) = busy_us {
+            pas_obs::gauge_set(
+                "pas.dist.worker.busy.microseconds",
+                &[("worker", &w.name)],
+                b as i64,
+            );
+        }
         let renewed = now + self.opts.lease;
         for job in s.jobs.values_mut() {
             for lease in job.leases.values_mut() {
@@ -319,7 +347,7 @@ impl Scheduler {
                 .filter(|&i| job.records[i].is_none())
                 .collect();
             if !leftover.is_empty() {
-                job.pending.push_front(leftover);
+                job.pending.push_front((leftover, true));
             }
         }
 
@@ -327,9 +355,24 @@ impl Scheduler {
         let done = job.filled;
         let total = job.total;
         let finished = job.filled == job.total;
+        pas_obs::add(
+            "pas.dist.report.points.count",
+            &[("outcome", "accepted")],
+            ack.accepted,
+        );
+        pas_obs::add(
+            "pas.dist.report.points.count",
+            &[("outcome", "duplicate")],
+            ack.duplicates,
+        );
         if let Some(w) = s.workers.get_mut(&report.worker) {
             w.shards_done += 1;
             w.points_done += ack.accepted;
+            pas_obs::gauge_set(
+                "pas.dist.worker.points.total",
+                &[("worker", &w.name)],
+                w.points_done as i64,
+            );
         }
         if finished {
             let job = s.jobs.remove(&job_id).expect("job present");
@@ -430,7 +473,9 @@ impl Scheduler {
         } else {
             missing.len().div_ceil(4 * live).clamp(1, 256)
         };
-        let pending: VecDeque<Vec<usize>> = missing.chunks(size).map(<[usize]>::to_vec).collect();
+        let pending: VecDeque<(Vec<usize>, bool)> =
+            missing.chunks(size).map(|c| (c.to_vec(), false)).collect();
+        pas_obs::inc("pas.dist.jobs.claimed.count", &[]);
         self.queue.set_progress(id, filled, total);
         let job = DistJob {
             id,
@@ -450,17 +495,22 @@ impl Scheduler {
         s.jobs.insert(id, job);
     }
 
-    /// `GET /healthz` body: liveness, queue depth, fleet size.
-    /// `running_jobs` is queue-level (covers the in-process backend too);
-    /// `active_jobs` counts jobs this scheduler is currently sharding.
+    /// `GET /healthz` body: liveness, version, uptime, queue depth, fleet
+    /// size. `running_jobs` is queue-level (covers the in-process backend
+    /// too); `active_jobs` counts jobs this scheduler is currently
+    /// sharding. Shadows `pas-server`'s built-in `/healthz` when mounted,
+    /// so it carries at least the same fields plus the fleet view.
     pub fn healthz_json(&self) -> String {
         let depth = self.queue.depth();
         let running = self.queue.running();
         let s = self.lock();
         let now = Instant::now();
         format!(
-            "{{\"ok\":true,\"queue_depth\":{depth},\"running_jobs\":{running},\
-             \"active_jobs\":{},\"workers\":{},\"draining\":{}}}",
+            "{{\"ok\":true,\"version\":{},\"uptime_s\":{},\"queue_depth\":{depth},\
+             \"running_jobs\":{running},\"active_jobs\":{},\"workers\":{},\
+             \"mode\":\"dist\",\"draining\":{}}}",
+            json_string(env!("CARGO_PKG_VERSION")),
+            self.started.elapsed().as_secs(),
             s.jobs.len() + s.claiming,
             live_workers(&s, now, self.opts.lease),
             s.draining
@@ -546,10 +596,15 @@ impl Scheduler {
                 None => Some(Response::error(400, "malformed register body")),
             },
             ("POST", ["dist", "heartbeat"]) => {
-                let Some(worker) = json::find_u64(&body(), "worker") else {
+                let body = body();
+                let Some(worker) = json::find_u64(&body, "worker") else {
                     return Some(Response::error(400, "malformed heartbeat body"));
                 };
-                match self.heartbeat(worker) {
+                // Telemetry fields are optional: pre-observability
+                // workers beat with just their id.
+                let points = json::find_u64(&body, "points");
+                let busy_us = json::find_u64(&body, "busy_us");
+                match self.heartbeat(worker, points, busy_us) {
                     Some(drain) => Some(Response::json(
                         200,
                         format!("{{\"ok\":true,\"drain\":{drain}}}"),
@@ -628,13 +683,14 @@ fn expire(s: &mut State, now: Instant, lease: Duration) {
             .collect();
         for shard in expired {
             let l = job.leases.remove(&shard).expect("lease present");
+            pas_obs::inc("pas.dist.lease.events.count", &[("event", "expired")]);
             let unfilled: Vec<usize> = l
                 .indices
                 .into_iter()
                 .filter(|&i| job.records[i].is_none())
                 .collect();
             if !unfilled.is_empty() {
-                job.pending.push_front(unfilled);
+                job.pending.push_front((unfilled, true));
             }
         }
     }
@@ -647,13 +703,23 @@ fn expire(s: &mut State, now: Instant, lease: Duration) {
 fn next_grant(s: &mut State, worker: u64, now: Instant, lease: Duration) -> Option<ShardGrant> {
     let next_shard = &mut s.next_shard;
     for job in s.jobs.values_mut() {
-        while let Some(mut indices) = job.pending.pop_front() {
+        while let Some((mut indices, re_pended)) = job.pending.pop_front() {
             indices.retain(|&i| job.records[i].is_none());
             if indices.is_empty() {
                 continue;
             }
             let shard = *next_shard;
             *next_shard += 1;
+            pas_obs::inc("pas.dist.lease.events.count", &[("event", "granted")]);
+            if re_pended {
+                pas_obs::inc("pas.dist.lease.events.count", &[("event", "re_leased")]);
+            }
+            pas_obs::observe_with(
+                "pas.dist.shard.size.points",
+                &[],
+                pas_obs::COUNT_BUCKETS,
+                indices.len() as f64,
+            );
             job.leases.insert(
                 shard,
                 Lease {
@@ -890,7 +956,7 @@ mod tests {
     fn unknown_worker_must_re_register() {
         let (sched, _queue, dir) = harness("unknown", SchedulerOptions::default());
         assert!(matches!(sched.lease(42), LeaseOutcome::Unknown));
-        assert_eq!(sched.heartbeat(42), None);
+        assert_eq!(sched.heartbeat(42, None, None), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -19,7 +19,7 @@ use pas_sweep::WorkerPool;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Worker configuration.
 #[derive(Debug, Clone)]
@@ -122,17 +122,28 @@ struct JobCtx {
     field: Box<dyn StimulusField>,
 }
 
+/// Cumulative execute telemetry, shared between the shard loop (which
+/// writes it) and the heartbeat thread (which piggybacks it to the
+/// scheduler, where it becomes the per-worker gauges).
+#[derive(Default)]
+struct Telemetry {
+    points: AtomicU64,
+    busy_us: AtomicU64,
+}
+
 /// Run a worker against `addr` until the server drains (or an
 /// option-configured exit condition fires). Blocking; returns a summary.
 pub fn run(addr: &str, opts: WorkerOptions) -> Result<WorkerSummary, ClientError> {
     let reg = register(addr, &opts)?;
     let worker_id = Arc::new(AtomicU64::new(reg.worker));
     let stop = Arc::new(AtomicBool::new(false));
+    let telemetry = Arc::new(Telemetry::default());
 
     let beat = {
         let addr = addr.to_string();
         let worker_id = Arc::clone(&worker_id);
         let stop = Arc::clone(&stop);
+        let telemetry = Arc::clone(&telemetry);
         let interval = Duration::from_millis(reg.heartbeat_ms.max(10));
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
@@ -140,7 +151,15 @@ pub fn run(addr: &str, opts: WorkerOptions) -> Result<WorkerSummary, ClientError
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
-                let body = format!("{{\"worker\":{}}}", worker_id.load(Ordering::Relaxed));
+                // Each beat carries the cumulative execute telemetry so
+                // the scheduler can publish per-worker points/busy-time
+                // without an extra round trip.
+                let body = format!(
+                    "{{\"worker\":{},\"points\":{},\"busy_us\":{}}}",
+                    worker_id.load(Ordering::Relaxed),
+                    telemetry.points.load(Ordering::Relaxed),
+                    telemetry.busy_us.load(Ordering::Relaxed)
+                );
                 let _ = call(&addr, "POST", "/dist/heartbeat", body.as_bytes());
                 // Transport errors and 410s are left to the lease loop;
                 // the drain signal arrives via the lease response.
@@ -179,7 +198,15 @@ pub fn run(addr: &str, opts: WorkerOptions) -> Result<WorkerSummary, ClientError
                         grant.indices.len()
                     );
                 }
-                match execute_shard(addr, &opts, &pool, &mut ctx, &grant, &mut summary)? {
+                match execute_shard(
+                    addr,
+                    &opts,
+                    &pool,
+                    &mut ctx,
+                    &grant,
+                    &mut summary,
+                    &telemetry,
+                )? {
                     ShardOutcome::Reported => summary.shards += 1,
                     ShardOutcome::Died => {
                         summary.died = true;
@@ -239,6 +266,7 @@ enum ShardOutcome {
 
 /// Execute one granted shard and report it. Honours `fail_after_points`
 /// by stopping abruptly (no report) once the budget is exhausted.
+#[allow(clippy::too_many_arguments)]
 fn execute_shard(
     addr: &str,
     opts: &WorkerOptions,
@@ -246,6 +274,7 @@ fn execute_shard(
     ctx: &mut Option<(u64, Arc<JobCtx>)>,
     grant: &ShardGrant,
     summary: &mut WorkerSummary,
+    telemetry: &Telemetry,
 ) -> Result<ShardOutcome, ClientError> {
     // Parse the manifest once per job, not per shard.
     let job_ctx = match ctx {
@@ -264,6 +293,7 @@ fn execute_shard(
             .map_err(|e| ClientError::Protocol(format!("bad shard indices: {e}")))?,
     );
 
+    let t0 = Instant::now();
     let records = if let Some(budget) = opts.fail_after_points {
         // Fault injection: simulate a crash partway through the shard.
         let mut records = Vec::new();
@@ -288,6 +318,18 @@ fn execute_shard(
         summary.points += records.len() as u64;
         records
     };
+    let shard_us = t0.elapsed().as_secs_f64() * 1e6;
+    telemetry
+        .points
+        .fetch_add(records.len() as u64, Ordering::Relaxed);
+    telemetry
+        .busy_us
+        .fetch_add(shard_us as u64, Ordering::Relaxed);
+    pas_obs::observe_us(
+        "pas.worker.shard.execute.microseconds",
+        &[("worker", &opts.name)],
+        shard_us,
+    );
 
     let report = ShardReport {
         job: grant.job,

@@ -1,0 +1,121 @@
+//! Registry behaviour under contention: exact sums across threads,
+//! collision-free label interning, canonical exposition bytes.
+
+use pas_obs::{Registry, COUNT_BUCKETS};
+use std::sync::Arc;
+
+/// Parallel increments across many threads must sum exactly — no lost
+/// updates, whether threads share a handle or re-look the series up.
+#[test]
+fn parallel_increments_sum_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    if (t + i as usize).is_multiple_of(2) {
+                        // Shared hot series, fresh lookup each time.
+                        reg.counter("pas.test.hot.count", &[("outcome", "ok")])
+                            .inc();
+                    } else {
+                        reg.counter("pas.test.hot.count", &[("outcome", "ok")])
+                            .add(1);
+                    }
+                    reg.histogram("pas.test.hot.microseconds", &[], &[1.0, 10.0])
+                        .observe(i as f64 % 20.0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = (THREADS as u64) * PER_THREAD;
+    assert_eq!(
+        reg.counter("pas.test.hot.count", &[("outcome", "ok")])
+            .get(),
+        total
+    );
+    assert_eq!(
+        reg.histogram("pas.test.hot.microseconds", &[], &[1.0, 10.0])
+            .count(),
+        total
+    );
+}
+
+/// Label sets that would collide under naive string concatenation must
+/// intern as distinct series: the key encoding is length-prefixed, so
+/// `{a="b,c"}` and `{a="b", c=""}`-style ambiguities cannot merge.
+#[test]
+fn label_interning_never_collides() {
+    let reg = Registry::new();
+    let tricky: &[&[(&str, &str)]] = &[
+        &[("a", "b"), ("c", "d")],
+        &[("a", "b,c"), ("", "d")],
+        &[("a", "b\"c\"d")],
+        &[("a", "b"), ("cd", "")],
+        &[("a", "bc"), ("d", "")],
+        &[("ab", ""), ("c", "d")],
+        &[("a", ""), ("b", "cd")],
+        &[("a", "1.2"), ("b", "3")],
+        &[("a", "1"), ("2b", "3")],
+        &[],
+        &[("a", "")],
+        &[("", "a")],
+    ];
+    for (i, labels) in tricky.iter().enumerate() {
+        reg.counter("pas.test.collide.count", labels)
+            .add(i as u64 + 1);
+    }
+    // Every label set above is distinct, so every series must be too.
+    assert_eq!(reg.len(), tricky.len());
+    for (i, labels) in tricky.iter().enumerate() {
+        assert_eq!(
+            reg.counter("pas.test.collide.count", labels).get(),
+            i as u64 + 1,
+            "label set {i} aliased another series"
+        );
+    }
+}
+
+/// Exposition output is canonically ordered: registering the same
+/// series in different orders (and concurrently) yields byte-identical
+/// renders, so CI can diff scrapes.
+#[test]
+fn exposition_is_canonical_bytes() {
+    let build = |order: &[usize]| {
+        let reg = Registry::new();
+        let series: Vec<(&str, Vec<(&str, &str)>)> = vec![
+            ("pas.z.count", vec![("route", "/jobs")]),
+            ("pas.a.count", vec![("route", "/metrics")]),
+            ("pas.a.count", vec![("route", "/healthz")]),
+            ("pas.m.depth.jobs", vec![]),
+        ];
+        for &i in order {
+            let (name, labels) = &series[i];
+            if name.ends_with("jobs") {
+                reg.gauge(name, labels).set(3);
+            } else {
+                reg.counter(name, labels).add(7);
+            }
+        }
+        reg.histogram("pas.h.size.points", &[("worker", "w1")], COUNT_BUCKETS)
+            .observe(5.0);
+        reg.render_prometheus()
+    };
+    let a = build(&[0, 1, 2, 3]);
+    let b = build(&[3, 2, 1, 0]);
+    assert_eq!(a, b, "render must not depend on registration order");
+    // And repeated renders of one registry are stable bytes.
+    let reg = Registry::new();
+    reg.counter("pas.r.count", &[("outcome", "ok")]).inc();
+    assert_eq!(reg.render_prometheus(), reg.render_prometheus());
+    // Sorted: pas_a before pas_m before pas_z, label sets ordered.
+    let pos = |needle: &str| a.find(needle).unwrap_or_else(|| panic!("missing {needle}"));
+    assert!(pos("pas_a_count{route=\"/healthz\"}") < pos("pas_a_count{route=\"/metrics\"}"));
+    assert!(pos("pas_a_count") < pos("pas_h_size_points_bucket"));
+    assert!(pos("pas_m_depth_jobs") < pos("pas_z_count"));
+}

@@ -275,6 +275,7 @@ pub fn failure_plan(
 /// `field` is the stimulus ground truth built once per batch with
 /// [`Manifest::build_field`] (it is seed-independent and read-only).
 pub fn execute_point(manifest: &Manifest, field: &dyn StimulusField, pt: &RunPoint) -> RunRecord {
+    let t0 = std::time::Instant::now();
     let scenario = manifest.scenario_for(pt.seed, &pt.assignments);
     let mut cfg = RunConfig::new(pt.policy)
         .with_channel(manifest.channel.kind())
@@ -284,6 +285,20 @@ pub fn execute_point(manifest: &Manifest, field: &dyn StimulusField, pt: &RunPoi
         cfg = cfg.with_horizon(h);
     }
     let r = run(&scenario, field, &cfg);
+    // Observational only: the record below is built from `r` alone, so
+    // the registry can be on or off without touching a result byte.
+    let predictor = pt.policy.predictor().map(|p| p.name()).unwrap_or("none");
+    let labels = [
+        ("scenario", manifest.name.as_str()),
+        ("policy", pt.policy_label.as_str()),
+        ("predictor", predictor),
+    ];
+    pas_obs::inc("pas.exec.points.count", &labels);
+    pas_obs::observe_us(
+        "pas.exec.point.microseconds",
+        &labels,
+        t0.elapsed().as_secs_f64() * 1e6,
+    );
     RunRecord {
         x: pt.x,
         policy_label: pt.policy_label.clone(),

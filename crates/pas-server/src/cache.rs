@@ -129,9 +129,34 @@ impl ResultCache {
     }
 
     /// Load a verified entry, or `None` when absent, corrupt, or written
-    /// by an incompatible version.
+    /// by an incompatible version. Lookups are counted by outcome
+    /// (`hit` / `miss` / `corrupt` — a version mismatch reads as
+    /// corruption here: the bytes exist but do not verify) and timed;
+    /// the caller still just sees `Option`, so a corrupt entry falls
+    /// back to recomputation exactly as before.
     pub fn load(&self, key: &str) -> Option<RunRecord> {
-        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let t0 = std::time::Instant::now();
+        let (outcome, record) = match std::fs::read_to_string(self.entry_path(key)) {
+            Err(_) => ("miss", None),
+            Ok(text) => {
+                pas_obs::add("pas.cache.read.bytes", &[], text.len() as u64);
+                match Self::verify(&text) {
+                    Some(r) => ("hit", Some(r)),
+                    None => ("corrupt", None),
+                }
+            }
+        };
+        pas_obs::inc("pas.cache.lookup.count", &[("outcome", outcome)]);
+        pas_obs::observe_us(
+            "pas.cache.lookup.microseconds",
+            &[],
+            t0.elapsed().as_secs_f64() * 1e6,
+        );
+        record
+    }
+
+    /// Checksum-verify and decode one entry's text.
+    fn verify(text: &str) -> Option<RunRecord> {
         let rest = text.strip_prefix(CACHE_VERSION)?.strip_prefix('\n')?;
         let (checksum, payload) = rest.split_once('\n')?;
         if hex(&sha256(payload.as_bytes())) != checksum {
@@ -149,8 +174,11 @@ impl ResultCache {
             hex(&sha256(payload.as_bytes()))
         );
         let tmp = self.dir.join(format!("{key}.tmp.{}", std::process::id()));
-        std::fs::write(&tmp, text)?;
-        std::fs::rename(&tmp, self.entry_path(key))
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, self.entry_path(key))?;
+        pas_obs::inc("pas.cache.store.count", &[]);
+        pas_obs::add("pas.cache.write.bytes", &[], text.len() as u64);
+        Ok(())
     }
 }
 

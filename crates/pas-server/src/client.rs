@@ -168,6 +168,24 @@ impl Jitter {
 /// retried: `POST /jobs` is not idempotent, and the server may have
 /// already enqueued the job before the connection died. Everything else
 /// — bad manifests, unknown routes, protocol junk — fails fast.
+/// Short, low-cardinality cause tag for a submission failure, used as
+/// the `cause` label on `pas.client.submit.retries.count` and by
+/// `pas submit -v`'s retry summary.
+pub fn retry_cause(e: &ClientError) -> &'static str {
+    match e {
+        ClientError::Io(e) => match e.kind() {
+            io::ErrorKind::ConnectionRefused => "refused",
+            io::ErrorKind::NotFound | io::ErrorKind::AddrNotAvailable => "unreachable",
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => "timeout",
+            _ => "io",
+        },
+        ClientError::Api(429, _) => "backpressure",
+        ClientError::Api(503, _) => "shutting_down",
+        ClientError::Api(_, _) => "api",
+        ClientError::Protocol(_) => "protocol",
+    }
+}
+
 fn retryable(e: &ClientError) -> bool {
     match e {
         ClientError::Io(e) => matches!(
@@ -191,6 +209,11 @@ impl Client {
     /// A client for `addr` (`host:port`).
     pub fn new(addr: impl Into<String>) -> Client {
         Client { addr: addr.into() }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
     }
 
     fn call(
@@ -257,8 +280,21 @@ impl Client {
             match self.submit(manifest_toml) {
                 Ok(id) => return Ok(id),
                 Err(e) if retryable(&e) && attempt + 1 < policy.attempts.max(1) => {
+                    // Retries are otherwise invisible once the submit
+                    // finally lands — keep the per-cause tally (and the
+                    // backoff spent waiting) in the registry.
+                    let delay = policy.delay(attempt, &mut jitter);
+                    pas_obs::inc(
+                        "pas.client.submit.retries.count",
+                        &[("cause", retry_cause(&e))],
+                    );
+                    pas_obs::add(
+                        "pas.client.submit.backoff.microseconds",
+                        &[("cause", retry_cause(&e))],
+                        delay.as_micros() as u64,
+                    );
                     on_retry(attempt + 1, &e);
-                    std::thread::sleep(policy.delay(attempt, &mut jitter));
+                    std::thread::sleep(delay);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -266,9 +302,17 @@ impl Client {
         }
     }
 
-    /// `GET /healthz` (served in distributed mode), raw JSON.
+    /// `GET /healthz` (built-in; the dist scheduler serves a richer
+    /// variant on the same path when mounted), raw JSON.
     pub fn healthz(&self) -> Result<String, ClientError> {
         let out = self.call("GET", "/healthz", None, &[])?;
+        self.expect_ok(out)
+    }
+
+    /// `GET /metrics` (requires `pas serve --metrics`): the server's
+    /// Prometheus text exposition.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        let out = self.call("GET", "/metrics", None, &[])?;
         self.expect_ok(out)
     }
 

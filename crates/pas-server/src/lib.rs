@@ -40,7 +40,9 @@ pub mod queue;
 pub mod server;
 
 pub use cache::{execute_with_cache, CacheStats, ResultCache};
-pub use client::{Client, ClientError, JobStatus, ReportFormat, ResultFormat, RetryPolicy};
+pub use client::{
+    retry_cause, Client, ClientError, JobStatus, ReportFormat, ResultFormat, RetryPolicy,
+};
 pub use queue::{Job, JobPhase, JobQueue, SubmitError};
 pub use server::{Router, Server, ServerOptions};
 

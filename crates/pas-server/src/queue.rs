@@ -13,6 +13,7 @@ use crate::cache::{execute_with_cache_progress, CacheStats, ResultCache};
 use pas_scenario::{BatchResult, ExecOptions, Manifest};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Finished jobs retained for `GET /jobs/:id` before the oldest are
 /// evicted (results also persist in the on-disk cache, so an evicted
@@ -63,6 +64,9 @@ pub struct Job {
     pub error: Option<String>,
     /// Results when `phase == Completed`.
     pub result: Option<BatchResult>,
+    /// When the job entered the queue (drives the wait-time and
+    /// duration histograms; never serialised).
+    pub submitted: Instant,
 }
 
 struct Inner {
@@ -117,9 +121,11 @@ impl JobQueue {
     pub fn submit(&self, manifest: Manifest, total: usize) -> Result<u64, SubmitError> {
         let mut t = self.inner.jobs.lock().expect("queue poisoned");
         if t.shutdown {
+            pas_obs::inc("pas.queue.submit.count", &[("outcome", "rejected_closed")]);
             return Err(SubmitError::Closed);
         }
         if t.queue.len() >= self.capacity {
+            pas_obs::inc("pas.queue.submit.count", &[("outcome", "rejected_full")]);
             return Err(SubmitError::Full);
         }
         let id = t.next_id;
@@ -135,10 +141,13 @@ impl JobQueue {
                 stats: CacheStats::default(),
                 error: None,
                 result: None,
+                submitted: Instant::now(),
             },
         );
         t.manifests.insert(id, manifest);
         t.queue.push_back(id);
+        pas_obs::inc("pas.queue.submit.count", &[("outcome", "accepted")]);
+        pas_obs::gauge_set("pas.queue.depth.jobs", &[], t.queue.len() as i64);
         // Retention bound: a long-lived server must not accumulate every
         // finished job's result forever. Evict oldest finished jobs past
         // the cap (their runs stay warm in the on-disk cache; a later GET
@@ -175,6 +184,7 @@ impl JobQueue {
             stats: j.stats,
             error: j.error.clone(),
             result: None,
+            submitted: j.submitted,
         })
     }
 
@@ -235,6 +245,12 @@ impl JobQueue {
             j.done = j.total;
             j.stats = stats;
             j.result = Some(batch);
+            pas_obs::inc("pas.queue.jobs.count", &[("outcome", "completed")]);
+            pas_obs::observe_us(
+                "pas.queue.job.duration.microseconds",
+                &[],
+                j.submitted.elapsed().as_secs_f64() * 1e6,
+            );
         });
     }
 
@@ -244,6 +260,7 @@ impl JobQueue {
         self.with_job(id, |j| {
             j.phase = JobPhase::Failed;
             j.error = Some(error);
+            pas_obs::inc("pas.queue.jobs.count", &[("outcome", "failed")]);
         });
     }
 
@@ -292,7 +309,13 @@ impl JobTable {
         let manifest = self.manifests.remove(&id).expect("manifest for queued job");
         if let Some(j) = self.by_id.get_mut(&id) {
             j.phase = JobPhase::Running;
+            pas_obs::observe_us(
+                "pas.queue.wait.microseconds",
+                &[],
+                j.submitted.elapsed().as_secs_f64() * 1e6,
+            );
         }
+        pas_obs::gauge_set("pas.queue.depth.jobs", &[], self.queue.len() as i64);
         Some((id, manifest))
     }
 }

@@ -16,11 +16,12 @@
 
 use crate::cache::ResultCache;
 use crate::http::{json_string, read_request, Request, Response};
-use crate::queue::{JobQueue, SubmitError};
+use crate::queue::{JobPhase, JobQueue, SubmitError};
 use pas_scenario::{expand, matrix_size, registry, sink, ExecOptions, Manifest};
-use std::io;
-use std::net::{TcpListener, ToSocketAddrs};
+use std::io::{self, Write as _};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Server construction options.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +37,11 @@ pub struct ServerOptions {
     /// `pas serve --no-local-exec` mode) leaves jobs in the queue for an
     /// external backend — the `pas-dist` scheduler — to claim.
     pub local_exec: bool,
+    /// Serve the Prometheus `GET /metrics` endpoint (`pas serve
+    /// --metrics`). Collection itself is always on — this only gates
+    /// exposition, so a closed deployment is not forced to publish its
+    /// internals.
+    pub metrics: bool,
 }
 
 impl Default for ServerOptions {
@@ -45,6 +51,7 @@ impl Default for ServerOptions {
             queue_capacity: 64,
             workers: 1,
             local_exec: true,
+            metrics: false,
         }
     }
 }
@@ -62,6 +69,15 @@ pub struct Server {
     cache: Arc<ResultCache>,
     opts: ServerOptions,
     router: Option<Router>,
+    started: Instant,
+}
+
+/// Request-handling context shared by every connection thread.
+#[derive(Clone)]
+struct Ctx {
+    queue: JobQueue,
+    opts: ServerOptions,
+    started: Instant,
 }
 
 impl Server {
@@ -77,6 +93,7 @@ impl Server {
             cache: Arc::new(cache),
             opts,
             router: None,
+            started: Instant::now(),
         })
     }
 
@@ -108,35 +125,133 @@ impl Server {
                 std::thread::spawn(move || queue.work(&cache, exec));
             }
         }
+        let ctx = Ctx {
+            queue: self.queue.clone(),
+            opts: self.opts,
+            started: self.started,
+        };
         for stream in self.listener.incoming() {
             let Ok(mut stream) = stream else { continue };
             // An idle or trickling peer must not pin a connection thread
-            // forever (jobs are async; requests are one short round trip).
-            let timeout = Some(std::time::Duration::from_secs(30));
+            // forever (jobs are async; requests are one short round trip —
+            // the SSE stream is the one exception, and its per-write
+            // timeout still bounds a stalled peer).
+            let timeout = Some(Duration::from_secs(30));
             let _ = stream.set_read_timeout(timeout);
             let _ = stream.set_write_timeout(timeout);
-            let queue = self.queue.clone();
             let router = self.router.clone();
-            std::thread::spawn(move || {
-                let response = match read_request(&mut stream) {
-                    Ok(req) => router
-                        .as_ref()
-                        .and_then(|r| r(&req))
-                        .unwrap_or_else(|| route(&queue, &req)),
-                    Err(e) => Response::error(400, &format!("malformed request: {e}")),
-                };
-                let _ = response.write_to(&mut stream);
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-            });
+            let ctx = ctx.clone();
+            std::thread::spawn(move || handle_connection(&mut stream, router, &ctx));
         }
         Ok(())
     }
 }
 
+/// Serve one connection: read the request, answer it (streaming for
+/// `/jobs/:id/events`, one response for everything else), and record the
+/// per-route request count / status / latency.
+fn handle_connection(stream: &mut TcpStream, router: Option<Router>, ctx: &Ctx) {
+    let t0 = Instant::now();
+    match read_request(stream) {
+        Ok(req) => {
+            if let Some(id) = events_job_id(&req) {
+                pas_obs::inc("pas.server.sse.streams.count", &[]);
+                // An Err means the peer went away mid-stream (status 0,
+                // recorded as "aborted").
+                let status = stream_job_events(stream, &ctx.queue, id).unwrap_or_default();
+                record_http(&req, status, t0);
+            } else {
+                let response = router
+                    .as_ref()
+                    .and_then(|r| r(&req))
+                    .unwrap_or_else(|| route(ctx, &req));
+                record_http(&req, response.status, t0);
+                let _ = response.write_to(stream);
+            }
+        }
+        Err(e) => {
+            pas_obs::inc(
+                "pas.server.http.requests.count",
+                &[("route", "malformed"), ("method", "?"), ("status", "400")],
+            );
+            let _ = Response::error(400, &format!("malformed request: {e}")).write_to(stream);
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Record one served request in the registry. The route label is the
+/// request's *template* (`/jobs/:id`, not `/jobs/17`), so cardinality
+/// stays bounded no matter what peers ask for.
+fn record_http(req: &Request, status: u16, t0: Instant) {
+    let route = route_label(&req.path);
+    let status = if status == 0 {
+        "aborted".to_string()
+    } else {
+        status.to_string()
+    };
+    pas_obs::inc(
+        "pas.server.http.requests.count",
+        &[
+            ("route", route),
+            ("method", req.method.as_str()),
+            ("status", &status),
+        ],
+    );
+    pas_obs::observe_us(
+        "pas.server.http.latency.microseconds",
+        &[("route", route)],
+        t0.elapsed().as_secs_f64() * 1e6,
+    );
+}
+
+/// Map a request path onto its route template for metric labels.
+fn route_label(path: &str) -> &'static str {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["scenarios"] => "/scenarios",
+        ["validate"] => "/validate",
+        ["expand"] => "/expand",
+        ["jobs"] => "/jobs",
+        ["jobs", _] => "/jobs/:id",
+        ["jobs", _, "results"] => "/jobs/:id/results",
+        ["jobs", _, "report"] => "/jobs/:id/report",
+        ["jobs", _, "events"] => "/jobs/:id/events",
+        ["healthz"] => "/healthz",
+        ["metrics"] => "/metrics",
+        ["dist", "register"] => "/dist/register",
+        ["dist", "heartbeat"] => "/dist/heartbeat",
+        ["dist", "lease"] => "/dist/lease",
+        ["dist", "report"] => "/dist/report",
+        ["dist", "workers"] => "/dist/workers",
+        ["dist", "drain"] => "/dist/drain",
+        _ => "other",
+    }
+}
+
+/// `GET /jobs/:id/events`?
+fn events_job_id(req: &Request) -> Option<u64> {
+    if req.method != "GET" {
+        return None;
+    }
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["jobs", id, "events"] => id.parse().ok(),
+        _ => None,
+    }
+}
+
 /// Dispatch one request.
-fn route(queue: &JobQueue, req: &Request) -> Response {
+fn route(ctx: &Ctx, req: &Request) -> Response {
+    let queue = &ctx.queue;
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => healthz(ctx),
+        ("GET", ["metrics"]) if ctx.opts.metrics => Response::new(
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            pas_obs::render_global(),
+        ),
         ("GET", ["scenarios"]) => scenarios(),
         ("POST", ["validate"]) => with_manifest(req, |m, runs| {
             Response::json(
@@ -169,6 +284,107 @@ fn route(queue: &JobQueue, req: &Request) -> Response {
         ("GET", _) | ("POST", _) => Response::error(404, "no such route"),
         _ => Response::error(405, "method not allowed"),
     }
+}
+
+/// Built-in liveness endpoint: version, uptime, queue pressure, and
+/// whether this process executes jobs itself (`local`) or leaves them
+/// for an external backend (`external`). When the `pas-dist` scheduler
+/// is mounted its richer `/healthz` (worker table included) shadows
+/// this one via the extension [`Router`]; this answer is what a plain
+/// `pas serve` deployment gets.
+fn healthz(ctx: &Ctx) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"ok\":true,\"version\":{},\"uptime_s\":{},\"queue_depth\":{},\
+             \"running_jobs\":{},\"workers\":{},\"mode\":{}}}",
+            json_string(env!("CARGO_PKG_VERSION")),
+            ctx.started.elapsed().as_secs(),
+            ctx.queue.depth(),
+            ctx.queue.running(),
+            ctx.opts.workers.max(1),
+            json_string(if ctx.opts.local_exec {
+                "local"
+            } else {
+                "external"
+            }),
+        ),
+    )
+}
+
+/// How often the SSE loop samples job state.
+const SSE_POLL: Duration = Duration::from_millis(50);
+
+/// Comment padding cadence when nothing changes, so proxies and clients
+/// see a live stream.
+const SSE_HEARTBEAT: Duration = Duration::from_secs(1);
+
+/// Stream `GET /jobs/:id/events` as Server-Sent Events over chunked
+/// transfer-encoding: a `phase` event on every phase transition
+/// (including the initial state), a `progress` event on every observed
+/// points-done tick, `: hb` comment padding while idle, and a final
+/// `done` event (with cache counters) when the job completes or fails,
+/// after which the stream terminates. Returns the effective status for
+/// the request log/metrics.
+fn stream_job_events(stream: &mut TcpStream, queue: &JobQueue, id: u64) -> io::Result<u16> {
+    let Some(mut last) = queue.status(id) else {
+        Response::error(404, "no such job").write_to(stream)?;
+        return Ok(404);
+    };
+    // Frames must reach the client as they happen, not when a segment
+    // fills up.
+    let _ = stream.set_nodelay(true);
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )?;
+    let emit = |stream: &mut TcpStream, payload: &str| -> io::Result<()> {
+        write!(stream, "{:x}\r\n", payload.len())?;
+        stream.write_all(payload.as_bytes())?;
+        stream.write_all(b"\r\n")?;
+        stream.flush()
+    };
+    let event = |kind: &str, data: &str| format!("event: {kind}\ndata: {data}\n\n");
+
+    emit(stream, &event("phase", &status_json(&last)))?;
+    let mut last_write = Instant::now();
+    loop {
+        if matches!(last.phase, JobPhase::Completed | JobPhase::Failed) {
+            emit(stream, &event("done", &status_json(&last)))?;
+            break;
+        }
+        std::thread::sleep(SSE_POLL);
+        let Some(job) = queue.status(id) else {
+            // Evicted mid-stream (retention cap): tell the client and stop.
+            emit(stream, &event("gone", "{}"))?;
+            break;
+        };
+        if job.phase != last.phase {
+            emit(stream, &event("phase", &status_json(&job)))?;
+            last_write = Instant::now();
+        } else if job.done != last.done {
+            emit(
+                stream,
+                &event(
+                    "progress",
+                    &format!(
+                        "{{\"done\":{},\"total\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+                        job.done, job.total, job.stats.hits, job.stats.misses
+                    ),
+                ),
+            )?;
+            last_write = Instant::now();
+        } else if last_write.elapsed() >= SSE_HEARTBEAT {
+            emit(stream, ": hb\n\n")?;
+            last_write = Instant::now();
+        }
+        last = job;
+    }
+    // Terminating zero-length chunk.
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()?;
+    Ok(200)
 }
 
 /// Largest matrix a submitted manifest may expand to. A manifest is a

@@ -120,6 +120,7 @@ fn full_queue_answers_429() {
             queue_capacity: 1,
             workers: 1,
             local_exec: true,
+            metrics: false,
         },
     );
     let (_, toml) = small_manifest_toml();
@@ -139,6 +140,122 @@ fn full_queue_answers_429() {
         }
     }
     assert!(saw_429, "a capacity-1 queue must eventually push back");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Observability surface: the built-in `/healthz`, the gated
+/// `/metrics` exposition, and the `/jobs/:id/events` SSE stream — all
+/// while served results stay byte-identical to a direct run.
+#[test]
+fn healthz_metrics_and_sse_events() {
+    use std::io::{Read as _, Write as _};
+
+    let (client, dir) = boot(
+        "obs",
+        ServerOptions {
+            metrics: true,
+            ..ServerOptions::default()
+        },
+    );
+    let (manifest, toml) = small_manifest_toml();
+    let n = pas_scenario::expand(&manifest).unwrap().len() as u64;
+
+    // Built-in liveness: version/uptime/queue/mode, no dist router needed.
+    let health = client.healthz().unwrap();
+    for field in [
+        "\"ok\":true",
+        "\"version\":",
+        "\"uptime_s\":",
+        "\"queue_depth\":",
+        "\"mode\":\"local\"",
+    ] {
+        assert!(health.contains(field), "healthz missing {field}: {health}");
+    }
+
+    let id = client.submit(&toml).unwrap();
+
+    // Stream the job's events over raw HTTP: chunked SSE, phase +
+    // progress events, terminated by `done` when the job completes.
+    let mut stream = std::net::TcpStream::connect(client.addr()).unwrap();
+    write!(
+        stream,
+        "GET /jobs/{id}/events HTTP/1.1\r\nHost: pas\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.contains("Content-Type: text/event-stream"), "{raw}");
+    assert!(raw.contains("Transfer-Encoding: chunked"), "{raw}");
+    assert!(raw.contains("event: phase"), "no phase event: {raw}");
+    assert!(raw.contains("event: done"), "no done event: {raw}");
+    assert!(
+        raw.contains(&format!("\"done\":{n}")),
+        "final event must carry full progress: {raw}"
+    );
+    assert!(raw.ends_with("0\r\n\r\n"), "stream must terminate cleanly");
+
+    let done = client.wait(id, Duration::from_millis(25)).unwrap();
+    assert_eq!(done.phase, "completed");
+
+    // Unknown jobs get a plain 404, not a stream.
+    let mut stream = std::net::TcpStream::connect(client.addr()).unwrap();
+    write!(
+        stream,
+        "GET /jobs/999/events HTTP/1.1\r\nHost: pas\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+
+    // The exposition covers every instrumented family with labels, and
+    // two scrapes are mutually consistent (counters monotone).
+    let text = client.metrics().unwrap();
+    for series in [
+        "# TYPE pas_server_http_requests_count counter",
+        "# TYPE pas_server_http_latency_microseconds histogram",
+        "pas_server_http_requests_count{method=\"POST\",route=\"/jobs\",status=\"202\"}",
+        "pas_queue_submit_count{outcome=\"accepted\"}",
+        "pas_queue_depth_jobs",
+        "pas_queue_wait_microseconds_count",
+        "pas_cache_lookup_count{outcome=\"miss\"}",
+        "pas_cache_store_count",
+        "pas_exec_points_count{policy=\"NS\",predictor=\"none\",scenario=\"paper-default\"}",
+        "pas_exec_point_microseconds_bucket",
+        "pas_server_sse_streams_count",
+    ] {
+        assert!(
+            text.contains(series),
+            "metrics missing {series}\n---\n{text}"
+        );
+    }
+    let text2 = client.metrics().unwrap();
+    let get = |t: &str, needle: &str| -> u64 {
+        t.lines()
+            .find(|l| l.starts_with(needle))
+            .and_then(|l| l.rsplit(' ').next().unwrap().parse().ok())
+            .unwrap_or(0)
+    };
+    let k = "pas_queue_submit_count{outcome=\"accepted\"}";
+    assert!(get(&text2, k) >= get(&text, k), "counters must be monotone");
+
+    // Metrics on, results still byte-identical to a direct local run.
+    let direct = execute(&manifest, ExecOptions { threads: 1 }).unwrap();
+    let expected_csv = pas_scenario::summary_csv(&direct).render();
+    let csv = client.results(id, ResultFormat::Csv).unwrap();
+    assert_eq!(String::from_utf8(csv).unwrap(), expected_csv);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `/metrics` is opt-in: without `--metrics` the route 404s.
+#[test]
+fn metrics_endpoint_is_gated() {
+    let (client, dir) = boot("obs_gated", ServerOptions::default());
+    match client.metrics().unwrap_err() {
+        pas_server::ClientError::Api(404, _) => {}
+        other => panic!("expected 404, got {other}"),
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
