@@ -341,10 +341,12 @@ pub fn throughput_by_key(bench: &str, payload: &str) -> Vec<(String, f64)> {
             let runs = scan_u64(payload, "execute_runs").map(|v| v as f64);
             let mut out = Vec::new();
             // Older entries carry only the metrics-on measurement; the
-            // obs-off companion key appears once a post-observability
-            // bench has run, and is gated forward like any other.
+            // obs-off and trace-off companion keys appear once a
+            // post-observability/post-tracing bench has run, and are
+            // gated forward like any other.
             for (key, field) in [
                 ("sequential", "execute_us_sequential"),
+                ("sequential-trace-off", "execute_us_trace_off"),
                 ("sequential-obs-off", "execute_us_obs_off"),
             ] {
                 let us = scan_u64(payload, field).map(|v| v as f64);
@@ -356,20 +358,33 @@ pub fn throughput_by_key(bench: &str, payload: &str) -> Vec<(String, f64)> {
             }
             out
         }
-        // One sample per fleet size: `{"workers": N, ..., "runs_per_s": V}`.
-        "dist" => scan_keyed(payload, "workers", |v| format!("workers={v}")),
+        // Two samples per fleet size: raw throughput
+        // (`workers=N` ← `runs_per_s`) and the scaling gate key
+        // (`dist-wN` ← `speedup`), so a speedup collapse at one fleet
+        // size fails the gate even when absolute throughput jitter
+        // would mask it.
+        "dist" => {
+            let mut out = scan_keyed(payload, "workers", "runs_per_s", |v| format!("workers={v}"));
+            out.extend(scan_keyed(payload, "workers", "speedup", |v| {
+                format!("dist-w{v}")
+            }));
+            out
+        }
         // One sample per predictor variant.
-        "predictors" => scan_keyed(payload, "predictor", |v| v.trim_matches('"').to_string()),
+        "predictors" => scan_keyed(payload, "predictor", "runs_per_s", |v| {
+            v.trim_matches('"').to_string()
+        }),
         _ => Vec::new(),
     }
 }
 
 /// Pair each `"key_field": <value>` occurrence with the next
-/// `"runs_per_s": <number>` after it (our own writers emit the key
+/// `"value_field": <number>` after it (our own writers emit the key
 /// field first within each result object).
 fn scan_keyed(
     payload: &str,
     key_field: &str,
+    value_field: &str,
     label: impl Fn(&str) -> String,
 ) -> Vec<(String, f64)> {
     let needle = format!("\"{key_field}\":");
@@ -379,7 +394,7 @@ fn scan_keyed(
         let tail = rest[at + needle.len()..].trim_start();
         let end = tail.find([',', '}', '\n']).unwrap_or(tail.len());
         let key = label(tail[..end].trim());
-        if let Some(v) = scan_all_f64(&tail[end..], "runs_per_s").first() {
+        if let Some(v) = scan_all_f64(&tail[end..], value_field).first() {
             out.push((key, *v));
         }
         rest = &rest[at + needle.len()..];
@@ -550,18 +565,22 @@ mod tests {
             throughput_by_key("batch", LEGACY),
             vec![("sequential".to_string(), 24.0 * 1e6 / 9000.0)]
         );
-        // Post-observability payloads add the obs-off companion key.
+        // Post-observability payloads add the trace-off and obs-off
+        // companion keys.
         let with_off = LEGACY.replace(
             "\"execute_us_sequential\": 9000",
-            "\"execute_us_sequential\": 9000,\n  \"execute_us_obs_off\": 8000",
+            "\"execute_us_sequential\": 9000,\n  \"execute_us_trace_off\": 8500,\n  \
+             \"execute_us_obs_off\": 8000",
         );
         assert_eq!(
             throughput_by_key("batch", &with_off),
             vec![
                 ("sequential".to_string(), 24.0 * 1e6 / 9000.0),
+                ("sequential-trace-off".to_string(), 24.0 * 1e6 / 8500.0),
                 ("sequential-obs-off".to_string(), 24.0 * 1e6 / 8000.0)
             ]
         );
+        // Pre-speedup dist payloads yield only throughput keys...
         let dist = "{\"bench\":\"dist\",\"fleets\":[\
              {\"workers\": 1, \"runs_per_s\": 100.5},\
              {\"workers\": 2, \"runs_per_s\": 220.0}]}";
@@ -573,6 +592,20 @@ mod tests {
             ]
         );
         assert_eq!(throughput("dist", dist), Some(220.0));
+        // ...while payloads carrying `speedup` gain per-fleet scaling
+        // keys the gate can hold independently of absolute throughput.
+        let dist_sp = "{\"bench\":\"dist\",\"fleets\":[\
+             {\"workers\": 1, \"runs_per_s\": 100.5, \"speedup\": 1.0},\
+             {\"workers\": 2, \"runs_per_s\": 220.0, \"speedup\": 2.19}]}";
+        assert_eq!(
+            throughput_by_key("dist", dist_sp),
+            vec![
+                ("workers=1".to_string(), 100.5),
+                ("workers=2".to_string(), 220.0),
+                ("dist-w1".to_string(), 1.0),
+                ("dist-w2".to_string(), 2.19)
+            ]
+        );
         let pred = "{\"bench\":\"predictors\",\"predictors\":[\
              {\"predictor\": \"planar\", \"runs_per_s\": 100.0},\
              {\"predictor\": \"kalman\", \"runs_per_s\": 300.0}]}";
@@ -624,6 +657,38 @@ mod tests {
         h.entries.push(fleet(&[(16, 8000.0)]));
         let out = gate(&h, 35.0);
         assert!(out.ok && out.key.is_none());
+    }
+
+    /// A scaling collapse at one fleet size trips the gate via its
+    /// `dist-wN` speedup key even when raw throughput stays flat
+    /// (e.g. the single-worker baseline got slower too).
+    #[test]
+    fn gate_catches_speedup_collapse_per_fleet() {
+        let fleet = |pairs: &[(u64, f64, f64)]| HistoryEntry {
+            commit: None,
+            date: None,
+            payload: format!(
+                "{{\"bench\": \"dist\", \"fleets\": [{}]}}",
+                pairs
+                    .iter()
+                    .map(|(w, r, s)| format!(
+                        "{{\"workers\": {w}, \"runs_per_s\": {r}, \"speedup\": {s}}}"
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        };
+        let mut h = BenchHistory {
+            bench: "dist".to_string(),
+            scenario: "paper-default".to_string(),
+            entries: vec![fleet(&[(1, 1000.0, 1.0), (2, 1950.0, 1.95)])],
+        };
+        // Two-worker throughput holds (and the baseline even improves),
+        // but scaling is gone: 2 workers no longer beat 1.
+        h.entries.push(fleet(&[(1, 1950.0, 1.0), (2, 1950.0, 1.0)]));
+        let out = gate(&h, 35.0);
+        assert!(!out.ok, "speedup cliff must fail: {out:?}");
+        assert_eq!(out.key.as_deref(), Some("dist-w2"));
     }
 
     #[test]

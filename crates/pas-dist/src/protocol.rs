@@ -16,8 +16,9 @@
 //! raw bits — and a remotely executed record therefore round-trips
 //! **byte-identically** into the server's cache and result assembly.
 
+use pas_obs::trace::SpanRecord;
 use pas_scenario::RunRecord;
-use pas_server::cache::{decode_record, encode_record};
+use pas_server::cache::{decode_record, encode_record, escape, unescape};
 use pas_server::http::json_string;
 use pas_server::json;
 
@@ -95,16 +96,30 @@ pub struct ShardGrant {
     pub indices: Vec<usize>,
     /// The job's manifest, as TOML.
     pub manifest_toml: String,
+    /// Trace id of the submitting job, `0` when untraced. Carried so the
+    /// worker's spans land in the same tree as the server's.
+    pub trace: u64,
+    /// The scheduler's lease span id — the worker parents its spans under
+    /// it, stitching worker work beneath the lease that granted it.
+    pub span: u64,
 }
 
 impl ShardGrant {
-    /// Encode as the lease response body.
+    /// Encode as the lease response body. The `trace`/`span` fields are
+    /// only emitted when a trace rides the grant, so pre-trace decoders
+    /// (which ignore unknown keys anyway) see the exact old shape.
     pub fn to_json(&self) -> String {
         let idx: Vec<String> = self.indices.iter().map(|i| i.to_string()).collect();
+        let trace = if self.trace != 0 {
+            format!("\"trace\":{},\"span\":{},", self.trace, self.span)
+        } else {
+            String::new()
+        };
         format!(
-            "{{\"job\":{},\"shard\":{},\"indices\":[{}],\"manifest\":{}}}",
+            "{{\"job\":{},\"shard\":{},{}\"indices\":[{}],\"manifest\":{}}}",
             self.job,
             self.shard,
+            trace,
             idx.join(","),
             json_string(&self.manifest_toml)
         )
@@ -120,6 +135,8 @@ impl ShardGrant {
                 .map(|i| i as usize)
                 .collect(),
             manifest_toml: json::find_string(body, "manifest")?,
+            trace: json::find_u64(body, "trace").unwrap_or(0),
+            span: json::find_u64(body, "span").unwrap_or(0),
         })
     }
 }
@@ -147,6 +164,11 @@ pub struct ShardReport {
     pub worker: u64,
     /// One entry per executed point.
     pub points: Vec<PointReport>,
+    /// Spans recorded worker-side during this shard, piggybacked so the
+    /// scheduler can stitch one tree per trace. Empty when the grant
+    /// carried no trace id — which is every grant from a pre-trace
+    /// scheduler, so old servers never see span stanzas.
+    pub spans: Vec<SpanRecord>,
 }
 
 /// Stanza separator in the report body. Record codec lines always contain
@@ -166,7 +188,62 @@ pub fn encode_report(report: &ShardReport) -> String {
         let _ = writeln!(s, "key={}", p.key);
         s.push_str(&encode_record(&p.record));
     }
+    for sp in &report.spans {
+        let _ = writeln!(s, "{SEP}");
+        let _ = writeln!(s, "span={:016x}", sp.span);
+        let _ = writeln!(s, "trace={:016x}", sp.trace);
+        let _ = writeln!(s, "parent={:016x}", sp.parent);
+        let _ = writeln!(s, "name={}", escape(&sp.name));
+        let _ = writeln!(s, "proc={}", escape(&sp.proc));
+        let _ = writeln!(s, "start={}", sp.start_us);
+        let _ = writeln!(s, "dur={}", sp.dur_us);
+        for (k, v) in &sp.labels {
+            let _ = writeln!(s, "label={}={}", escape(k), escape(v));
+        }
+    }
     s
+}
+
+/// Decode one span stanza (first line `span=...`); `None` if malformed.
+fn decode_span_stanza(stanza: &[&str]) -> Option<SpanRecord> {
+    let hex = |v: &str| u64::from_str_radix(v, 16).ok();
+    let mut span = None;
+    let mut trace = None;
+    let mut parent = None;
+    let mut name = None;
+    let mut proc = None;
+    let mut start = None;
+    let mut dur = None;
+    let mut labels = Vec::new();
+    for line in stanza {
+        let (k, v) = line.split_once('=')?;
+        match k {
+            "span" => span = hex(v),
+            "trace" => trace = hex(v),
+            "parent" => parent = hex(v),
+            "name" => name = Some(unescape(v)?),
+            "proc" => proc = Some(unescape(v)?),
+            "start" => start = Some(v.parse().ok()?),
+            "dur" => dur = Some(v.parse().ok()?),
+            "label" => {
+                // Escaped `=` is `\e`, so the first literal `=` splits
+                // key from value unambiguously.
+                let (lk, lv) = v.split_once('=')?;
+                labels.push((unescape(lk)?, unescape(lv)?));
+            }
+            _ => return None,
+        }
+    }
+    Some(SpanRecord {
+        trace: trace?,
+        span: span?,
+        parent: parent?,
+        name: name?,
+        labels,
+        proc: proc?,
+        start_us: start?,
+        dur_us: dur?,
+    })
 }
 
 /// Decode a report body; `None` on any malformed header or stanza.
@@ -196,7 +273,14 @@ pub fn decode_report(body: &str) -> Option<ShardReport> {
         }
     }
     let mut points = Vec::new();
+    let mut spans = Vec::new();
     for stanza in &stanzas[1..] {
+        // A stanza opening with `span=` carries one piggybacked trace
+        // span; anything else is a point report as before.
+        if stanza.first().is_some_and(|l| l.starts_with("span=")) {
+            spans.push(decode_span_stanza(stanza)?);
+            continue;
+        }
         let mut index = None;
         let mut key = None;
         let mut record_lines = String::new();
@@ -222,6 +306,7 @@ pub fn decode_report(body: &str) -> Option<ShardReport> {
         shard: shard?,
         worker: worker?,
         points,
+        spans,
     })
 }
 
@@ -273,8 +358,20 @@ mod tests {
             shard: 17,
             indices: vec![0, 5, 540],
             manifest_toml: "[scenario]\nname = \"x\"\n".to_string(),
+            trace: 0,
+            span: 0,
         };
-        assert_eq!(ShardGrant::from_json(&grant.to_json()).unwrap(), grant);
+        let encoded = grant.to_json();
+        // Untraced grants are byte-identical to the pre-trace shape.
+        assert!(!encoded.contains("trace"));
+        assert_eq!(ShardGrant::from_json(&encoded).unwrap(), grant);
+
+        let traced = ShardGrant {
+            trace: 0xdead_beef,
+            span: 42,
+            ..grant.clone()
+        };
+        assert_eq!(ShardGrant::from_json(&traced.to_json()).unwrap(), traced);
 
         let empty = ShardGrant {
             indices: Vec::new(),
@@ -301,6 +398,7 @@ mod tests {
                     record: sample_record(42),
                 },
             ],
+            spans: Vec::new(),
         };
         let back = decode_report(&encode_report(&report)).expect("decodes");
         assert_eq!(back.job, 1);
@@ -322,6 +420,7 @@ mod tests {
             shard: 5,
             worker: 6,
             points: Vec::new(),
+            spans: Vec::new(),
         };
         let back = decode_report(&encode_report(&empty)).expect("decodes");
         assert!(back.points.is_empty());
@@ -329,5 +428,53 @@ mod tests {
         // Garbage is rejected, not mis-decoded.
         assert!(decode_report("job=x\n").is_none());
         assert!(decode_report("job=1\nshard=2\nworker=3\n--\nindex=0\n").is_none());
+    }
+
+    #[test]
+    fn span_stanzas_roundtrip_alongside_points() {
+        let report = ShardReport {
+            job: 8,
+            shard: 9,
+            worker: 10,
+            points: vec![PointReport {
+                index: 0,
+                key: "ef56".to_string(),
+                record: sample_record(7),
+            }],
+            spans: vec![
+                SpanRecord {
+                    trace: 0x00c0_ffee,
+                    span: 0x1111,
+                    parent: 0x2222,
+                    name: "worker.shard.execute".to_string(),
+                    labels: vec![
+                        ("shard".to_string(), "9".to_string()),
+                        // Hostile label values must survive the codec.
+                        ("weird".to_string(), "a=b\nc\\d".to_string()),
+                    ],
+                    proc: "worker:w= 1".to_string(),
+                    start_us: 1_000_000,
+                    dur_us: 250,
+                },
+                SpanRecord {
+                    trace: 0x00c0_ffee,
+                    span: 0x3333,
+                    parent: 0x1111,
+                    name: "exec.point".to_string(),
+                    labels: Vec::new(),
+                    proc: "worker:w1".to_string(),
+                    start_us: 1_000_050,
+                    dur_us: 100,
+                },
+            ],
+        };
+        let back = decode_report(&encode_report(&report)).expect("decodes");
+        assert_eq!(back.points.len(), 1);
+        assert_eq!(back.spans.len(), 2);
+        assert_eq!(back.spans, report.spans);
+
+        // A truncated span stanza is rejected, not silently dropped.
+        let body = "job=1\nshard=2\nworker=3\n--\nspan=0001\ntrace=0002\n";
+        assert!(decode_report(body).is_none());
     }
 }

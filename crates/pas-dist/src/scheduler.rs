@@ -31,7 +31,7 @@ use crate::protocol::{Register, Registered, ShardGrant, ShardReport};
 use pas_scenario::{expand, reduce, BatchResult, Manifest, RunRecord};
 use pas_server::http::{json_string, Request, Response};
 use pas_server::json;
-use pas_server::{CacheStats, JobQueue, ResultCache, Router};
+use pas_server::{CacheStats, JobQueue, JobTrace, ResultCache, Router};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -98,6 +98,12 @@ struct Lease {
     worker: u64,
     indices: Vec<usize>,
     expires: Instant,
+    /// Pre-minted `sched.lease` span id, shipped in the grant so worker
+    /// spans nest under it; the span itself is recorded at retirement
+    /// (report or expiry), when the duration and outcome are known.
+    span: u64,
+    /// Wall-clock µs of the grant — the lease span's start.
+    granted_us: u64,
 }
 
 struct DistJob {
@@ -120,6 +126,9 @@ struct DistJob {
     hits: u64,
     /// Points executed remotely (unique indices only).
     executed: u64,
+    /// The submitting job's trace context (id + root span); lease spans
+    /// and piggybacked worker spans all stitch under it.
+    trace: Option<JobTrace>,
 }
 
 struct State {
@@ -292,6 +301,7 @@ impl Scheduler {
     /// worker executing a different matrix than the server expanded).
     pub fn report(&self, report: &ShardReport) -> Result<ReportAck, String> {
         let now = Instant::now();
+        let arrived_us = pas_obs::trace::now_us();
         let mut s = self.lock();
         if let Some(w) = s.workers.get_mut(&report.worker) {
             w.last_seen = now;
@@ -339,7 +349,8 @@ impl Scheduler {
 
         // Retire the lease; anything it covered that is still unfilled
         // (a partial report) goes back to pending.
-        if let Some(lease) = job.leases.remove(&report.shard) {
+        let retired = job.leases.remove(&report.shard);
+        if let Some(lease) = &retired {
             let leftover: Vec<usize> = lease
                 .indices
                 .iter()
@@ -350,11 +361,46 @@ impl Scheduler {
                 job.pending.push_front((leftover, true));
             }
         }
-
+        let trace = job.trace;
         let job_id = job.id;
         let done = job.filled;
         let total = job.total;
         let finished = job.filled == job.total;
+        // Close the grant-to-report lease span and file the worker's
+        // piggybacked spans under the same trace.
+        if let (Some(tr), Some(lease)) = (trace, &retired) {
+            let wname = worker_label(&s.workers, report.worker);
+            let shard = report.shard.to_string();
+            let outcome = if report.points.is_empty() {
+                "empty"
+            } else {
+                "reported"
+            };
+            pas_obs::trace::record_id(
+                tr.id,
+                lease.span,
+                tr.root,
+                "sched.lease",
+                &[
+                    ("worker", wname.as_str()),
+                    ("shard", shard.as_str()),
+                    ("outcome", outcome),
+                ],
+                lease.granted_us,
+                arrived_us.saturating_sub(lease.granted_us),
+            );
+            pas_obs::trace::record(
+                tr.id,
+                lease.span,
+                "sched.report",
+                &[("shard", shard.as_str())],
+                arrived_us,
+                pas_obs::trace::now_us().saturating_sub(arrived_us),
+            );
+        }
+        if trace.is_some() && !report.spans.is_empty() {
+            pas_obs::trace::ingest(report.spans.clone());
+        }
         pas_obs::add(
             "pas.dist.report.points.count",
             &[("outcome", "accepted")],
@@ -376,7 +422,40 @@ impl Scheduler {
         }
         if finished {
             let job = s.jobs.remove(&job_id).expect("job present");
+            // Any lease still open (a racing worker whose points a zombie
+            // replay filled first) closes as `unresolved` now, so every
+            // already-ingested worker span keeps an existing parent.
+            if let Some(tr) = trace {
+                for (&shard, l) in &job.leases {
+                    let wname = worker_label(&s.workers, l.worker);
+                    let shard = shard.to_string();
+                    pas_obs::trace::record_id(
+                        tr.id,
+                        l.span,
+                        tr.root,
+                        "sched.lease",
+                        &[
+                            ("worker", wname.as_str()),
+                            ("shard", shard.as_str()),
+                            ("outcome", "unresolved"),
+                        ],
+                        l.granted_us,
+                        pas_obs::trace::now_us().saturating_sub(l.granted_us),
+                    );
+                }
+            }
+            let t0 = pas_obs::trace::now_us();
             let (batch, stats) = assemble(job);
+            if let Some(tr) = trace {
+                pas_obs::trace::record(
+                    tr.id,
+                    tr.root,
+                    "sched.assemble",
+                    &[],
+                    t0,
+                    pas_obs::trace::now_us().saturating_sub(t0),
+                );
+            }
             drop(s);
             for (key, record) in &to_store {
                 // A failed store only costs a future recomputation.
@@ -420,6 +499,7 @@ impl Scheduler {
             self.lock().claiming -= 1;
         };
         let (id, manifest) = claimed;
+        let trace = self.queue.status(id).map(|j| j.trace);
         let points = match expand(&manifest) {
             Ok(p) => p,
             Err(e) => {
@@ -433,6 +513,9 @@ impl Scheduler {
         let mut records: Vec<Option<RunRecord>> = Vec::with_capacity(total);
         let mut missing: Vec<usize> = Vec::new();
         let mut hits = 0u64;
+        // Ambient trace context so the cache probes below record
+        // `cache.probe` spans under the job's root.
+        let _trace_ctx = trace.map(|tr| pas_obs::trace::enter(tr.id, tr.root));
         for pt in &points {
             let key = ResultCache::key(&manifest, pt);
             match self.cache.load(&key) {
@@ -447,6 +530,7 @@ impl Scheduler {
             }
             keys.push(key);
         }
+        drop(_trace_ctx);
         let filled = total - missing.len();
         if missing.is_empty() {
             // Fully warm: no worker round trip at all.
@@ -462,6 +546,7 @@ impl Scheduler {
                 leases: HashMap::new(),
                 hits,
                 executed: 0,
+                trace,
             };
             let (batch, stats) = assemble(job);
             self.queue.complete(id, batch, stats);
@@ -489,6 +574,7 @@ impl Scheduler {
             leases: HashMap::new(),
             hits,
             executed: 0,
+            trace,
         };
         let mut s = self.lock();
         s.claiming -= 1;
@@ -671,10 +757,20 @@ fn active_leases(s: &State, worker: u64) -> usize {
         .sum()
 }
 
+/// Short worker label for lease spans: the registered name, or the bare
+/// id once the registry has forgotten a long-dead worker.
+fn worker_label(workers: &BTreeMap<u64, WorkerEntry>, id: u64) -> String {
+    workers
+        .get(&id)
+        .map(|w| w.name.clone())
+        .unwrap_or_else(|| id.to_string())
+}
+
 /// Return expired leases' unfilled indices to pending and forget workers
 /// silent for three lease intervals.
 fn expire(s: &mut State, now: Instant, lease: Duration) {
-    for job in s.jobs.values_mut() {
+    let State { jobs, workers, .. } = s;
+    for job in jobs.values_mut() {
         let expired: Vec<u64> = job
             .leases
             .iter()
@@ -684,6 +780,25 @@ fn expire(s: &mut State, now: Instant, lease: Duration) {
         for shard in expired {
             let l = job.leases.remove(&shard).expect("lease present");
             pas_obs::inc("pas.dist.lease.events.count", &[("event", "expired")]);
+            // The lease span still closes — with outcome=expired — so a
+            // worker death is visible in the trace, not just a gap.
+            if let Some(tr) = job.trace {
+                let wname = worker_label(workers, l.worker);
+                let shard = shard.to_string();
+                pas_obs::trace::record_id(
+                    tr.id,
+                    l.span,
+                    tr.root,
+                    "sched.lease",
+                    &[
+                        ("worker", wname.as_str()),
+                        ("shard", shard.as_str()),
+                        ("outcome", "expired"),
+                    ],
+                    l.granted_us,
+                    pas_obs::trace::now_us().saturating_sub(l.granted_us),
+                );
+            }
             let unfilled: Vec<usize> = l
                 .indices
                 .into_iter()
@@ -694,8 +809,7 @@ fn expire(s: &mut State, now: Instant, lease: Duration) {
             }
         }
     }
-    s.workers
-        .retain(|_, w| now.duration_since(w.last_seen) <= lease * 3);
+    workers.retain(|_, w| now.duration_since(w.last_seen) <= lease * 3);
 }
 
 /// Pop the next pending shard (oldest job first), filter already-filled
@@ -720,12 +834,20 @@ fn next_grant(s: &mut State, worker: u64, now: Instant, lease: Duration) -> Opti
                 pas_obs::COUNT_BUCKETS,
                 indices.len() as f64,
             );
+            // Pre-mint the lease span id so the grant can carry it; the
+            // span records at retirement when duration/outcome are known.
+            let (trace_id, span) = match job.trace {
+                Some(tr) => (tr.id, pas_obs::trace::mint_id()),
+                None => (0, 0),
+            };
             job.leases.insert(
                 shard,
                 Lease {
                     worker,
                     indices: indices.clone(),
                     expires: now + lease,
+                    span,
+                    granted_us: pas_obs::trace::now_us(),
                 },
             );
             return Some(ShardGrant {
@@ -733,6 +855,8 @@ fn next_grant(s: &mut State, worker: u64, now: Instant, lease: Duration) -> Opti
                 shard,
                 indices,
                 manifest_toml: job.toml.clone(),
+                trace: trace_id,
+                span,
             });
         }
     }
@@ -801,6 +925,7 @@ mod tests {
                     record: execute_point(&m, field.as_ref(), pt),
                 })
                 .collect(),
+            spans: Vec::new(),
         }
     }
 

@@ -134,6 +134,11 @@ struct Telemetry {
 /// Run a worker against `addr` until the server drains (or an
 /// option-configured exit condition fires). Blocking; returns a summary.
 pub fn run(addr: &str, opts: WorkerOptions) -> Result<WorkerSummary, ClientError> {
+    // Tag spans recorded in this process with the worker's name so the
+    // stitched trace shows which process did what. First-set wins: in a
+    // worker process this runs before any span; in-process test workers
+    // share the server's tag, which is accurate there anyway.
+    pas_obs::trace::set_proc(&format!("worker:{}", opts.name));
     let reg = register(addr, &opts)?;
     let worker_id = Arc::new(AtomicU64::new(reg.worker));
     let stop = Arc::new(AtomicBool::new(false));
@@ -182,6 +187,7 @@ pub fn run(addr: &str, opts: WorkerOptions) -> Result<WorkerSummary, ClientError
             break Ok(());
         }
         let body = format!("{{\"worker\":{}}}", worker_id.load(Ordering::Relaxed));
+        let lease_t0 = pas_obs::trace::now_us();
         match call(addr, "POST", "/dist/lease", body.as_bytes()) {
             Ok((200, resp)) if json::find_bool(&resp, "drain") == Some(true) => break Ok(()),
             Ok((200, resp)) => {
@@ -189,6 +195,19 @@ pub fn run(addr: &str, opts: WorkerOptions) -> Result<WorkerSummary, ClientError
                 let Some(grant) = ShardGrant::from_json(&resp) else {
                     break Err(ClientError::Protocol(format!("bad lease response {resp}")));
                 };
+                if grant.trace != 0 {
+                    // The worker-observed cost of obtaining this shard —
+                    // the network half of the lease the scheduler can't
+                    // see from its side.
+                    pas_obs::trace::record(
+                        grant.trace,
+                        grant.span,
+                        "worker.lease.rtt",
+                        &[("worker", &opts.name)],
+                        lease_t0,
+                        pas_obs::trace::now_us().saturating_sub(lease_t0),
+                    );
+                }
                 if opts.verbose {
                     eprintln!(
                         "worker {}: leased job {} shard {} ({} points)",
@@ -293,9 +312,18 @@ fn execute_shard(
             .map_err(|e| ClientError::Protocol(format!("bad shard indices: {e}")))?,
     );
 
+    // Pre-mint the shard-execute span id so per-point spans can parent
+    // under it while it is still open; recorded after execution.
+    let exec_span = if grant.trace != 0 {
+        pas_obs::trace::mint_id()
+    } else {
+        0
+    };
+    let start_us = pas_obs::trace::now_us();
     let t0 = Instant::now();
     let records = if let Some(budget) = opts.fail_after_points {
         // Fault injection: simulate a crash partway through the shard.
+        let _trace_ctx = (grant.trace != 0).then(|| pas_obs::trace::enter(grant.trace, exec_span));
         let mut records = Vec::new();
         for pt in points.iter() {
             if summary.points >= budget {
@@ -312,13 +340,29 @@ fn execute_shard(
     } else {
         let c = Arc::clone(&job_ctx);
         let p = Arc::clone(&points);
+        let trace = grant.trace;
         let records = pool.map_indexed(points.len(), move |i| {
+            // Ambient context inside the pool closure: thread-locals do
+            // not cross pool threads, so each point re-enters it.
+            let _trace_ctx = (trace != 0).then(|| pas_obs::trace::enter(trace, exec_span));
             pas_scenario::execute_point(&c.manifest, c.field.as_ref(), &p[i])
         });
         summary.points += records.len() as u64;
         records
     };
     let shard_us = t0.elapsed().as_secs_f64() * 1e6;
+    if grant.trace != 0 {
+        let shard_label = grant.shard.to_string();
+        pas_obs::trace::record_id(
+            grant.trace,
+            exec_span,
+            grant.span,
+            "worker.shard.execute",
+            &[("worker", &opts.name), ("shard", &shard_label)],
+            start_us,
+            shard_us as u64,
+        );
+    }
     telemetry
         .points
         .fetch_add(records.len() as u64, Ordering::Relaxed);
@@ -331,6 +375,14 @@ fn execute_shard(
         shard_us,
     );
 
+    // Drain this trace's worker-side spans into the report, piggybacking
+    // them on the result upload — no extra round trip, and a worker that
+    // dies before reporting simply loses its spans along with its shard.
+    let spans = if grant.trace != 0 {
+        pas_obs::trace::take(grant.trace)
+    } else {
+        Vec::new()
+    };
     let report = ShardReport {
         job: grant.job,
         shard: grant.shard,
@@ -344,6 +396,7 @@ fn execute_shard(
                 record,
             })
             .collect(),
+        spans,
     };
     let body = encode_report(&report);
 

@@ -26,7 +26,10 @@ fn tiny_manifest() -> Manifest {
 }
 
 /// Execute `grant.indices[..limit]` points and build a (possibly
-/// partial) report the way a real worker would.
+/// partial) report the way a real worker would — including the
+/// piggybacked span tree a real worker ships: one `worker.shard.execute`
+/// parented under the grant's lease span, one `exec.point` per point
+/// under that.
 fn partial_report(
     m: &Manifest,
     grant: &pas_dist::ShardGrant,
@@ -35,18 +38,92 @@ fn partial_report(
 ) -> ShardReport {
     let field = m.build_field();
     let points = expand_indices(m, &grant.indices[..limit]).unwrap();
+    let exec_span = pas_obs::trace::mint_id();
+    let t0 = pas_obs::trace::now_us();
+    let mut spans = vec![pas_obs::trace::SpanRecord {
+        trace: grant.trace,
+        span: exec_span,
+        parent: grant.span,
+        name: "worker.shard.execute".to_string(),
+        labels: vec![("worker".to_string(), format!("w{worker}"))],
+        proc: format!("worker:w{worker}"),
+        start_us: t0,
+        dur_us: 100,
+    }];
+    let records: Vec<PointReport> = points
+        .iter()
+        .map(|pt| {
+            spans.push(pas_obs::trace::SpanRecord {
+                trace: grant.trace,
+                span: pas_obs::trace::mint_id(),
+                parent: exec_span,
+                name: "exec.point".to_string(),
+                labels: Vec::new(),
+                proc: format!("worker:w{worker}"),
+                start_us: t0,
+                dur_us: 10,
+            });
+            PointReport {
+                index: pt.index,
+                key: ResultCache::key(m, pt),
+                record: execute_point(m, field.as_ref(), pt),
+            }
+        })
+        .collect();
     ShardReport {
         job: grant.job,
         shard: grant.shard,
         worker,
-        points: points
-            .iter()
-            .map(|pt| PointReport {
-                index: pt.index,
-                key: ResultCache::key(m, pt),
-                record: execute_point(m, field.as_ref(), pt),
-            })
-            .collect(),
+        points: records,
+        spans,
+    }
+}
+
+/// Span-tree well-formedness: every non-root parent exists, no cycles,
+/// and worker spans nest where the protocol says they must
+/// (`exec.point` under `worker.shard.execute` under `sched.lease`).
+fn assert_well_formed(spans: &[pas_obs::trace::SpanRecord]) {
+    use std::collections::HashMap;
+    let by_id: HashMap<u64, &pas_obs::trace::SpanRecord> =
+        spans.iter().map(|s| (s.span, s)).collect();
+    assert_eq!(by_id.len(), spans.len(), "span ids must be unique");
+    for s in spans {
+        if s.parent == 0 {
+            assert_eq!(s.name, "job", "only the root may have parent 0");
+            continue;
+        }
+        assert!(
+            by_id.contains_key(&s.parent),
+            "span {} ({}) has missing parent {:016x}",
+            s.name,
+            s.span,
+            s.parent
+        );
+        // Walk to the root; a cycle would never terminate, so bound the
+        // walk by the span count.
+        let mut cur = s;
+        let mut hops = 0;
+        while cur.parent != 0 {
+            cur = by_id[&cur.parent];
+            hops += 1;
+            assert!(hops <= spans.len(), "cycle reaching {}", s.name);
+        }
+        assert_eq!(cur.name, "job", "every chain must end at the root");
+        let parent = by_id[&s.parent];
+        match s.name.as_str() {
+            "worker.shard.execute" | "worker.lease.rtt" => {
+                assert_eq!(parent.name, "sched.lease", "worker spans nest under lease")
+            }
+            "exec.point" => assert!(
+                parent.name == "worker.shard.execute" || parent.name == "job.execute",
+                "exec.point under shard execute, got {}",
+                parent.name
+            ),
+            "sched.lease" | "sched.assemble" | "job.queued" | "job.execute" => {
+                assert_eq!(parent.name, "job", "{} hangs off the root", s.name)
+            }
+            _ => {}
+        }
     }
 }
 
@@ -156,6 +233,23 @@ proptest! {
             prop_assert_eq!(a.seed, b.seed);
             prop_assert_eq!(a.events_processed, b.events_processed);
         }
+
+        // The stitched span tree survives the same interleaving: one
+        // root, every parent present, no cycles, worker spans nested
+        // under the leases that granted them — even with expiries,
+        // re-leases, and zombie replays in the mix.
+        let tr = job.trace;
+        let spans = pas_obs::trace::spans_for(tr.id);
+        prop_assert!(
+            spans.iter().filter(|s| s.name == "job").count() == 1,
+            "exactly one root span"
+        );
+        prop_assert!(
+            spans.iter().any(|s| s.name == "worker.shard.execute"),
+            "worker spans must have been ingested"
+        );
+        assert_well_formed(&spans);
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -17,6 +17,8 @@
 //! sorted by key — injective, so distinct label sets can never collide,
 //! and canonical, so exposition output is deterministic bytes.
 
+pub mod trace;
+
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};

@@ -275,6 +275,7 @@ pub fn failure_plan(
 /// `field` is the stimulus ground truth built once per batch with
 /// [`Manifest::build_field`] (it is seed-independent and read-only).
 pub fn execute_point(manifest: &Manifest, field: &dyn StimulusField, pt: &RunPoint) -> RunRecord {
+    let start_us = pas_obs::trace::now_us();
     let t0 = std::time::Instant::now();
     let scenario = manifest.scenario_for(pt.seed, &pt.assignments);
     let mut cfg = RunConfig::new(pt.policy)
@@ -293,12 +294,14 @@ pub fn execute_point(manifest: &Manifest, field: &dyn StimulusField, pt: &RunPoi
         ("policy", pt.policy_label.as_str()),
         ("predictor", predictor),
     ];
+    let el_us = t0.elapsed().as_secs_f64() * 1e6;
     pas_obs::inc("pas.exec.points.count", &labels);
-    pas_obs::observe_us(
-        "pas.exec.point.microseconds",
-        &labels,
-        t0.elapsed().as_secs_f64() * 1e6,
-    );
+    pas_obs::observe_us("pas.exec.point.microseconds", &labels, el_us);
+    // Under an ambient trace context (set per closure by the traced
+    // executors) the point also records a span; results never read it.
+    if let Some((trace, parent)) = pas_obs::trace::current() {
+        pas_obs::trace::record(trace, parent, "exec.point", &labels, start_us, el_us as u64);
+    }
     RunRecord {
         x: pt.x,
         policy_label: pt.policy_label.clone(),

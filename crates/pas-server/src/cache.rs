@@ -135,6 +135,7 @@ impl ResultCache {
     /// the caller still just sees `Option`, so a corrupt entry falls
     /// back to recomputation exactly as before.
     pub fn load(&self, key: &str) -> Option<RunRecord> {
+        let start_us = pas_obs::trace::now_us();
         let t0 = std::time::Instant::now();
         let (outcome, record) = match std::fs::read_to_string(self.entry_path(key)) {
             Err(_) => ("miss", None),
@@ -146,12 +147,19 @@ impl ResultCache {
                 }
             }
         };
+        let el_us = t0.elapsed().as_secs_f64() * 1e6;
         pas_obs::inc("pas.cache.lookup.count", &[("outcome", outcome)]);
-        pas_obs::observe_us(
-            "pas.cache.lookup.microseconds",
-            &[],
-            t0.elapsed().as_secs_f64() * 1e6,
-        );
+        pas_obs::observe_us("pas.cache.lookup.microseconds", &[], el_us);
+        if let Some((trace, parent)) = pas_obs::trace::current() {
+            pas_obs::trace::record(
+                trace,
+                parent,
+                "cache.probe",
+                &[("outcome", outcome)],
+                start_us,
+                el_us as u64,
+            );
+        }
         record
     }
 
@@ -168,6 +176,8 @@ impl ResultCache {
     /// Store an entry (atomic rename; concurrent writers of the same key
     /// are idempotent because the content is identical by construction).
     pub fn store(&self, key: &str, record: &RunRecord) -> io::Result<()> {
+        let start_us = pas_obs::trace::now_us();
+        let t0 = std::time::Instant::now();
         let payload = encode_record(record);
         let text = format!(
             "{CACHE_VERSION}\n{}\n{payload}",
@@ -178,6 +188,16 @@ impl ResultCache {
         std::fs::rename(&tmp, self.entry_path(key))?;
         pas_obs::inc("pas.cache.store.count", &[]);
         pas_obs::add("pas.cache.write.bytes", &[], text.len() as u64);
+        if let Some((trace, parent)) = pas_obs::trace::current() {
+            pas_obs::trace::record(
+                trace,
+                parent,
+                "cache.store",
+                &[],
+                start_us,
+                (t0.elapsed().as_secs_f64() * 1e6) as u64,
+            );
+        }
         Ok(())
     }
 }
@@ -295,7 +315,10 @@ fn bits(v: &str) -> Option<f64> {
     u64::from_str_radix(v, 16).ok().map(f64::from_bits)
 }
 
-fn escape(raw: &str) -> String {
+/// Escape a raw string onto one `key=value` line: `\`, newline, carriage
+/// return, and `=` become two-character escapes. Shared by the cache
+/// record codec and the dist report's span stanzas.
+pub fn escape(raw: &str) -> String {
     let mut out = String::with_capacity(raw.len());
     for c in raw.chars() {
         match c {
@@ -309,7 +332,8 @@ fn escape(raw: &str) -> String {
     out
 }
 
-fn unescape(enc: &str) -> Option<String> {
+/// Inverse of [`escape`]; `None` on a malformed escape sequence.
+pub fn unescape(enc: &str) -> Option<String> {
     let mut out = String::with_capacity(enc.len());
     let mut chars = enc.chars();
     while let Some(c) = chars.next() {
@@ -349,6 +373,21 @@ pub fn execute_with_cache_progress(
     cache: &ResultCache,
     on_progress: impl Fn(usize, usize) + Sync,
 ) -> Result<(BatchResult, CacheStats), pas_scenario::ManifestError> {
+    execute_with_cache_traced(manifest, opts, cache, None, on_progress)
+}
+
+/// [`execute_with_cache_progress`] under a trace context: per-point
+/// cache probes, stores, and simulations record spans parented under
+/// `(trace, parent span)`. The context is re-entered *inside* each
+/// worker closure so pooled threads inherit the right parent. Tracing
+/// is observational only — record bytes are identical either way.
+pub fn execute_with_cache_traced(
+    manifest: &Manifest,
+    opts: ExecOptions,
+    cache: &ResultCache,
+    trace_ctx: Option<(u64, u64)>,
+    on_progress: impl Fn(usize, usize) + Sync,
+) -> Result<(BatchResult, CacheStats), pas_scenario::ManifestError> {
     let points = expand(manifest)?;
     let field = manifest.build_field();
     let hits = AtomicU64::new(0);
@@ -357,6 +396,7 @@ pub fn execute_with_cache_progress(
     let done = std::sync::atomic::AtomicUsize::new(0);
 
     let records: Vec<RunRecord> = parallel_map_with(&points, opts.sweep_options(manifest), |pt| {
+        let _trace = trace_ctx.map(|(t, p)| pas_obs::trace::enter(t, p));
         let key = ResultCache::key(manifest, pt);
         let record = match cache.load(&key) {
             Some(r) => {

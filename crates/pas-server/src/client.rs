@@ -4,7 +4,7 @@
 //! connection, `Content-Length` bodies. Every method is a thin, typed
 //! wrapper over one route.
 
-use crate::http::roundtrip;
+use crate::http::roundtrip_with;
 use crate::json::{find_string as json_find_string, find_u64 as json_find_u64};
 use std::io;
 use std::net::TcpStream;
@@ -44,6 +44,29 @@ impl ReportFormat {
     }
 }
 
+/// Trace format for [`Client::trace`] (`GET /jobs/:id/trace`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome trace-event JSON (`application/json`) — load in
+    /// `chrome://tracing` or Perfetto.
+    Chrome,
+    /// Indented span tree (`text/plain`), deterministic for diffing.
+    Tree,
+    /// Per-name self-time ranking (`text/x-pas-critical-path`).
+    CriticalPath,
+}
+
+impl TraceFormat {
+    /// The `Accept` value selecting this format.
+    pub fn accept(&self) -> &'static str {
+        match self {
+            TraceFormat::Chrome => "application/json",
+            TraceFormat::Tree => "text/plain",
+            TraceFormat::CriticalPath => "text/x-pas-critical-path",
+        }
+    }
+}
+
 /// Progress snapshot of a submitted job, decoded from `GET /jobs/:id`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobStatus {
@@ -61,6 +84,9 @@ pub struct JobStatus {
     pub cache_misses: u64,
     /// Failure message, when `phase == "failed"`.
     pub error: Option<String>,
+    /// Trace id (16 hex digits) tying this job's spans together; absent
+    /// when talking to a pre-trace server.
+    pub trace: Option<String>,
 }
 
 /// Errors surfaced to the CLI.
@@ -223,9 +249,21 @@ impl Client {
         accept: Option<&str>,
         body: &[u8],
     ) -> Result<(u16, Vec<u8>), ClientError> {
+        self.call_with(method, path, accept, &[], body)
+    }
+
+    fn call_with(
+        &self,
+        method: &str,
+        path: &str,
+        accept: Option<&str>,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<(u16, Vec<u8>), ClientError> {
         let mut stream = TcpStream::connect(&self.addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(600)))?;
-        let (status, _ctype, body) = roundtrip(&mut stream, method, path, accept, body)?;
+        let (status, _ctype, body) =
+            roundtrip_with(&mut stream, method, path, accept, extra_headers, body)?;
         Ok((status, body))
     }
 
@@ -256,11 +294,35 @@ impl Client {
     }
 
     /// `POST /jobs` with manifest TOML; returns the job id.
+    ///
+    /// Mints a fresh trace id client-side and carries it in the
+    /// `X-Pas-Trace` header, so the whole causal chain — queue wait,
+    /// scheduler leases, worker execution, cache probes — lands under one
+    /// trace the submitter can later fetch with [`Client::trace`].
     pub fn submit(&self, manifest_toml: &str) -> Result<u64, ClientError> {
-        let out = self.call("POST", "/jobs", None, manifest_toml.as_bytes())?;
+        self.submit_traced(manifest_toml, pas_obs::trace::mint_id())
+            .map(|(id, _trace)| id)
+    }
+
+    /// [`Client::submit`] with a caller-supplied trace id; returns
+    /// `(job_id, trace_id)`.
+    pub fn submit_traced(
+        &self,
+        manifest_toml: &str,
+        trace: u64,
+    ) -> Result<(u64, u64), ClientError> {
+        let hex = format!("{trace:016x}");
+        let out = self.call_with(
+            "POST",
+            "/jobs",
+            None,
+            &[("X-Pas-Trace", hex.as_str())],
+            manifest_toml.as_bytes(),
+        )?;
         let body = self.expect_ok(out)?;
-        json_find_u64(&body, "id")
-            .ok_or_else(|| ClientError::Protocol(format!("no `id` in {body}")))
+        let id = json_find_u64(&body, "id")
+            .ok_or_else(|| ClientError::Protocol(format!("no `id` in {body}")))?;
+        Ok((id, trace))
     }
 
     /// [`Client::submit`] with exponential backoff and jitter on transient
@@ -346,6 +408,7 @@ impl Client {
             cache_hits: field("cache_hits")?,
             cache_misses: field("cache_misses")?,
             error: json_find_string(&body, "error"),
+            trace: json_find_string(&body, "trace"),
         })
     }
 
@@ -368,6 +431,24 @@ impl Client {
             ResultFormat::Jsonl => "application/x-ndjson",
         };
         let (status, body) = self.call("GET", &format!("/jobs/{id}/results"), Some(accept), &[])?;
+        if status == 200 {
+            Ok(body)
+        } else {
+            let text = String::from_utf8_lossy(&body).into_owned();
+            let msg = json_find_string(&text, "error").unwrap_or(text);
+            Err(ClientError::Api(status, msg))
+        }
+    }
+
+    /// `GET /jobs/:id/trace` in the requested format, as raw bytes
+    /// (requires `pas serve --metrics`).
+    pub fn trace(&self, id: u64, format: TraceFormat) -> Result<Vec<u8>, ClientError> {
+        let (status, body) = self.call(
+            "GET",
+            &format!("/jobs/{id}/trace"),
+            Some(format.accept()),
+            &[],
+        )?;
         if status == 200 {
             Ok(body)
         } else {

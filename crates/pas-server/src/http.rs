@@ -204,9 +204,27 @@ pub fn roundtrip(
     accept: Option<&str>,
     body: &[u8],
 ) -> io::Result<(u16, String, Vec<u8>)> {
+    roundtrip_with(stream, method, path, accept, &[], body)
+}
+
+/// [`roundtrip`] with extra request headers (e.g. `X-Pas-Trace` for
+/// trace-context propagation). Header names must be in the token
+/// charset and values line-free; this is an internal client, not a
+/// general header codec.
+pub fn roundtrip_with(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    accept: Option<&str>,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<(u16, String, Vec<u8>)> {
     let mut head = format!("{method} {path} HTTP/1.1\r\nHost: pas\r\nConnection: close\r\n");
     if let Some(a) = accept {
         let _ = std::fmt::Write::write_fmt(&mut head, format_args!("Accept: {a}\r\n"));
+    }
+    for (name, value) in extra_headers {
+        let _ = std::fmt::Write::write_fmt(&mut head, format_args!("{name}: {value}\r\n"));
     }
     if !body.is_empty() || method == "POST" {
         let _ = std::fmt::Write::write_fmt(
@@ -296,17 +314,19 @@ mod tests {
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/validate");
             assert_eq!(req.header("accept"), Some("text/csv"));
+            assert_eq!(req.header("x-pas-trace"), Some("00c0ffee00c0ffee"));
             assert_eq!(req.body, b"name = 1");
             Response::new(400, "text/plain", "nope")
                 .write_to(&mut stream)
                 .unwrap();
         });
         let mut stream = TcpStream::connect(addr).unwrap();
-        let (status, ctype, body) = roundtrip(
+        let (status, ctype, body) = roundtrip_with(
             &mut stream,
             "POST",
             "/validate",
             Some("text/csv"),
+            &[("X-Pas-Trace", "00c0ffee00c0ffee")],
             b"name = 1",
         )
         .unwrap();

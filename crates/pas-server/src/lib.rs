@@ -39,11 +39,12 @@ pub mod json;
 pub mod queue;
 pub mod server;
 
-pub use cache::{execute_with_cache, CacheStats, ResultCache};
+pub use cache::{execute_with_cache, execute_with_cache_traced, CacheStats, ResultCache};
 pub use client::{
     retry_cause, Client, ClientError, JobStatus, ReportFormat, ResultFormat, RetryPolicy,
+    TraceFormat,
 };
-pub use queue::{Job, JobPhase, JobQueue, SubmitError};
+pub use queue::{Job, JobPhase, JobQueue, JobTrace, SubmitError};
 pub use server::{Router, Server, ServerOptions};
 
 /// Commonly used items, for glob import.

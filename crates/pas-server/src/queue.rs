@@ -9,7 +9,7 @@
 //! when jobs are small. Job state lives in a registry the HTTP layer
 //! reads for `GET /jobs/:id`.
 
-use crate::cache::{execute_with_cache_progress, CacheStats, ResultCache};
+use crate::cache::{execute_with_cache_traced, CacheStats, ResultCache};
 use pas_scenario::{BatchResult, ExecOptions, Manifest};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -45,6 +45,20 @@ impl JobPhase {
     }
 }
 
+/// A job's trace context: the trace id (client-minted via
+/// `X-Pas-Trace` or server-minted at submit) plus the pre-minted root
+/// span id every server/scheduler/worker span parents under. The root
+/// `job` span itself is recorded when the job completes or fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTrace {
+    /// Trace id (the tree's identity, propagated on the wire).
+    pub id: u64,
+    /// Root span id (`job`), minted at submit.
+    pub root: u64,
+    /// Submission wall-clock, µs since the Unix epoch.
+    pub start_us: u64,
+}
+
 /// One job's full state.
 #[derive(Debug, Clone)]
 pub struct Job {
@@ -52,6 +66,9 @@ pub struct Job {
     pub id: u64,
     /// Scenario name from the submitted manifest.
     pub scenario: String,
+    /// Trace context (every job is traced; recording itself is gated
+    /// by the global observability switch).
+    pub trace: JobTrace,
     /// Current phase.
     pub phase: JobPhase,
     /// Points finished so far.
@@ -119,6 +136,17 @@ impl JobQueue {
 
     /// Enqueue a validated manifest; returns the new job id.
     pub fn submit(&self, manifest: Manifest, total: usize) -> Result<u64, SubmitError> {
+        self.submit_traced(manifest, total, None)
+    }
+
+    /// [`JobQueue::submit`] under a caller-provided trace id (from an
+    /// `X-Pas-Trace` header); `None` mints a fresh one.
+    pub fn submit_traced(
+        &self,
+        manifest: Manifest,
+        total: usize,
+        trace: Option<u64>,
+    ) -> Result<u64, SubmitError> {
         let mut t = self.inner.jobs.lock().expect("queue poisoned");
         if t.shutdown {
             pas_obs::inc("pas.queue.submit.count", &[("outcome", "rejected_closed")]);
@@ -135,6 +163,11 @@ impl JobQueue {
             Job {
                 id,
                 scenario: manifest.name.clone(),
+                trace: JobTrace {
+                    id: trace.unwrap_or_else(pas_obs::trace::mint_id),
+                    root: pas_obs::trace::mint_id(),
+                    start_us: pas_obs::trace::now_us(),
+                },
                 phase: JobPhase::Queued,
                 done: 0,
                 total,
@@ -178,6 +211,7 @@ impl JobQueue {
         t.by_id.get(&id).map(|j| Job {
             id: j.id,
             scenario: j.scenario.clone(),
+            trace: j.trace,
             phase: j.phase.clone(),
             done: j.done,
             total: j.total,
@@ -246,10 +280,16 @@ impl JobQueue {
             j.stats = stats;
             j.result = Some(batch);
             pas_obs::inc("pas.queue.jobs.count", &[("outcome", "completed")]);
-            pas_obs::observe_us(
-                "pas.queue.job.duration.microseconds",
-                &[],
-                j.submitted.elapsed().as_secs_f64() * 1e6,
+            let dur_us = j.submitted.elapsed().as_secs_f64() * 1e6;
+            pas_obs::observe_us("pas.queue.job.duration.microseconds", &[], dur_us);
+            pas_obs::trace::record_id(
+                j.trace.id,
+                j.trace.root,
+                0,
+                "job",
+                &[("scenario", j.scenario.as_str()), ("outcome", "completed")],
+                j.trace.start_us,
+                dur_us as u64,
             );
         });
     }
@@ -261,6 +301,15 @@ impl JobQueue {
             j.phase = JobPhase::Failed;
             j.error = Some(error);
             pas_obs::inc("pas.queue.jobs.count", &[("outcome", "failed")]);
+            pas_obs::trace::record_id(
+                j.trace.id,
+                j.trace.root,
+                0,
+                "job",
+                &[("scenario", j.scenario.as_str()), ("outcome", "failed")],
+                j.trace.start_us,
+                (j.submitted.elapsed().as_secs_f64() * 1e6) as u64,
+            );
         });
     }
 
@@ -291,9 +340,22 @@ impl JobQueue {
     pub fn work(&self, cache: &ResultCache, opts: ExecOptions) {
         while let Some((id, manifest)) = self.pop() {
             let queue = self.clone();
-            let outcome = execute_with_cache_progress(&manifest, opts, cache, |done, total| {
+            let trace = self.status(id).map(|j| j.trace);
+            // The `job.execute` span covers the whole local execution;
+            // per-point probe/run spans parent under it via the ambient
+            // context the traced executor re-enters on each pool thread.
+            let (span, ctx) = match trace {
+                Some(tr) => {
+                    let span = pas_obs::trace::start(tr.id, tr.root, "job.execute", &[]);
+                    let ctx = Some((tr.id, span.id()));
+                    (Some(span), ctx)
+                }
+                None => (None, None),
+            };
+            let outcome = execute_with_cache_traced(&manifest, opts, cache, ctx, |done, total| {
                 queue.set_progress(id, done, total);
             });
+            drop(span);
             match outcome {
                 Ok((batch, stats)) => self.complete(id, batch, stats),
                 Err(e) => self.fail(id, e.to_string()),
@@ -309,10 +371,15 @@ impl JobTable {
         let manifest = self.manifests.remove(&id).expect("manifest for queued job");
         if let Some(j) = self.by_id.get_mut(&id) {
             j.phase = JobPhase::Running;
-            pas_obs::observe_us(
-                "pas.queue.wait.microseconds",
+            let wait_us = j.submitted.elapsed().as_secs_f64() * 1e6;
+            pas_obs::observe_us("pas.queue.wait.microseconds", &[], wait_us);
+            pas_obs::trace::record(
+                j.trace.id,
+                j.trace.root,
+                "job.queued",
                 &[],
-                j.submitted.elapsed().as_secs_f64() * 1e6,
+                j.trace.start_us,
+                wait_us as u64,
             );
         }
         pas_obs::gauge_set("pas.queue.depth.jobs", &[], self.queue.len() as i64);

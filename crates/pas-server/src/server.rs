@@ -9,6 +9,7 @@
 //! | `GET /jobs/:id` | phase, progress, cache hit/miss counters |
 //! | `GET /jobs/:id/results` | summary CSV, or per-run JSONL via `Accept` |
 //! | `GET /jobs/:id/report` | statistical report: Markdown (default), `report.json`, or SVG curves via `Accept` |
+//! | `GET /jobs/:id/trace` | causal span tree: Chrome trace-event JSON (default), text tree, or critical-path summary via `Accept` (opt-in, with `/metrics`) |
 //!
 //! One thread per connection (requests are one round trip and jobs are
 //! asynchronous, so connections are short-lived); simulation work happens
@@ -37,10 +38,11 @@ pub struct ServerOptions {
     /// `pas serve --no-local-exec` mode) leaves jobs in the queue for an
     /// external backend — the `pas-dist` scheduler — to claim.
     pub local_exec: bool,
-    /// Serve the Prometheus `GET /metrics` endpoint (`pas serve
-    /// --metrics`). Collection itself is always on — this only gates
-    /// exposition, so a closed deployment is not forced to publish its
-    /// internals.
+    /// Serve the observability exposition endpoints — Prometheus
+    /// `GET /metrics` and the span tree `GET /jobs/:id/trace`
+    /// (`pas serve --metrics`). Collection itself is always on — this
+    /// only gates exposition, so a closed deployment is not forced to
+    /// publish its internals.
     pub metrics: bool,
 }
 
@@ -216,6 +218,7 @@ fn route_label(path: &str) -> &'static str {
         ["jobs", _] => "/jobs/:id",
         ["jobs", _, "results"] => "/jobs/:id/results",
         ["jobs", _, "report"] => "/jobs/:id/report",
+        ["jobs", _, "trace"] => "/jobs/:id/trace",
         ["jobs", _, "events"] => "/jobs/:id/events",
         ["healthz"] => "/healthz",
         ["metrics"] => "/metrics",
@@ -265,22 +268,34 @@ fn route(ctx: &Ctx, req: &Request) -> Response {
         ("POST", ["expand"]) => {
             with_manifest(req, |m, runs| Response::json(200, expansion_json(&m, runs)))
         }
-        ("POST", ["jobs"]) => with_manifest(req, |m, runs| match queue.submit(m, runs) {
-            Ok(id) => Response::json(
-                202,
-                format!(
-                    "{{\"id\":{id},\"status\":\"/jobs/{id}\",\"results\":\"/jobs/{id}/results\"}}"
+        ("POST", ["jobs"]) => {
+            // Propagated trace context: a 16-hex-digit trace id minted by
+            // the submitting client. Absent or malformed, the job mints
+            // its own — submission never fails on a bad trace header.
+            let trace = req
+                .header("x-pas-trace")
+                .and_then(|v| u64::from_str_radix(v.trim(), 16).ok())
+                .filter(|&t| t != 0);
+            with_manifest(req, |m, runs| {
+                match queue.submit_traced(m, runs, trace) {
+                Ok(id) => Response::json(
+                    202,
+                    format!(
+                        "{{\"id\":{id},\"status\":\"/jobs/{id}\",\"results\":\"/jobs/{id}/results\"}}"
+                    ),
                 ),
-            ),
-            Err(SubmitError::Full) => Response::error(429, "job queue is full; retry later"),
-            Err(SubmitError::Closed) => Response::error(503, "server is shutting down"),
-        }),
+                Err(SubmitError::Full) => Response::error(429, "job queue is full; retry later"),
+                Err(SubmitError::Closed) => Response::error(503, "server is shutting down"),
+            }
+            })
+        }
         ("GET", ["jobs", id]) => match id.parse::<u64>().ok().and_then(|id| queue.status(id)) {
             Some(job) => Response::json(200, status_json(&job)),
             None => Response::error(404, "no such job"),
         },
         ("GET", ["jobs", id, "results"]) => results(queue, req, id),
         ("GET", ["jobs", id, "report"]) => report(queue, req, id),
+        ("GET", ["jobs", id, "trace"]) if ctx.opts.metrics => trace(queue, req, id),
         ("GET", _) | ("POST", _) => Response::error(404, "no such route"),
         _ => Response::error(405, "method not allowed"),
     }
@@ -312,6 +327,38 @@ fn healthz(ctx: &Ctx) -> Response {
     )
 }
 
+/// `GET /jobs/:id/trace`: the job's causal span tree, stitched from
+/// every process that touched it (server queue/scheduler spans plus
+/// worker spans shipped back on shard reports). Content-negotiated:
+/// Chrome trace-event JSON by default (loadable in Perfetto /
+/// `chrome://tracing`), a deterministic indented text tree for
+/// `Accept: text/plain`, or the critical-path self-time summary for
+/// `Accept: text/x-pas-critical-path`. Works mid-run too — the tree is
+/// simply still growing. Exposition is opt-in behind
+/// [`ServerOptions::metrics`], like `/metrics`.
+fn trace(queue: &JobQueue, req: &Request, id: &str) -> Response {
+    let Some(job) = id.parse::<u64>().ok().and_then(|id| queue.status(id)) else {
+        return Response::error(404, "no such job");
+    };
+    let spans = pas_obs::trace::spans_for(job.trace.id);
+    let accept = req.header("accept").unwrap_or("application/json");
+    if accept.contains("text/x-pas-critical-path") {
+        Response::new(
+            200,
+            "text/plain; charset=utf-8",
+            pas_obs::trace::render_critical_path(&spans, 10),
+        )
+    } else if accept.contains("text/plain") {
+        Response::new(
+            200,
+            "text/plain; charset=utf-8",
+            pas_obs::trace::render_tree(&spans),
+        )
+    } else {
+        Response::json(200, pas_obs::trace::render_chrome(&spans))
+    }
+}
+
 /// How often the SSE loop samples job state.
 const SSE_POLL: Duration = Duration::from_millis(50);
 
@@ -324,8 +371,11 @@ const SSE_HEARTBEAT: Duration = Duration::from_secs(1);
 /// (including the initial state), a `progress` event on every observed
 /// points-done tick, `: hb` comment padding while idle, and a final
 /// `done` event (with cache counters) when the job completes or fails,
-/// after which the stream terminates. Returns the effective status for
-/// the request log/metrics.
+/// after which the stream terminates. Edge cases never hang a client:
+/// an unknown id answers a plain `404` before any streaming starts,
+/// and a job that already finished gets exactly one immediate `done`
+/// frame and a clean close — no initial `phase` echo, no heartbeat
+/// wait. Returns the effective status for the request log/metrics.
 fn stream_job_events(stream: &mut TcpStream, queue: &JobQueue, id: u64) -> io::Result<u16> {
     let Some(mut last) = queue.status(id) else {
         Response::error(404, "no such job").write_to(stream)?;
@@ -347,7 +397,11 @@ fn stream_job_events(stream: &mut TcpStream, queue: &JobQueue, id: u64) -> io::R
     };
     let event = |kind: &str, data: &str| format!("event: {kind}\ndata: {data}\n\n");
 
-    emit(stream, &event("phase", &status_json(&last)))?;
+    // A still-running job announces its current phase first; an already
+    // finished one goes straight to the `done` frame below.
+    if !matches!(last.phase, JobPhase::Completed | JobPhase::Failed) {
+        emit(stream, &event("phase", &status_json(&last)))?;
+    }
     let mut last_write = Instant::now();
     loop {
         if matches!(last.phase, JobPhase::Completed | JobPhase::Failed) {
@@ -467,7 +521,7 @@ fn expansion_json(m: &Manifest, runs: usize) -> String {
 fn status_json(job: &crate::queue::Job) -> String {
     let mut s = format!(
         "{{\"id\":{},\"scenario\":{},\"phase\":{},\"done\":{},\"total\":{},\
-         \"cache_hits\":{},\"cache_misses\":{}",
+         \"cache_hits\":{},\"cache_misses\":{},\"trace\":\"{:016x}\"",
         job.id,
         json_string(&job.scenario),
         json_string(job.phase.as_str()),
@@ -475,6 +529,7 @@ fn status_json(job: &crate::queue::Job) -> String {
         job.total,
         job.stats.hits,
         job.stats.misses,
+        job.trace.id,
     );
     if let Some(e) = &job.error {
         s.push_str(&format!(",\"error\":{}", json_string(e)));

@@ -309,3 +309,134 @@ fn served_report_matches_local_report_cold_and_warm() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// SSE edge cases that must never hang a client: an unknown job id
+/// answers a plain 404 before any streaming starts, and a job that
+/// already finished gets exactly one immediate `done` frame — no
+/// initial `phase` echo, no heartbeat wait — and a clean close.
+#[test]
+fn sse_unknown_job_404s_and_finished_job_gets_immediate_done() {
+    use std::io::{Read as _, Write as _};
+
+    let (client, dir) = boot("sse_edge", ServerOptions::default());
+    let (_, toml) = small_manifest_toml();
+
+    // Unknown id: a plain 404 response, not an event stream.
+    let mut stream = std::net::TcpStream::connect(client.addr()).unwrap();
+    write!(
+        stream,
+        "GET /jobs/424242/events HTTP/1.1\r\nHost: pas\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+    assert!(
+        !raw.contains("text/event-stream"),
+        "404 must not open a stream: {raw}"
+    );
+
+    // Run a job to completion *before* subscribing.
+    let id = client.submit(&toml).unwrap();
+    let done = client.wait(id, Duration::from_millis(25)).unwrap();
+    assert_eq!(done.phase, "completed");
+
+    // The late subscriber sees one `done` frame, immediately: well under
+    // the 1s heartbeat cadence, so a hang would trip the deadline.
+    let t0 = std::time::Instant::now();
+    let mut stream = std::net::TcpStream::connect(client.addr()).unwrap();
+    write!(
+        stream,
+        "GET /jobs/{id}/events HTTP/1.1\r\nHost: pas\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(
+        t0.elapsed() < Duration::from_millis(500),
+        "finished job must answer immediately, took {:?}",
+        t0.elapsed()
+    );
+    assert!(raw.contains("Content-Type: text/event-stream"), "{raw}");
+    assert_eq!(raw.matches("event: done").count(), 1, "{raw}");
+    assert_eq!(
+        raw.matches("event: phase").count(),
+        0,
+        "no phase echo for a finished job: {raw}"
+    );
+    assert!(!raw.contains(": hb"), "no heartbeat wait: {raw}");
+    assert!(raw.ends_with("0\r\n\r\n"), "clean chunked close: {raw}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `GET /jobs/:id/trace`: submit with an explicit trace id, then fetch
+/// the stitched span tree in all three negotiated formats. Local-exec
+/// jobs produce `job` → `job.queued` + `job.execute` → `exec.point`
+/// chains; the critical path accounts for the job wall clock.
+#[test]
+fn trace_endpoint_negotiates_all_three_formats() {
+    use pas_server::TraceFormat;
+
+    let (client, dir) = boot(
+        "trace",
+        ServerOptions {
+            metrics: true,
+            ..ServerOptions::default()
+        },
+    );
+    let (_, toml) = small_manifest_toml();
+    let trace_id = pas_obs::trace::mint_id();
+    let (id, trace) = client.submit_traced(&toml, trace_id).unwrap();
+    assert_eq!(trace, trace_id, "server must adopt the client's trace id");
+    let done = client.wait(id, Duration::from_millis(25)).unwrap();
+    assert_eq!(done.phase, "completed");
+    assert_eq!(
+        done.trace.as_deref(),
+        Some(format!("{trace_id:016x}").as_str()),
+        "status carries the trace id"
+    );
+
+    let chrome = String::from_utf8(client.trace(id, TraceFormat::Chrome).unwrap()).unwrap();
+    assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+    for needle in [
+        "\"ph\":\"X\"",
+        "\"name\":\"job\"",
+        "\"name\":\"job.execute\"",
+    ] {
+        assert!(chrome.contains(needle), "chrome missing {needle}: {chrome}");
+    }
+
+    let tree = String::from_utf8(client.trace(id, TraceFormat::Tree).unwrap()).unwrap();
+    assert!(tree.contains("job"), "{tree}");
+    assert!(tree.contains("job.execute"), "{tree}");
+
+    let cp = String::from_utf8(client.trace(id, TraceFormat::CriticalPath).unwrap()).unwrap();
+    assert!(cp.contains("critical path"), "{cp}");
+    assert!(cp.contains('%'), "{cp}");
+
+    // Unknown jobs 404 here like everywhere else.
+    match client.trace(999, TraceFormat::Chrome).unwrap_err() {
+        pas_server::ClientError::Api(404, _) => {}
+        other => panic!("expected 404, got {other}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The trace endpoint is exposition, so it is gated with `/metrics`;
+/// collection still runs, it is only the route that 404s.
+#[test]
+fn trace_endpoint_is_gated_with_metrics() {
+    use pas_server::TraceFormat;
+
+    let (client, dir) = boot("trace_gated", ServerOptions::default());
+    let (_, toml) = small_manifest_toml();
+    let id = client.submit(&toml).unwrap();
+    client.wait(id, Duration::from_millis(25)).unwrap();
+    match client.trace(id, TraceFormat::Chrome).unwrap_err() {
+        pas_server::ClientError::Api(404, _) => {}
+        other => panic!("expected 404, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -26,7 +26,9 @@
 
 use pas_dist::{Scheduler, SchedulerOptions, WorkerOptions};
 use pas_scenario::{execute, expand, registry, ExecOptions, Manifest};
-use pas_server::{Client, ResultCache, ResultFormat, RetryPolicy, Server, ServerOptions};
+use pas_server::{
+    Client, ResultCache, ResultFormat, RetryPolicy, Server, ServerOptions, TraceFormat,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -50,6 +52,7 @@ USAGE:
     pas worker [options]              join a server as an execution worker
     pas submit <name|path> [options]  run a batch on a server (with caching)
     pas status [options]              server health + per-worker progress
+    pas trace <job-id> [options]      fetch a job's causal span trace
     pas bench [options]               time expansion, batches, dist scaling;
                                       gate on the unified bench history
 
@@ -96,12 +99,22 @@ SUBMIT OPTIONS:
     --raw FILE.jsonl     also fetch per-run JSONL
     --poll-ms N          status poll interval    (default 200)
     --retries N          backoff retries on 429/conn-refused (default 8)
-    -v, --verbose        print a per-cause retry tally after submission
+    -v, --verbose        print a per-cause retry tally and, when the
+                         server exposes traces (`pas serve --metrics`),
+                         a queued/execute/download latency breakdown
     --quiet              suppress progress; print nothing but errors
 
 STATUS OPTIONS:
     --addr HOST:PORT     server address          (default 127.0.0.1:8479)
     --metrics            also dump the server's /metrics exposition
+                         (the server must run with `pas serve --metrics`)
+
+TRACE OPTIONS:
+    --addr HOST:PORT     server address          (default 127.0.0.1:8479)
+    --format FMT         tree (default) | chrome | critical-path:
+                         deterministic span tree, Chrome trace-event JSON
+                         (load in chrome://tracing or Perfetto), or the
+                         per-name self-time ranking
                          (the server must run with `pas serve --metrics`)
 
 BENCH OPTIONS:
@@ -714,6 +727,86 @@ fn cmd_status(args: &[String]) -> ExitCode {
 }
 
 // ---------------------------------------------------------------------------
+// trace
+// ---------------------------------------------------------------------------
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut format = TraceFormat::Tree;
+    let mut job: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => return fail("--addr needs HOST:PORT"),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("tree") => format = TraceFormat::Tree,
+                Some("chrome") => format = TraceFormat::Chrome,
+                Some("critical-path") => format = TraceFormat::CriticalPath,
+                _ => return fail("--format needs tree, chrome, or critical-path"),
+            },
+            other if other.starts_with('-') => {
+                return fail(format!("unknown trace option `{other}`"))
+            }
+            other => match other.parse() {
+                Ok(id) if job.is_none() => job = Some(id),
+                Ok(_) => return fail("more than one job id"),
+                Err(_) => return fail(format!("`{other}` is not a job id")),
+            },
+        }
+    }
+    let Some(id) = job else {
+        return fail("trace needs a job id (printed by `pas submit -v`, or in GET /jobs/:id)");
+    };
+    let client = Client::new(addr.clone());
+    match client.trace(id, format) {
+        Ok(body) => {
+            print!("{}", String::from_utf8_lossy(&body));
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!(
+            "{addr}: /jobs/{id}/trace: {e} (is the server running with --metrics?)"
+        )),
+    }
+}
+
+/// All `("ts", "dur")` value pairs (µs) of Chrome trace events named
+/// `name` — the tiny scan `pas submit -v` uses for its latency
+/// breakdown; the renderer emits `"name"` then `"ts"` then `"dur"`
+/// within each event.
+fn chrome_ts_durs(chrome: &str, name: &str) -> Vec<(u64, u64)> {
+    let field = |tail: &str, key: &str| -> Option<u64> {
+        let at = tail.find(key)? + key.len();
+        let num: String = tail[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        num.parse().ok()
+    };
+    let needle = format!("\"name\":\"{name}\"");
+    let mut out = Vec::new();
+    let mut rest = chrome;
+    while let Some(pos) = rest.find(&needle) {
+        let tail = &rest[pos + needle.len()..];
+        if let (Some(ts), Some(dur)) = (field(tail, "\"ts\":"), field(tail, "\"dur\":")) {
+            out.push((ts, dur));
+        }
+        rest = &rest[pos + needle.len()..];
+    }
+    out
+}
+
+/// All `"dur"` values (µs) of Chrome trace events named `name`.
+fn chrome_durs(chrome: &str, name: &str) -> Vec<u64> {
+    chrome_ts_durs(chrome, name)
+        .into_iter()
+        .map(|(_, d)| d)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 // submit
 // ---------------------------------------------------------------------------
 
@@ -846,10 +939,53 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             status.total, status.cache_hits, status.cache_misses
         );
     }
+    let t_download = std::time::Instant::now();
     let csv = match client.results(id, ResultFormat::Csv) {
         Ok(b) => b,
         Err(e) => return fail(e),
     };
+    let download_us = t_download.elapsed().as_micros() as u64;
+    if sub.verbose && !sub.quiet {
+        // Latency breakdown from the job's trace: where did the
+        // submit→complete wall time actually go? Server-side phases come
+        // from the span tree; the download leg is measured client-side.
+        match client.trace(id, TraceFormat::Chrome) {
+            Ok(body) => {
+                let chrome = String::from_utf8_lossy(&body);
+                let total = chrome_durs(&chrome, "job").first().copied().unwrap_or(0);
+                let queued = chrome_durs(&chrome, "job.queued")
+                    .first()
+                    .copied()
+                    .unwrap_or(0);
+                // Local-exec jobs have one `job.execute`; distributed
+                // jobs spread execution over concurrent
+                // `worker.shard.execute` spans, so take their wall-clock
+                // envelope (first start → last end), not the sum.
+                let execute = chrome_durs(&chrome, "job.execute")
+                    .first()
+                    .copied()
+                    .unwrap_or_else(|| {
+                        let shards = chrome_ts_durs(&chrome, "worker.shard.execute");
+                        let lo = shards.iter().map(|(ts, _)| *ts).min().unwrap_or(0);
+                        let hi = shards.iter().map(|(ts, d)| ts + d).max().unwrap_or(0);
+                        hi.saturating_sub(lo)
+                    });
+                let trace_id = status.trace.as_deref().unwrap_or("?");
+                eprintln!(
+                    "latency   total {total}us = queued {queued}us + execute {execute}us \
+                     + other {}us; download {download_us}us (trace {trace_id}, \
+                     `pas trace {id} --format critical-path`)",
+                    total.saturating_sub(queued).saturating_sub(execute),
+                );
+            }
+            Err(_) => {
+                eprintln!(
+                    "latency   trace unavailable (server without --metrics?); \
+                     download {download_us}us"
+                );
+            }
+        }
+    }
     match &sub.out {
         // The body is written verbatim: byte-identical to `pas run --out`.
         Some(path) => {
@@ -1032,11 +1168,13 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let expand_ns = t0.elapsed().as_nanos() as u64 / u64::from(expand_iters);
 
     // Execution: a fixed sub-grid, sequential for machine-independence.
-    // Timed twice — with the observability registry collecting (the
-    // shipping configuration, recorded as `execute_us_sequential` so
-    // the gate's trend line is continuous) and with it disabled — so
-    // the history tracks the instrumentation overhead itself
-    // (`obs_overhead_pct`, gated like any other throughput key).
+    // Timed three ways — the shipping configuration (metrics + span
+    // tracing collecting, under an ambient trace context so `exec.point`
+    // spans actually record; `execute_us_sequential` keeps the gate's
+    // trend line continuous), tracing disabled (`execute_us_trace_off`,
+    // isolating the span recorder's overhead), and the whole registry
+    // disabled (`execute_us_obs_off`). The derived `trace_overhead_pct`
+    // and `obs_overhead_pct` ride the same gated history.
     let mut small = manifest.clone();
     small.sweep[0].values = vec![4.0, 12.0].into();
     small.run.replicates = 4;
@@ -1044,10 +1182,15 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         Ok(p) => p.len(),
         Err(e) => return fail(e),
     };
-    let timed = |enabled: bool| -> Result<(u64, pas_scenario::BatchResult), String> {
-        pas_obs::set_enabled(enabled);
+    let timed = |obs: bool, tracing: bool| -> Result<(u64, pas_scenario::BatchResult), String> {
+        pas_obs::set_enabled(obs);
+        pas_obs::trace::set_tracing(tracing);
         let mut best: Option<(u64, pas_scenario::BatchResult)> = None;
         for _ in 0..3 {
+            // Fresh trace per iteration; threads=1 executes inline on
+            // this thread, so the ambient context reaches every point.
+            let trace = pas_obs::trace::mint_id();
+            let _ctx = pas_obs::trace::enter(trace, pas_obs::trace::mint_id());
             let t = std::time::Instant::now();
             let batch = execute(&small, ExecOptions { threads: 1 }).map_err(|e| e.to_string())?;
             let us = t.elapsed().as_micros() as u64;
@@ -1057,24 +1200,35 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         }
         Ok(best.expect("three timed iterations"))
     };
-    let (exec_us, batch) = match timed(true) {
+    let (exec_us, batch) = match timed(true, true) {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
-    let exec_us_off = match timed(false) {
+    let exec_us_trace_off = match timed(true, false) {
+        Ok((us, _)) => us,
+        Err(e) => return fail(e),
+    };
+    let exec_us_off = match timed(false, false) {
         Ok((us, _)) => us,
         Err(e) => return fail(e),
     };
     pas_obs::set_enabled(true);
-    let overhead_pct = if exec_us_off > 0 {
-        (exec_us as f64 / exec_us_off as f64 - 1.0) * 100.0
-    } else {
-        0.0
+    pas_obs::trace::set_tracing(true);
+    let overhead = |on: u64, off: u64| {
+        if off > 0 {
+            (on as f64 / off as f64 - 1.0) * 100.0
+        } else {
+            0.0
+        }
     };
+    let overhead_pct = overhead(exec_us, exec_us_off);
+    let trace_overhead_pct = overhead(exec_us, exec_us_trace_off);
     let json = format!(
         "{{\n  \"bench\": \"batch\",\n  \"scenario\": \"paper-default\",\n  \
          \"expand_runs\": {},\n  \"expand_ns_per_iter\": {expand_ns},\n  \
          \"execute_runs\": {n_runs},\n  \"execute_us_sequential\": {exec_us},\n  \
+         \"execute_us_trace_off\": {exec_us_trace_off},\n  \
+         \"trace_overhead_pct\": {trace_overhead_pct:.2},\n  \
          \"execute_us_obs_off\": {exec_us_off},\n  \"obs_overhead_pct\": {overhead_pct:.2},\n  \
          \"execute_us_per_run\": {},\n  \"events_total\": {}\n}}\n",
         points.len(),
@@ -1275,6 +1429,7 @@ fn main() -> ExitCode {
         Some("worker") => cmd_worker(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{}", usage());
