@@ -341,12 +341,13 @@ pub fn throughput_by_key(bench: &str, payload: &str) -> Vec<(String, f64)> {
             let runs = scan_u64(payload, "execute_runs").map(|v| v as f64);
             let mut out = Vec::new();
             // Older entries carry only the metrics-on measurement; the
-            // obs-off and trace-off companion keys appear once a
-            // post-observability/post-tracing bench has run, and are
-            // gated forward like any other.
+            // obs-off, trace-off, and profile-off companion keys appear
+            // once a post-observability (or `--profile`) bench has run,
+            // and are gated forward like any other.
             for (key, field) in [
                 ("sequential", "execute_us_sequential"),
                 ("sequential-trace-off", "execute_us_trace_off"),
+                ("sequential-profile-off", "execute_us_profile_off"),
                 ("sequential-obs-off", "execute_us_obs_off"),
             ] {
                 let us = scan_u64(payload, field).map(|v| v as f64);
@@ -570,13 +571,14 @@ mod tests {
         let with_off = LEGACY.replace(
             "\"execute_us_sequential\": 9000",
             "\"execute_us_sequential\": 9000,\n  \"execute_us_trace_off\": 8500,\n  \
-             \"execute_us_obs_off\": 8000",
+             \"execute_us_profile_off\": 8200,\n  \"execute_us_obs_off\": 8000",
         );
         assert_eq!(
             throughput_by_key("batch", &with_off),
             vec![
                 ("sequential".to_string(), 24.0 * 1e6 / 9000.0),
                 ("sequential-trace-off".to_string(), 24.0 * 1e6 / 8500.0),
+                ("sequential-profile-off".to_string(), 24.0 * 1e6 / 8200.0),
                 ("sequential-obs-off".to_string(), 24.0 * 1e6 / 8000.0)
             ]
         );

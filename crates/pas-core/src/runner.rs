@@ -179,6 +179,10 @@ struct World<'f> {
 /// Deterministic: identical `(scenario, field, config)` triples produce
 /// identical results, bit for bit.
 pub fn run(scenario: &Scenario, field: &dyn StimulusField, config: &RunConfig) -> RunResult {
+    // Coarse profile region over the whole simulation (one per matrix
+    // point, µs-scale); the per-event regions below it are detail-level
+    // and inert unless `pas_obs::profile::set_detail(true)`.
+    let _prof = pas_obs::profile::scope("sim.run");
     config.policy.validate();
     let topology = scenario.topology();
     let profile = telos_profile();
@@ -290,6 +294,7 @@ pub fn run(scenario: &Scenario, field: &dyn StimulusField, config: &RunConfig) -
     engine.run_until(horizon, |eng, ev| world.handle(eng, ev));
 
     // Reduce.
+    let _prof_stats = pas_obs::profile::scope_detail("sim.stats");
     let duration_s = horizon.as_secs();
     let per_node_energy: Vec<EnergyBreakdown> = world
         .nodes
@@ -381,6 +386,7 @@ impl<'f> World<'f> {
     // --- wake-up ------------------------------------------------------
 
     fn on_wake(&mut self, eng: &mut Engine<Ev>, i: usize) {
+        let _prof = pas_obs::profile::scope_detail("sim.wake_decision");
         let now = eng.now();
         {
             let node = &mut self.nodes[i];
@@ -419,6 +425,7 @@ impl<'f> World<'f> {
     // --- listening-window decisions ------------------------------------
 
     fn on_window_end(&mut self, eng: &mut Engine<Ev>, i: usize, purpose: Purpose) {
+        let _prof = pas_obs::profile::scope_detail("sim.window_end");
         let now = eng.now();
         if !self.nodes[i].alive || self.nodes[i].window != Some(purpose) {
             return; // superseded (e.g. went Covered mid-window)
@@ -502,6 +509,7 @@ impl<'f> World<'f> {
     // --- frame reception -------------------------------------------------
 
     fn on_deliver(&mut self, eng: &mut Engine<Ev>, i: usize, msg: Msg) {
+        let _prof = pas_obs::profile::scope_detail("sim.delivery");
         let now = eng.now();
         {
             let node = &self.nodes[i];
@@ -640,6 +648,7 @@ impl<'f> World<'f> {
     /// self` because stateful predictors update the node's
     /// [`crate::predictor::PredictorState`].
     fn estimate_for(&mut self, i: usize, now: SimTime) -> (SimTime, Option<pas_geom::Vec2>) {
+        let _prof = pas_obs::profile::scope_detail("sim.predictor");
         let Some(predictor) = self.policy.predictor() else {
             return (SimTime::NEVER, None); // NS/Oracle never estimate
         };
@@ -701,6 +710,7 @@ impl<'f> World<'f> {
     /// Broadcast a frame from node `i`. `forced` sends bypass the storm
     /// gap (protocol-mandated sends); replies respect it.
     fn broadcast(&mut self, eng: &mut Engine<Ev>, i: usize, msg: Msg, forced: bool) {
+        let _prof = pas_obs::profile::scope_detail("sim.channel");
         let now = eng.now();
         let airtime = self.radio.airtime_s(msg.kind());
         {

@@ -16,6 +16,7 @@
 //! raw bits — and a remotely executed record therefore round-trips
 //! **byte-identically** into the server's cache and result assembly.
 
+use pas_obs::profile::ProfileEntry;
 use pas_obs::trace::SpanRecord;
 use pas_scenario::RunRecord;
 use pas_server::cache::{decode_record, encode_record, escape, unescape};
@@ -102,6 +103,11 @@ pub struct ShardGrant {
     /// The scheduler's lease span id — the worker parents its spans under
     /// it, stitching worker work beneath the lease that granted it.
     pub span: u64,
+    /// Whether the scheduler accepts profile stanzas on the report.
+    /// [`decode_report`] rejects unknown stanza shapes, so a worker must
+    /// only ship its region profile when the grant advertises the
+    /// capability — a pre-profile scheduler simply never sets it.
+    pub profile: bool,
 }
 
 impl ShardGrant {
@@ -115,11 +121,19 @@ impl ShardGrant {
         } else {
             String::new()
         };
+        // Like `trace`: only emitted when set, so the default grant keeps
+        // its historical byte shape.
+        let profile = if self.profile {
+            "\"profile\":true,"
+        } else {
+            ""
+        };
         format!(
-            "{{\"job\":{},\"shard\":{},{}\"indices\":[{}],\"manifest\":{}}}",
+            "{{\"job\":{},\"shard\":{},{}{}\"indices\":[{}],\"manifest\":{}}}",
             self.job,
             self.shard,
             trace,
+            profile,
             idx.join(","),
             json_string(&self.manifest_toml)
         )
@@ -137,6 +151,7 @@ impl ShardGrant {
             manifest_toml: json::find_string(body, "manifest")?,
             trace: json::find_u64(body, "trace").unwrap_or(0),
             span: json::find_u64(body, "span").unwrap_or(0),
+            profile: json::find_bool(body, "profile").unwrap_or(false),
         })
     }
 }
@@ -169,6 +184,11 @@ pub struct ShardReport {
     /// carried no trace id — which is every grant from a pre-trace
     /// scheduler, so old servers never see span stanzas.
     pub spans: Vec<SpanRecord>,
+    /// Region-profile entries drained worker-side after this shard,
+    /// piggybacked so the scheduler's flamegraph covers the whole fleet.
+    /// Empty unless the grant set [`ShardGrant::profile`], so a
+    /// pre-profile scheduler never sees profile stanzas.
+    pub profile: Vec<ProfileEntry>,
 }
 
 /// Stanza separator in the report body. Record codec lines always contain
@@ -199,6 +219,16 @@ pub fn encode_report(report: &ShardReport) -> String {
         let _ = writeln!(s, "dur={}", sp.dur_us);
         for (k, v) in &sp.labels {
             let _ = writeln!(s, "label={}={}", escape(k), escape(v));
+        }
+    }
+    for e in &report.profile {
+        let _ = writeln!(s, "{SEP}");
+        let _ = writeln!(s, "prof={}", e.calls);
+        let _ = writeln!(s, "total={}", e.total_ns);
+        let _ = writeln!(s, "child={}", e.child_ns);
+        let _ = writeln!(s, "samples={}", e.samples);
+        for frame in &e.stack {
+            let _ = writeln!(s, "frame={}", escape(frame));
         }
     }
     s
@@ -246,6 +276,38 @@ fn decode_span_stanza(stanza: &[&str]) -> Option<SpanRecord> {
     })
 }
 
+/// Decode one profile stanza (first line `prof=<calls>`); `None` if
+/// malformed. A stanza with no `frame=` line is malformed — every entry
+/// names at least its leaf region.
+fn decode_profile_stanza(stanza: &[&str]) -> Option<ProfileEntry> {
+    let mut calls = None;
+    let mut total = None;
+    let mut child = None;
+    let mut samples = None;
+    let mut stack = Vec::new();
+    for line in stanza {
+        let (k, v) = line.split_once('=')?;
+        match k {
+            "prof" => calls = Some(v.parse().ok()?),
+            "total" => total = Some(v.parse().ok()?),
+            "child" => child = Some(v.parse().ok()?),
+            "samples" => samples = Some(v.parse().ok()?),
+            "frame" => stack.push(unescape(v)?),
+            _ => return None,
+        }
+    }
+    if stack.is_empty() {
+        return None;
+    }
+    Some(ProfileEntry {
+        stack,
+        calls: calls?,
+        total_ns: total?,
+        child_ns: child?,
+        samples: samples?,
+    })
+}
+
 /// Decode a report body; `None` on any malformed header or stanza.
 /// Stanzas are delimited by lines that are exactly `--` (record codec
 /// lines always contain `=`, so the separator cannot be shadowed even by
@@ -274,11 +336,17 @@ pub fn decode_report(body: &str) -> Option<ShardReport> {
     }
     let mut points = Vec::new();
     let mut spans = Vec::new();
+    let mut profile = Vec::new();
     for stanza in &stanzas[1..] {
         // A stanza opening with `span=` carries one piggybacked trace
-        // span; anything else is a point report as before.
+        // span, `prof=` one region-profile entry; anything else is a
+        // point report as before.
         if stanza.first().is_some_and(|l| l.starts_with("span=")) {
             spans.push(decode_span_stanza(stanza)?);
+            continue;
+        }
+        if stanza.first().is_some_and(|l| l.starts_with("prof=")) {
+            profile.push(decode_profile_stanza(stanza)?);
             continue;
         }
         let mut index = None;
@@ -307,6 +375,7 @@ pub fn decode_report(body: &str) -> Option<ShardReport> {
         worker: worker?,
         points,
         spans,
+        profile,
     })
 }
 
@@ -360,15 +429,18 @@ mod tests {
             manifest_toml: "[scenario]\nname = \"x\"\n".to_string(),
             trace: 0,
             span: 0,
+            profile: false,
         };
         let encoded = grant.to_json();
         // Untraced grants are byte-identical to the pre-trace shape.
         assert!(!encoded.contains("trace"));
+        assert!(!encoded.contains("profile"));
         assert_eq!(ShardGrant::from_json(&encoded).unwrap(), grant);
 
         let traced = ShardGrant {
             trace: 0xdead_beef,
             span: 42,
+            profile: true,
             ..grant.clone()
         };
         assert_eq!(ShardGrant::from_json(&traced.to_json()).unwrap(), traced);
@@ -399,6 +471,7 @@ mod tests {
                 },
             ],
             spans: Vec::new(),
+            profile: Vec::new(),
         };
         let back = decode_report(&encode_report(&report)).expect("decodes");
         assert_eq!(back.job, 1);
@@ -421,6 +494,7 @@ mod tests {
             worker: 6,
             points: Vec::new(),
             spans: Vec::new(),
+            profile: Vec::new(),
         };
         let back = decode_report(&encode_report(&empty)).expect("decodes");
         assert!(back.points.is_empty());
@@ -467,6 +541,7 @@ mod tests {
                     dur_us: 100,
                 },
             ],
+            profile: Vec::new(),
         };
         let back = decode_report(&encode_report(&report)).expect("decodes");
         assert_eq!(back.points.len(), 1);
@@ -475,6 +550,48 @@ mod tests {
 
         // A truncated span stanza is rejected, not silently dropped.
         let body = "job=1\nshard=2\nworker=3\n--\nspan=0001\ntrace=0002\n";
+        assert!(decode_report(body).is_none());
+    }
+
+    #[test]
+    fn profile_stanzas_roundtrip_alongside_points() {
+        let report = ShardReport {
+            job: 11,
+            shard: 12,
+            worker: 13,
+            points: vec![PointReport {
+                index: 2,
+                key: "9a0b".to_string(),
+                record: sample_record(3),
+            }],
+            spans: Vec::new(),
+            profile: vec![
+                ProfileEntry {
+                    stack: vec!["worker.shard.execute".to_string()],
+                    calls: 1,
+                    total_ns: 5_000_000,
+                    child_ns: 4_500_000,
+                    samples: 0,
+                },
+                ProfileEntry {
+                    stack: vec![
+                        "worker.shard.execute".to_string(),
+                        // Hostile frame names must survive the codec.
+                        "weird=frame\nname\\x".to_string(),
+                    ],
+                    calls: 40,
+                    total_ns: 4_500_000,
+                    child_ns: 0,
+                    samples: 7,
+                },
+            ],
+        };
+        let back = decode_report(&encode_report(&report)).expect("decodes");
+        assert_eq!(back.points.len(), 1);
+        assert_eq!(back.profile, report.profile);
+
+        // A frame-less profile stanza is rejected, not silently dropped.
+        let body = "job=1\nshard=2\nworker=3\n--\nprof=1\ntotal=5\nchild=0\nsamples=0\n";
         assert!(decode_report(body).is_none());
     }
 }

@@ -265,6 +265,7 @@ impl Scheduler {
 
     /// Grant a shard to `worker`, or explain why not.
     pub fn lease(&self, worker: u64) -> LeaseOutcome {
+        let _prof = pas_obs::profile::scope("sched.lease");
         {
             let mut s = self.lock();
             let now = Instant::now();
@@ -300,6 +301,7 @@ impl Scheduler {
     /// reports. `Err` carries a message for a `400` (key mismatch — a
     /// worker executing a different matrix than the server expanded).
     pub fn report(&self, report: &ShardReport) -> Result<ReportAck, String> {
+        let _prof = pas_obs::profile::scope("sched.report");
         let now = Instant::now();
         let arrived_us = pas_obs::trace::now_us();
         let mut s = self.lock();
@@ -401,6 +403,12 @@ impl Scheduler {
         if trace.is_some() && !report.spans.is_empty() {
             pas_obs::trace::ingest(report.spans.clone());
         }
+        // Fold the worker's drained region profile into this process's
+        // table, so the scheduler's flamegraph attributes fleet-wide
+        // execute time, not just its own bookkeeping.
+        if !report.profile.is_empty() {
+            pas_obs::profile::ingest(&report.profile);
+        }
         pas_obs::add(
             "pas.dist.report.points.count",
             &[("outcome", "accepted")],
@@ -445,7 +453,9 @@ impl Scheduler {
                 }
             }
             let t0 = pas_obs::trace::now_us();
+            let prof_assemble = pas_obs::profile::scope("sched.assemble");
             let (batch, stats) = assemble(job);
+            drop(prof_assemble);
             if let Some(tr) = trace {
                 pas_obs::trace::record(
                     tr.id,
@@ -594,12 +604,15 @@ impl Scheduler {
         format!(
             "{{\"ok\":true,\"version\":{},\"uptime_s\":{},\"queue_depth\":{depth},\
              \"running_jobs\":{running},\"active_jobs\":{},\"workers\":{},\
-             \"mode\":\"dist\",\"draining\":{}}}",
+             \"mode\":\"dist\",\"draining\":{},\
+             \"trace_dropped\":{},\"profile_dropped\":{}}}",
             json_string(env!("CARGO_PKG_VERSION")),
             self.started.elapsed().as_secs(),
             s.jobs.len() + s.claiming,
             live_workers(&s, now, self.opts.lease),
-            s.draining
+            s.draining,
+            pas_obs::trace::dropped(),
+            pas_obs::profile::dropped(),
         )
     }
 
@@ -857,6 +870,10 @@ fn next_grant(s: &mut State, worker: u64, now: Instant, lease: Duration) -> Opti
                 manifest_toml: job.toml.clone(),
                 trace: trace_id,
                 span,
+                // This scheduler decodes profile stanzas, so every grant
+                // advertises the capability; workers only ship their
+                // drained profile when they see it.
+                profile: true,
             });
         }
     }
@@ -926,6 +943,7 @@ mod tests {
                 })
                 .collect(),
             spans: Vec::new(),
+            profile: Vec::new(),
         }
     }
 

@@ -188,7 +188,10 @@ pub fn run(addr: &str, opts: WorkerOptions) -> Result<WorkerSummary, ClientError
         }
         let body = format!("{{\"worker\":{}}}", worker_id.load(Ordering::Relaxed));
         let lease_t0 = pas_obs::trace::now_us();
-        match call(addr, "POST", "/dist/lease", body.as_bytes()) {
+        let lease_prof = pas_obs::profile::scope("worker.lease.rtt");
+        let leased = call(addr, "POST", "/dist/lease", body.as_bytes());
+        drop(lease_prof);
+        match leased {
             Ok((200, resp)) if json::find_bool(&resp, "drain") == Some(true) => break Ok(()),
             Ok((200, resp)) => {
                 io_failures = 0;
@@ -321,6 +324,7 @@ fn execute_shard(
     };
     let start_us = pas_obs::trace::now_us();
     let t0 = Instant::now();
+    let exec_prof = pas_obs::profile::scope("worker.shard.execute");
     let records = if let Some(budget) = opts.fail_after_points {
         // Fault injection: simulate a crash partway through the shard.
         let _trace_ctx = (grant.trace != 0).then(|| pas_obs::trace::enter(grant.trace, exec_span));
@@ -350,6 +354,7 @@ fn execute_shard(
         summary.points += records.len() as u64;
         records
     };
+    drop(exec_prof);
     let shard_us = t0.elapsed().as_secs_f64() * 1e6;
     if grant.trace != 0 {
         let shard_label = grant.shard.to_string();
@@ -383,6 +388,15 @@ fn execute_shard(
     } else {
         Vec::new()
     };
+    // Same piggyback for the region profile: drain (swap-to-zero, so
+    // entries ship exactly once) and attach — but only when the grant
+    // advertised the capability, since older schedulers reject unknown
+    // stanzas.
+    let profile = if grant.profile {
+        pas_obs::profile::drain()
+    } else {
+        Vec::new()
+    };
     let report = ShardReport {
         job: grant.job,
         shard: grant.shard,
@@ -397,6 +411,7 @@ fn execute_shard(
             })
             .collect(),
         spans,
+        profile,
     };
     let body = encode_report(&report);
 

@@ -76,6 +76,7 @@ fn partial_report(
         worker,
         points: records,
         spans,
+        profile: Vec::new(),
     }
 }
 

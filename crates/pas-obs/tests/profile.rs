@@ -1,0 +1,177 @@
+//! Profiler behaviour under contention: exact self/total accumulation
+//! across threads, unwind safety, and bounded-table drop accounting.
+
+use pas_obs::profile::{ProfileEntry, ProfileTable};
+use proptest::prelude::*;
+
+/// Leak a fresh table so scope guards (which require `'static`) can
+/// target it without touching the process-global table other tests use.
+fn table(max_regions: usize, max_paths: usize) -> &'static ProfileTable {
+    Box::leak(Box::new(ProfileTable::new(max_regions, max_paths)))
+}
+
+/// The exactness invariant the flamegraph leans on: for every path,
+/// `total == self + Σ children-totals` in integer nanoseconds, where
+/// children are exactly the paths one frame deeper with a matching
+/// prefix. Checked over a snapshot, so it must hold *after* all scopes
+/// closed — concurrent mid-flight reads can legitimately be torn.
+fn assert_exact(entries: &[ProfileEntry]) {
+    for e in entries {
+        let children_total: u64 = entries
+            .iter()
+            .filter(|c| c.stack.len() == e.stack.len() + 1 && c.stack[..e.stack.len()] == e.stack)
+            .map(|c| c.total_ns)
+            .sum();
+        assert_eq!(
+            e.child_ns,
+            children_total,
+            "path {:?}: child_ns {} != sum of children totals {}",
+            e.key(),
+            e.child_ns,
+            children_total
+        );
+        assert!(
+            e.total_ns >= e.child_ns,
+            "path {:?}: total {} < child {}",
+            e.key(),
+            e.total_ns,
+            e.child_ns
+        );
+    }
+}
+
+/// Nested and interleaved scopes across 8 threads: every thread runs
+/// the same three-deep nesting shape with thread-distinct leaf work,
+/// and the aggregate table must show exact call counts and the exact
+/// self/total identity on every path — no lost updates, no
+/// double-counting.
+#[test]
+fn eight_threads_accumulate_exact_self_and_total() {
+    const THREADS: usize = 8;
+    const ITERS: usize = 200;
+    let t = table(64, 256);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|k| {
+            std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let _a = t.scope("a");
+                    {
+                        let _b = t.scope("b");
+                        // Interleave: every other iteration opens a
+                        // sibling path under `b`.
+                        if (k + i) % 2 == 0 {
+                            let _c = t.scope("c");
+                            std::hint::black_box(i * k);
+                        } else {
+                            let _d = t.scope("d");
+                            std::hint::black_box(i + k);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = t.snapshot();
+    let calls = |key: &str| {
+        snap.iter()
+            .find(|e| e.key() == key)
+            .map(|e| e.calls)
+            .unwrap_or(0)
+    };
+    let total = (THREADS * ITERS) as u64;
+    assert_eq!(calls("a"), total);
+    assert_eq!(calls("a;b"), total);
+    assert_eq!(calls("a;b;c") + calls("a;b;d"), total);
+    assert_exact(&snap);
+    assert_eq!(t.dropped(), 0, "nothing overflowed");
+}
+
+/// A panicking thread must still record each open scope exactly once
+/// (guards record on unwind-drop), keeping the exactness invariant.
+#[test]
+fn panic_unwind_does_not_double_count() {
+    let t = table(16, 64);
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let r = std::panic::catch_unwind(|| {
+                    let _outer = t.scope("u.outer");
+                    let _inner = t.scope("u.inner");
+                    panic!("unwind through open scopes");
+                });
+                assert!(r.is_err());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = t.snapshot();
+    let outer = snap.iter().find(|e| e.key() == "u.outer").unwrap();
+    let inner = snap.iter().find(|e| e.key() == "u.outer;u.inner").unwrap();
+    assert_eq!(outer.calls, 4);
+    assert_eq!(inner.calls, 4);
+    assert_exact(&snap);
+}
+
+/// Overflowing the bounded region/path tables must count drops instead
+/// of growing, and survivors must stay uncorrupted.
+#[test]
+fn table_overflow_counts_drops_and_keeps_survivors() {
+    let t = table(4, 4);
+    // Four distinct regions fit; the fifth (and every later one) drops.
+    let names = ["r0", "r1", "r2", "r3", "r4", "r5"];
+    for n in &names {
+        let _s = t.scope(n);
+    }
+    assert_eq!(t.len(), 4, "path table holds exactly its capacity");
+    assert!(t.dropped() >= 2, "overflow counted, got {}", t.dropped());
+    let snap = t.snapshot();
+    assert_eq!(snap.len(), 4);
+    for e in &snap {
+        assert_eq!(e.calls, 1, "survivor {:?} recorded once", e.key());
+    }
+    // Dropped scopes are inert, not misattributed: only r0..r3 appear.
+    for e in &snap {
+        assert!(["r0", "r1", "r2", "r3"].contains(&e.key().as_str()));
+    }
+}
+
+proptest! {
+    /// Randomised nesting shapes across 8 threads: each thread walks a
+    /// generated sequence of push/pop decisions over a 4-region
+    /// alphabet (bounded depth), and the aggregated table must satisfy
+    /// the exact self/total identity on every path.
+    #[test]
+    fn random_interleavings_keep_exact_identity(
+        seqs in prop::collection::vec(prop::collection::vec(0u8..8, 1..40), 8..9)
+    ) {
+        let t = table(32, 512);
+        let handles: Vec<_> = seqs
+            .into_iter()
+            .map(|seq| {
+                std::thread::spawn(move || {
+                    let names = ["pa", "pb", "pc", "pd"];
+                    let mut open: Vec<pas_obs::profile::Scope> = Vec::new();
+                    for op in seq {
+                        if op < 4 && open.len() < 6 {
+                            open.push(t.scope(names[op as usize]));
+                        } else {
+                            open.pop();
+                        }
+                    }
+                    drop(open);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = t.snapshot();
+        assert_exact(&snap);
+        prop_assert_eq!(t.dropped(), 0);
+    }
+}

@@ -275,6 +275,7 @@ pub fn failure_plan(
 /// `field` is the stimulus ground truth built once per batch with
 /// [`Manifest::build_field`] (it is seed-independent and read-only).
 pub fn execute_point(manifest: &Manifest, field: &dyn StimulusField, pt: &RunPoint) -> RunRecord {
+    let _prof = pas_obs::profile::scope("exec.point");
     let start_us = pas_obs::trace::now_us();
     let t0 = std::time::Instant::now();
     let scenario = manifest.scenario_for(pt.seed, &pt.assignments);
@@ -433,6 +434,7 @@ pub fn group(records: &[RunRecord]) -> Vec<PointCell> {
 /// reduction, pushing replicates in record order — bit-identical to the
 /// historical `summarize`-based implementation.
 pub fn reduce(records: &[RunRecord]) -> Vec<PointSummary> {
+    let _prof = pas_obs::profile::scope("exec.reduce");
     group(records)
         .into_iter()
         .map(|cell| {

@@ -135,6 +135,7 @@ impl ResultCache {
     /// the caller still just sees `Option`, so a corrupt entry falls
     /// back to recomputation exactly as before.
     pub fn load(&self, key: &str) -> Option<RunRecord> {
+        let _prof = pas_obs::profile::scope("cache.probe");
         let start_us = pas_obs::trace::now_us();
         let t0 = std::time::Instant::now();
         let (outcome, record) = match std::fs::read_to_string(self.entry_path(key)) {
@@ -176,6 +177,7 @@ impl ResultCache {
     /// Store an entry (atomic rename; concurrent writers of the same key
     /// are idempotent because the content is identical by construction).
     pub fn store(&self, key: &str, record: &RunRecord) -> io::Result<()> {
+        let _prof = pas_obs::profile::scope("cache.store");
         let start_us = pas_obs::trace::now_us();
         let t0 = std::time::Instant::now();
         let payload = encode_record(record);

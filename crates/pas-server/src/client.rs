@@ -67,6 +67,29 @@ impl TraceFormat {
     }
 }
 
+/// Profile format for [`Client::profile`] (`GET /profile`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileFormat {
+    /// Folded-stack text (`text/plain`), one `a;b;c self_us` line per
+    /// unique stack — the interchange format flamegraph tools consume.
+    Folded,
+    /// Self-contained SVG flamegraph (`image/svg+xml`).
+    Svg,
+    /// Per-path JSON (`application/json`).
+    Json,
+}
+
+impl ProfileFormat {
+    /// The `Accept` value selecting this format.
+    pub fn accept(&self) -> &'static str {
+        match self {
+            ProfileFormat::Folded => "text/plain",
+            ProfileFormat::Svg => "image/svg+xml",
+            ProfileFormat::Json => "application/json",
+        }
+    }
+}
+
 /// Progress snapshot of a submitted job, decoded from `GET /jobs/:id`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobStatus {
@@ -449,6 +472,29 @@ impl Client {
             Some(format.accept()),
             &[],
         )?;
+        if status == 200 {
+            Ok(body)
+        } else {
+            let text = String::from_utf8_lossy(&body).into_owned();
+            let msg = json_find_string(&text, "error").unwrap_or(text);
+            Err(ClientError::Api(status, msg))
+        }
+    }
+
+    /// `GET /profile` in the requested format, as raw bytes (requires
+    /// `pas serve --metrics`). `seconds` resets the server's profile
+    /// table first and observes exactly that window; `None` reads the
+    /// accumulation since process start (or the last reset).
+    pub fn profile(
+        &self,
+        format: ProfileFormat,
+        seconds: Option<u64>,
+    ) -> Result<Vec<u8>, ClientError> {
+        let path = match seconds {
+            Some(s) => format!("/profile?seconds={s}"),
+            None => "/profile".to_string(),
+        };
+        let (status, body) = self.call("GET", &path, Some(format.accept()), &[])?;
         if status == 200 {
             Ok(body)
         } else {

@@ -22,8 +22,10 @@ const MAX_HEAD: usize = 64 << 10;
 pub struct Request {
     /// Upper-case method (`GET`, `POST`, ...).
     pub method: String,
-    /// Decoded path, query string stripped (the API defines none).
+    /// Decoded path, query string stripped.
     pub path: String,
+    /// Raw query string (text after the first `?`, empty when absent).
+    pub query: String,
     /// Lower-cased header names → values.
     pub headers: BTreeMap<String, String>,
     /// Raw body bytes.
@@ -34,6 +36,15 @@ impl Request {
     /// A header value, by case-insensitive name.
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.get(&name.to_ascii_lowercase()).map(|s| &**s)
+    }
+
+    /// A query parameter value, by exact name (`?a=1&b=2` form; no
+    /// percent-decoding — the API's parameters are plain tokens).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
     }
 }
 
@@ -87,6 +98,7 @@ impl Response {
 
     /// Serialise onto a stream.
     pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        let _prof = pas_obs::profile::scope("http.write");
         write!(
             stream,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -124,6 +136,7 @@ pub fn json_string(raw: &str) -> String {
 /// Read one request from a stream. `Err` means the connection is broken
 /// or the peer sent something outside the accepted subset.
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let _prof = pas_obs::profile::scope("http.read");
     // The head is read through a `Take` so the bound holds *inside* a
     // single `read_line` call too — a newline-free stream hits the limit
     // instead of growing the buffer without end.
@@ -160,7 +173,10 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     let target = parts
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing path"))?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = BTreeMap::new();
     for line in lines {
@@ -190,6 +206,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     Ok(Request {
         method,
         path,
+        query,
         headers,
         body,
     })
@@ -302,6 +319,20 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn query_param_parsing() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/profile".into(),
+            query: "seconds=3&format=svg".into(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(req.query_param("seconds"), Some("3"));
+        assert_eq!(req.query_param("format"), Some("svg"));
+        assert_eq!(req.query_param("missing"), None);
     }
 
     #[test]

@@ -339,6 +339,7 @@ impl JobQueue {
     /// job, execute it against `cache`, publish progress and results.
     pub fn work(&self, cache: &ResultCache, opts: ExecOptions) {
         while let Some((id, manifest)) = self.pop() {
+            let _prof = pas_obs::profile::scope("job.execute");
             let queue = self.clone();
             let trace = self.status(id).map(|j| j.trace);
             // The `job.execute` span covers the whole local execution;

@@ -10,6 +10,7 @@
 //! | `GET /jobs/:id/results` | summary CSV, or per-run JSONL via `Accept` |
 //! | `GET /jobs/:id/report` | statistical report: Markdown (default), `report.json`, or SVG curves via `Accept` |
 //! | `GET /jobs/:id/trace` | causal span tree: Chrome trace-event JSON (default), text tree, or critical-path summary via `Accept` (opt-in, with `/metrics`) |
+//! | `GET /profile` | in-process region profile: folded stacks (default), SVG flamegraph, or JSON via `Accept`; `?seconds=N` resets and windows (opt-in, with `/metrics`) |
 //!
 //! One thread per connection (requests are one round trip and jobs are
 //! asynchronous, so connections are short-lived); simulation work happens
@@ -222,6 +223,7 @@ fn route_label(path: &str) -> &'static str {
         ["jobs", _, "events"] => "/jobs/:id/events",
         ["healthz"] => "/healthz",
         ["metrics"] => "/metrics",
+        ["profile"] => "/profile",
         ["dist", "register"] => "/dist/register",
         ["dist", "heartbeat"] => "/dist/heartbeat",
         ["dist", "lease"] => "/dist/lease",
@@ -255,6 +257,7 @@ fn route(ctx: &Ctx, req: &Request) -> Response {
             "text/plain; version=0.0.4; charset=utf-8",
             pas_obs::render_global(),
         ),
+        ("GET", ["profile"]) if ctx.opts.metrics => profile(req),
         ("GET", ["scenarios"]) => scenarios(),
         ("POST", ["validate"]) => with_manifest(req, |m, runs| {
             Response::json(
@@ -312,7 +315,8 @@ fn healthz(ctx: &Ctx) -> Response {
         200,
         format!(
             "{{\"ok\":true,\"version\":{},\"uptime_s\":{},\"queue_depth\":{},\
-             \"running_jobs\":{},\"workers\":{},\"mode\":{}}}",
+             \"running_jobs\":{},\"workers\":{},\"mode\":{},\
+             \"trace_dropped\":{},\"profile_dropped\":{}}}",
             json_string(env!("CARGO_PKG_VERSION")),
             ctx.started.elapsed().as_secs(),
             ctx.queue.depth(),
@@ -323,6 +327,8 @@ fn healthz(ctx: &Ctx) -> Response {
             } else {
                 "external"
             }),
+            pas_obs::trace::dropped(),
+            pas_obs::profile::dropped(),
         ),
     )
 }
@@ -356,6 +362,47 @@ fn trace(queue: &JobQueue, req: &Request, id: &str) -> Response {
         )
     } else {
         Response::json(200, pas_obs::trace::render_chrome(&spans))
+    }
+}
+
+/// Longest `?seconds=N` observation window `GET /profile` accepts,
+/// bounding how long a connection thread may sleep.
+const MAX_PROFILE_WINDOW_S: u64 = 60;
+
+/// `GET /profile`: the process's region profile since start (or since
+/// the last windowed request). Content-negotiated: folded-stack text by
+/// default (feedable to any flamegraph toolchain), a self-contained SVG
+/// flamegraph for `Accept: image/svg+xml`, or JSON for
+/// `Accept: application/json`. With `?seconds=N` the table is reset
+/// first and the response covers exactly the next `N` seconds — the
+/// "what is this server doing right now" view. Like `/metrics`,
+/// exposition is opt-in behind [`ServerOptions::metrics`]; collection
+/// is always on.
+fn profile(req: &Request) -> Response {
+    if let Some(raw) = req.query_param("seconds") {
+        let Ok(secs) = raw.parse::<u64>() else {
+            return Response::error(400, "seconds must be a non-negative integer");
+        };
+        if secs > MAX_PROFILE_WINDOW_S {
+            return Response::error(
+                400,
+                &format!("seconds must be at most {MAX_PROFILE_WINDOW_S}"),
+            );
+        }
+        pas_obs::profile::reset();
+        std::thread::sleep(Duration::from_secs(secs));
+    }
+    let accept = req.header("accept").unwrap_or("text/plain");
+    if accept.contains("svg") {
+        Response::new(200, "image/svg+xml", pas_obs::profile::render_svg())
+    } else if accept.contains("json") {
+        Response::json(200, pas_obs::profile::render_json())
+    } else {
+        Response::new(
+            200,
+            "text/plain; charset=utf-8",
+            pas_obs::profile::render_folded(),
+        )
     }
 }
 

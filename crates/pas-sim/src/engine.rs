@@ -92,6 +92,7 @@ impl<E> Engine<E> {
             self.now,
             at
         );
+        let _prof = pas_obs::profile::scope_detail("sim.queue.push");
         self.queue.push(at, event);
         self.max_queue_len = self.max_queue_len.max(self.queue.len());
     }
@@ -102,6 +103,7 @@ impl<E> Engine<E> {
             delay_secs >= 0.0 && !delay_secs.is_nan(),
             "delay must be non-negative, got {delay_secs}"
         );
+        let _prof = pas_obs::profile::scope_detail("sim.queue.push");
         self.queue.push(self.now + delay_secs, event);
         self.max_queue_len = self.max_queue_len.max(self.queue.len());
     }
@@ -116,6 +118,7 @@ impl<E> Engine<E> {
     /// Returns `None` when the queue is empty. Most callers want
     /// [`Engine::run`] or [`Engine::run_until`] instead.
     pub fn step(&mut self) -> Option<E> {
+        let _prof = pas_obs::profile::scope_detail("sim.queue.pop");
         let (t, e) = self.queue.pop()?;
         debug_assert!(t >= self.now, "event queue yielded a past event");
         self.now = t;

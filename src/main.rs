@@ -12,6 +12,7 @@
 //! pas worker [options]             join a server as an execution worker
 //! pas submit <name|path> [options] run a batch on a server (with caching)
 //! pas status [options]             server health + per-worker progress
+//! pas profile [options]            region profile: flamegraph / folded / json
 //! pas bench [options]              time expansion, batches, dist scaling
 //! ```
 //!
@@ -27,7 +28,8 @@
 use pas_dist::{Scheduler, SchedulerOptions, WorkerOptions};
 use pas_scenario::{execute, expand, registry, ExecOptions, Manifest};
 use pas_server::{
-    Client, ResultCache, ResultFormat, RetryPolicy, Server, ServerOptions, TraceFormat,
+    Client, ProfileFormat, ResultCache, ResultFormat, RetryPolicy, Server, ServerOptions,
+    TraceFormat,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -53,6 +55,10 @@ USAGE:
     pas submit <name|path> [options]  run a batch on a server (with caching)
     pas status [options]              server health + per-worker progress
     pas trace <job-id> [options]      fetch a job's causal span trace
+    pas profile [<name|path>] [opts]  region profile: run a manifest locally
+                                      (detail regions on) or sample a running
+                                      server's /profile window, as a folded
+                                      stack listing, SVG flamegraph, or JSON
     pas bench [options]               time expansion, batches, dist scaling;
                                       gate on the unified bench history
 
@@ -106,8 +112,12 @@ SUBMIT OPTIONS:
 
 STATUS OPTIONS:
     --addr HOST:PORT     server address          (default 127.0.0.1:8479)
-    --metrics            also dump the server's /metrics exposition
+    --metrics            also render the server's /metrics exposition:
+                         counters and gauges verbatim, histograms as one
+                         p50/p95/p99 summary line per series
                          (the server must run with `pas serve --metrics`)
+    --raw                with --metrics, dump the exposition verbatim
+                         (raw histogram buckets included)
 
 TRACE OPTIONS:
     --addr HOST:PORT     server address          (default 127.0.0.1:8479)
@@ -116,6 +126,20 @@ TRACE OPTIONS:
                          (load in chrome://tracing or Perfetto), or the
                          per-name self-time ranking
                          (the server must run with `pas serve --metrics`)
+
+PROFILE OPTIONS:
+    <name|path>          local mode: execute this scenario with region
+                         profiling (detail regions included) and render
+                         the in-process profile
+    --serve-url HOST:PORT  remote mode: fetch GET /profile from a running
+                         `pas serve --metrics` instance instead
+    --seconds N          remote mode: reset the server's table and profile
+                         a fresh N-second window (max 60)
+    --format FMT         folded (default) | svg | json
+    --hz N               local mode: also run the wall-clock sampler at
+                         N Hz, populating per-stack sample counts
+    --threads N          local mode: execution threads (default 1)
+    --out FILE           write the rendering to FILE instead of stdout
 
 BENCH OPTIONS:
     --out FILE           output JSON path (default BENCH_batch.json,
@@ -129,6 +153,10 @@ BENCH OPTIONS:
     --predictors         per-predictor hot-path bench: sequential point
                          throughput of every arrival-predictor variant on
                          the paper workload
+    --profile            batch bench only: also time the sequential grid
+                         with region profiling off, record the derived
+                         profile_overhead_pct and a per-region self-time
+                         breakdown in BENCH_batch.json
     --gate [FILES...]    regression gate: compare each history's newest
                          entry against the previous one; exit non-zero on a
                          throughput drop beyond the tolerance (default
@@ -678,6 +706,7 @@ fn cmd_worker(args: &[String]) -> ExitCode {
 fn cmd_status(args: &[String]) -> ExitCode {
     let mut addr = DEFAULT_ADDR.to_string();
     let mut metrics = false;
+    let mut raw = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -686,6 +715,7 @@ fn cmd_status(args: &[String]) -> ExitCode {
                 None => return fail("--addr needs HOST:PORT"),
             },
             "--metrics" => metrics = true,
+            "--raw" => raw = true,
             other => return fail(format!("unknown status option `{other}`")),
         }
     }
@@ -695,13 +725,22 @@ fn cmd_status(args: &[String]) -> ExitCode {
         Err(e) => return fail(format!("{addr}: {e}")),
     };
     println!("server     {addr}");
-    for key in ["queue_depth", "active_jobs", "workers"] {
+    // The two `_dropped` keys surface telemetry loss: spans evicted from
+    // the trace ring and scopes lost to profile-table overflow. Non-zero
+    // means `pas trace` / `pas profile` output is incomplete.
+    for key in [
+        "queue_depth",
+        "active_jobs",
+        "workers",
+        "trace_dropped",
+        "profile_dropped",
+    ] {
         if let Some(v) = pas_server::json::find_u64(&health, key) {
-            println!("{key:<10} {v}");
+            println!("{key:<15} {v}");
         }
     }
     if let Some(true) = pas_server::json::find_bool(&health, "draining") {
-        println!("draining   yes");
+        println!("draining        yes");
     }
     match client.workers_table() {
         Ok(table) if !table.trim().is_empty() => {
@@ -714,7 +753,11 @@ fn cmd_status(args: &[String]) -> ExitCode {
         match client.metrics() {
             Ok(text) => {
                 println!();
-                print!("{text}");
+                if raw {
+                    print!("{text}");
+                } else {
+                    print!("{}", summarize_metrics(&text));
+                }
             }
             Err(e) => {
                 return fail(format!(
@@ -724,6 +767,104 @@ fn cmd_status(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// One histogram label-set being folded down while summarizing a
+/// Prometheus exposition: cumulative buckets in exposition order, then
+/// the trailing `_sum`/`_count` pair.
+#[derive(Default)]
+struct HistAcc {
+    buckets: Vec<(String, u64)>,
+    sum: String,
+}
+
+/// The smallest bucket bound covering quantile `q`, as `<=BOUND` — or
+/// `>LAST_FINITE` when the mass lands in the `+Inf` overflow bucket.
+fn hist_quantile(buckets: &[(String, u64)], count: u64, q: f64) -> String {
+    let target = (q * count as f64).ceil().max(1.0) as u64;
+    for (i, (le, cum)) in buckets.iter().enumerate() {
+        if *cum < target {
+            continue;
+        }
+        if le != "+Inf" {
+            return format!("<={le}");
+        }
+        return match i.checked_sub(1).and_then(|j| buckets.get(j)) {
+            Some((prev, _)) => format!(">{prev}"),
+            None => ">0".to_string(),
+        };
+    }
+    "=?".to_string()
+}
+
+/// Re-render a Prometheus text exposition for human eyes: counter and
+/// gauge lines (and `# TYPE` headers) pass through verbatim — scripts
+/// grepping e.g. `pas_server_http_requests_count` keep working — while
+/// each histogram label-set's bucket/sum/count block collapses into one
+/// `name{labels} count=N sum=S p50.. p95.. p99..` line. Quantiles are
+/// bucket-bound estimates, which is all a fixed-bound histogram can say.
+fn summarize_metrics(text: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    // Name of the histogram the current `# TYPE` block declares, if any.
+    let mut hist: Option<String> = None;
+    let mut acc = HistAcc::default();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            hist = rest
+                .split_once(' ')
+                .filter(|(_, kind)| *kind == "histogram")
+                .map(|(name, _)| name.to_string());
+            acc = HistAcc::default();
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        // Within a histogram block each label set is contiguous:
+        // buckets ascending, then `_sum`, then `_count` — so the count
+        // line is the flush point.
+        let series = hist.as_deref().and_then(|name| {
+            let tail = line.strip_prefix(name)?;
+            let (head, value) = tail.rsplit_once(' ')?;
+            Some((head.to_string(), value.to_string()))
+        });
+        match series {
+            Some((head, value)) if head.starts_with("_bucket") => {
+                let le = head
+                    .split_once("le=\"")
+                    .and_then(|(_, r)| r.split_once('"'))
+                    .map(|(le, _)| le.to_string())
+                    .unwrap_or_default();
+                acc.buckets.push((le, value.parse().unwrap_or(0)));
+            }
+            Some((head, value)) if head.starts_with("_sum") => {
+                acc.sum = value;
+            }
+            Some((head, value)) if head.starts_with("_count") => {
+                let labels = head.strip_prefix("_count").unwrap_or("");
+                let count: u64 = value.parse().unwrap_or(0);
+                let name = hist.as_deref().unwrap_or("");
+                if count == 0 {
+                    let _ = writeln!(out, "{name}{labels} count=0");
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{name}{labels} count={count} sum={} p50{} p95{} p99{}",
+                        acc.sum,
+                        hist_quantile(&acc.buckets, count, 0.50),
+                        hist_quantile(&acc.buckets, count, 0.95),
+                        hist_quantile(&acc.buckets, count, 0.99),
+                    );
+                }
+                acc = HistAcc::default();
+            }
+            _ => {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -804,6 +945,154 @@ fn chrome_durs(chrome: &str, name: &str) -> Vec<u64> {
         .into_iter()
         .map(|(_, d)| d)
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// profile
+// ---------------------------------------------------------------------------
+
+struct ProfileArgs {
+    scenario: Option<String>,
+    serve_url: Option<String>,
+    seconds: Option<u64>,
+    format: ProfileFormat,
+    hz: Option<u32>,
+    threads: usize,
+    out: Option<PathBuf>,
+}
+
+fn parse_profile_args(args: &[String]) -> Result<ProfileArgs, String> {
+    let mut scenario = None;
+    let mut serve_url = None;
+    let mut seconds = None;
+    let mut format = ProfileFormat::Folded;
+    let mut hz = None;
+    let mut threads = 1usize;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--serve-url" | "--addr" => {
+                serve_url = Some(it.next().ok_or("--serve-url needs HOST:PORT")?.clone())
+            }
+            "--seconds" => {
+                let v = it.next().ok_or("--seconds needs a number")?;
+                seconds = Some(
+                    v.parse()
+                        .map_err(|_| format!("--seconds: `{v}` is not a number"))?,
+                );
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("folded") => format = ProfileFormat::Folded,
+                Some("svg") => format = ProfileFormat::Svg,
+                Some("json") => format = ProfileFormat::Json,
+                _ => return Err("--format needs folded, svg, or json".to_string()),
+            },
+            "--hz" => {
+                let v = it.next().ok_or("--hz needs a number")?;
+                hz = Some(
+                    v.parse()
+                        .map_err(|_| format!("--hz: `{v}` is not a number"))?,
+                );
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a number")?;
+                threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a number"))?;
+            }
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a file path")?)),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown profile option `{other}`"))
+            }
+            other => {
+                if scenario.replace(other.to_string()).is_some() {
+                    return Err("more than one scenario argument".to_string());
+                }
+            }
+        }
+    }
+    Ok(ProfileArgs {
+        scenario,
+        serve_url,
+        seconds,
+        format,
+        hz,
+        threads,
+        out,
+    })
+}
+
+/// `pas profile`: render a region profile as folded stacks, an SVG
+/// flamegraph, or JSON. Remote mode (`--serve-url`) fetches a running
+/// server's `/profile`; local mode executes a scenario in-process with
+/// the detail regions (per-event sim hot-loop scopes) switched on.
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let pa = match parse_profile_args(args) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let body: Vec<u8> = match (&pa.serve_url, &pa.scenario) {
+        (Some(_), Some(_)) => {
+            return fail("give either a scenario or --serve-url, not both");
+        }
+        (Some(addr), None) => {
+            let client = Client::new(addr.clone());
+            match client.profile(pa.format, pa.seconds) {
+                Ok(b) => b,
+                Err(e) => {
+                    return fail(format!(
+                        "{addr}: /profile: {e} (is the server running with --metrics?)"
+                    ))
+                }
+            }
+        }
+        (None, Some(src)) => {
+            if pa.seconds.is_some() {
+                return fail("--seconds only applies to --serve-url mode");
+            }
+            let m = match load(src) {
+                Ok(m) => m,
+                Err(e) => return fail(e),
+            };
+            // Local mode owns the process: add the detail regions the
+            // always-on coarse set leaves out, start from a zeroed table.
+            pas_obs::profile::set_detail(true);
+            pas_obs::profile::reset();
+            let sampler = pa.hz.map(pas_obs::profile::start_sampler);
+            let result = execute(
+                &m,
+                ExecOptions {
+                    threads: pa.threads,
+                },
+            );
+            // Join the sampler before rendering so its last tick lands.
+            drop(sampler);
+            pas_obs::profile::set_detail(false);
+            if let Err(e) = result {
+                return fail(e);
+            }
+            match pa.format {
+                ProfileFormat::Folded => pas_obs::profile::render_folded(),
+                ProfileFormat::Svg => pas_obs::profile::render_svg(),
+                ProfileFormat::Json => pas_obs::profile::render_json(),
+            }
+            .into_bytes()
+        }
+        (None, None) => {
+            return fail("profile needs a scenario name/manifest path or --serve-url HOST:PORT");
+        }
+    };
+    match &pa.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &body) {
+                return fail(format!("writing {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{}", String::from_utf8_lossy(&body)),
+    }
+    ExitCode::SUCCESS
 }
 
 // ---------------------------------------------------------------------------
@@ -1110,6 +1399,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut dist: Option<usize> = None;
     let mut predictors = false;
+    let mut profile = false;
     let mut gate = false;
     let mut max_drop_pct = pas_bench::DEFAULT_MAX_DROP_PCT;
     let mut files: Vec<PathBuf> = Vec::new();
@@ -1125,6 +1415,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 _ => return fail("--dist needs a worker count >= 1"),
             },
             "--predictors" => predictors = true,
+            "--profile" => profile = true,
             "--gate" => gate = true,
             "--max-drop" => match it.next().map(|v| v.parse::<f64>()) {
                 Some(Ok(p)) if p >= 0.0 => max_drop_pct = p,
@@ -1182,9 +1473,13 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         Ok(p) => p.len(),
         Err(e) => return fail(e),
     };
-    let timed = |obs: bool, tracing: bool| -> Result<(u64, pas_scenario::BatchResult), String> {
+    let timed = |obs: bool,
+                 tracing: bool,
+                 profiling: bool|
+     -> Result<(u64, pas_scenario::BatchResult), String> {
         pas_obs::set_enabled(obs);
         pas_obs::trace::set_tracing(tracing);
+        pas_obs::profile::set_profiling(profiling);
         let mut best: Option<(u64, pas_scenario::BatchResult)> = None;
         for _ in 0..3 {
             // Fresh trace per iteration; threads=1 executes inline on
@@ -1200,20 +1495,36 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         }
         Ok(best.expect("three timed iterations"))
     };
-    let (exec_us, batch) = match timed(true, true) {
+    // Region profiling rides the shipping configuration (the coarse
+    // scopes are always on), so `execute_us_sequential` stays continuous
+    // with pre-profiler history. Zero the table first so the breakdown
+    // below attributes only this bench's own runs.
+    pas_obs::profile::reset();
+    let (exec_us, batch) = match timed(true, true, true) {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
-    let exec_us_trace_off = match timed(true, false) {
+    // Snapshot now: the later off-variant runs would dilute the calls.
+    let regions = profile.then(profile_region_json);
+    let exec_us_trace_off = match timed(true, false, true) {
         Ok((us, _)) => us,
         Err(e) => return fail(e),
     };
-    let exec_us_off = match timed(false, false) {
+    let exec_us_profile_off = if profile {
+        match timed(true, true, false) {
+            Ok((us, _)) => Some(us),
+            Err(e) => return fail(e),
+        }
+    } else {
+        None
+    };
+    let exec_us_off = match timed(false, false, false) {
         Ok((us, _)) => us,
         Err(e) => return fail(e),
     };
     pas_obs::set_enabled(true);
     pas_obs::trace::set_tracing(true);
+    pas_obs::profile::set_profiling(true);
     let overhead = |on: u64, off: u64| {
         if off > 0 {
             (on as f64 / off as f64 - 1.0) * 100.0
@@ -1223,13 +1534,25 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     };
     let overhead_pct = overhead(exec_us, exec_us_off);
     let trace_overhead_pct = overhead(exec_us, exec_us_trace_off);
+    // `--profile` contributes three extra fields; without it the payload
+    // is byte-identical to the pre-profiler shape.
+    let profile_fields = match (exec_us_profile_off, regions) {
+        (Some(off_us), Some(regions)) => format!(
+            "  \"execute_us_profile_off\": {off_us},\n  \
+             \"profile_overhead_pct\": {:.2},\n  \
+             \"profile_regions\": {regions},\n",
+            overhead(exec_us, off_us)
+        ),
+        _ => String::new(),
+    };
     let json = format!(
         "{{\n  \"bench\": \"batch\",\n  \"scenario\": \"paper-default\",\n  \
          \"expand_runs\": {},\n  \"expand_ns_per_iter\": {expand_ns},\n  \
          \"execute_runs\": {n_runs},\n  \"execute_us_sequential\": {exec_us},\n  \
          \"execute_us_trace_off\": {exec_us_trace_off},\n  \
          \"trace_overhead_pct\": {trace_overhead_pct:.2},\n  \
-         \"execute_us_obs_off\": {exec_us_off},\n  \"obs_overhead_pct\": {overhead_pct:.2},\n  \
+         \"execute_us_obs_off\": {exec_us_off},\n  \"obs_overhead_pct\": {overhead_pct:.2},\n\
+         {profile_fields}  \
          \"execute_us_per_run\": {},\n  \"events_total\": {}\n}}\n",
         points.len(),
         exec_us / n_runs as u64,
@@ -1240,6 +1563,42 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             .sum::<u64>(),
     );
     record_bench(&out, &json)
+}
+
+/// The global profile table folded down to a per-region JSON array:
+/// entries sharing a leaf region merge (self-time and calls summed over
+/// every stack path ending there), sorted by self-time descending with
+/// name as the deterministic tie-break.
+fn profile_region_json() -> String {
+    let mut agg: Vec<(String, u64, u64, u64)> = Vec::new();
+    for e in pas_obs::profile::snapshot() {
+        let Some(leaf) = e.stack.last() else { continue };
+        match agg.iter_mut().find(|(name, ..)| name == leaf) {
+            Some((_, calls, self_ns, total_ns)) => {
+                *calls += e.calls;
+                *self_ns += e.self_ns();
+                *total_ns += e.total_ns;
+            }
+            None => agg.push((leaf.clone(), e.calls, e.self_ns(), e.total_ns)),
+        }
+    }
+    agg.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    let items: Vec<String> = agg
+        .iter()
+        .map(|(name, calls, self_ns, total_ns)| {
+            format!(
+                "    {{\"region\": \"{name}\", \"calls\": {calls}, \
+                 \"self_us\": {}, \"total_us\": {}}}",
+                self_ns / 1_000,
+                total_ns / 1_000
+            )
+        })
+        .collect();
+    if items.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n  ]", items.join(",\n"))
+    }
 }
 
 /// Per-predictor hot-path bench: sequential point throughput of every
@@ -1430,11 +1789,70 @@ fn main() -> ExitCode {
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{}", usage());
             ExitCode::SUCCESS
         }
         Some(other) => fail(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_passes_counters_verbatim_and_folds_histograms() {
+        let text = "\
+# TYPE pas_server_http_requests_count counter
+pas_server_http_requests_count{route=\"/jobs\"} 7
+# TYPE pas_t_microseconds histogram
+pas_t_microseconds_bucket{route=\"/jobs\",le=\"10\"} 1
+pas_t_microseconds_bucket{route=\"/jobs\",le=\"100\"} 2
+pas_t_microseconds_bucket{route=\"/jobs\",le=\"+Inf\"} 3
+pas_t_microseconds_sum{route=\"/jobs\"} 160
+pas_t_microseconds_count{route=\"/jobs\"} 3
+# TYPE pas_q_gauge gauge
+pas_q_gauge 2
+";
+        let out = summarize_metrics(text);
+        // Counter and gauge lines survive byte-for-byte.
+        assert!(out.contains("pas_server_http_requests_count{route=\"/jobs\"} 7\n"));
+        assert!(out.contains("pas_q_gauge 2\n"));
+        // The histogram block collapses to one summary line: no raw
+        // buckets, quantiles read off the cumulative bounds.
+        assert!(!out.contains("_bucket"));
+        assert!(out.contains(
+            "pas_t_microseconds{route=\"/jobs\"} count=3 sum=160 p50<=100 p95>100 p99>100\n"
+        ));
+    }
+
+    #[test]
+    fn summarize_handles_zero_count_and_unlabelled_histograms() {
+        let text = "\
+# TYPE pas_e histogram
+pas_e_bucket{le=\"10\"} 0
+pas_e_bucket{le=\"+Inf\"} 0
+pas_e_sum 0
+pas_e_count 0
+";
+        assert_eq!(
+            summarize_metrics(text),
+            "# TYPE pas_e histogram\npas_e count=0\n"
+        );
+    }
+
+    #[test]
+    fn quantile_picks_smallest_covering_bound() {
+        let buckets = vec![
+            ("10".to_string(), 5u64),
+            ("100".to_string(), 9),
+            ("+Inf".to_string(), 10),
+        ];
+        assert_eq!(hist_quantile(&buckets, 10, 0.50), "<=10");
+        assert_eq!(hist_quantile(&buckets, 10, 0.90), "<=100");
+        assert_eq!(hist_quantile(&buckets, 10, 0.99), ">100");
     }
 }
