@@ -357,8 +357,22 @@ pub fn throughput_by_key(bench: &str, payload: &str) -> Vec<(String, f64)> {
                     }
                 }
             }
+            // Manifest-expansion throughput (expansions/s), gated under
+            // its own key so an expansion regression cannot hide behind
+            // execute jitter (and vice versa).
+            if let Some(ns) = scan_u64(payload, "expand_ns_per_iter") {
+                if ns > 0 {
+                    out.push(("sequential-expand".to_string(), 1e9 / ns as f64));
+                }
+            }
             out
         }
+        // One sample per queue configuration (`calendar-n1000`-style
+        // keys), so `pas bench --queue` regressions gate per impl and
+        // pending-count, never mixing the two implementations.
+        "queue" => scan_keyed(payload, "config", "ops_per_s", |v| {
+            v.trim_matches('"').to_string()
+        }),
         // Two samples per fleet size: raw throughput
         // (`workers=N` ← `runs_per_s`) and the scaling gate key
         // (`dist-wN` ← `speedup`), so a speedup collapse at one fleet
@@ -606,6 +620,29 @@ mod tests {
                 ("workers=2".to_string(), 220.0),
                 ("dist-w1".to_string(), 1.0),
                 ("dist-w2".to_string(), 2.19)
+            ]
+        );
+        // Payloads carrying expansion timing gain the expand key.
+        let with_expand = LEGACY.replace(
+            "\"expand_runs\": 540",
+            "\"expand_runs\": 540,\n  \"expand_ns_per_iter\": 50000",
+        );
+        assert_eq!(
+            throughput_by_key("batch", &with_expand),
+            vec![
+                ("sequential".to_string(), 24.0 * 1e6 / 9000.0),
+                ("sequential-expand".to_string(), 1e9 / 50000.0)
+            ]
+        );
+        // Queue payloads key per implementation and pending count.
+        let queue = "{\"bench\":\"queue\",\"configs\":[\
+             {\"config\": \"calendar-n1000\", \"ns_per_op\": 40, \"ops_per_s\": 25000000.0},\
+             {\"config\": \"heap-n1000\", \"ns_per_op\": 80, \"ops_per_s\": 12500000.0}]}";
+        assert_eq!(
+            throughput_by_key("queue", queue),
+            vec![
+                ("calendar-n1000".to_string(), 25000000.0),
+                ("heap-n1000".to_string(), 12500000.0)
             ]
         );
         let pred = "{\"bench\":\"predictors\",\"predictors\":[\

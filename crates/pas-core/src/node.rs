@@ -1,18 +1,28 @@
-//! Per-node runtime state.
+//! Per-node runtime state, stored struct-of-arrays.
 //!
-//! [`Node`] is pure data plus small invariant-preserving mutators; the
+//! [`Nodes`] is pure data plus small invariant-preserving mutators; the
 //! protocol *logic* lives in [`crate::runner`], which owns the event loop
-//! and can see the whole world (field, radio, tracker) at once. Keeping the
-//! node passive avoids the callback-borrow tangles that plague DES node
-//! models and keeps the hot loop monomorphic.
+//! and can see the whole world (field, channel, tracker) at once. Keeping
+//! the node layer passive avoids the callback-borrow tangles that plague
+//! DES node models and keeps the hot loop monomorphic.
+//!
+//! ## Why struct-of-arrays
+//!
+//! Each dispatched event touches a handful of scalar fields of one node
+//! (mode, window, last-TX end, …). With an array-of-structs layout every
+//! such touch drags a whole ~300-byte `Node` cache footprint through the
+//! hierarchy; with parallel arrays an event handler reads exactly the
+//! cache lines holding the fields it uses. The arrays are public — the
+//! runner indexes them directly — and the mutators below guard the
+//! invariants that span several arrays (state machine, meter/awake
+//! agreement).
 
 use crate::msg::Report;
 use crate::predictor::PredictorState;
 use crate::state::NodeState;
 use pas_geom::Vec2;
-use pas_platform::{EnergyBreakdown, EnergyMeter, NodeMode};
+use pas_platform::{EnergyBreakdown, EnergyMeter, NodeMode, PowerProfile};
 use pas_sim::SimTime;
-use std::collections::BTreeMap;
 
 /// Why a node opened a listening window after broadcasting a REQUEST.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,132 +38,148 @@ pub enum Purpose {
     AlertRefresh,
 }
 
-/// One sensor's runtime state.
+/// All sensors' runtime state, one parallel array per field (index = node
+/// id).
 #[derive(Debug)]
-pub struct Node {
-    /// Node id (index into the topology).
-    pub id: usize,
+pub struct Nodes {
     /// Fixed position.
-    pub pos: Vec2,
+    pub pos: Vec<Vec2>,
     /// Protocol state (paper Fig. 3).
-    pub state: NodeState,
+    pub state: Vec<NodeState>,
     /// `false` once the failure plan kills the node.
-    pub alive: bool,
+    pub alive: Vec<bool>,
     /// `true` while the MCU+radio are up (can receive frames).
-    pub awake: bool,
+    pub awake: Vec<bool>,
     /// Current sleep interval (s); grows by Δt per uneventful wake.
-    pub sleep_interval_s: f64,
-    /// Energy meter for this node.
-    pub meter: EnergyMeter,
+    pub sleep_interval_s: Vec<f64>,
+    /// Energy meter (all meters share one static power profile).
+    pub meter: Vec<EnergyMeter>,
     /// Frozen energy at death (None while alive).
-    pub death_energy: Option<EnergyBreakdown>,
+    pub death_energy: Vec<Option<EnergyBreakdown>>,
     /// First detection time, if any.
-    pub detect_time: Option<SimTime>,
+    pub detect_time: Vec<Option<SimTime>>,
     /// Current velocity estimate: actual (covered) or expected (alert).
-    pub velocity: Option<Vec2>,
+    pub velocity: Vec<Option<Vec2>>,
     /// Per-node memory of the policy's arrival predictor (the Kalman
     /// variant's recursive velocity belief; stateless for the others).
-    pub predictor_state: PredictorState,
+    pub predictor_state: Vec<PredictorState>,
     /// Current predicted stimulus arrival ([`SimTime::NEVER`] = unknown).
-    pub expected_arrival: SimTime,
-    /// Latest report received per neighbour.
-    pub reports: BTreeMap<usize, Report>,
+    pub expected_arrival: Vec<SimTime>,
+    /// Latest report received per neighbour, sorted by sender id. A sorted
+    /// vec with binary-search insert: same iteration order as the old
+    /// `BTreeMap<usize, Report>` without per-entry heap nodes.
+    pub reports: Vec<Vec<(u32, Report)>>,
     /// Open listening window, if any.
-    pub window: Option<Purpose>,
+    pub window: Vec<Option<Purpose>>,
     /// End of the last transmission (sender side).
-    pub last_tx_end: SimTime,
+    pub last_tx_end: Vec<SimTime>,
     /// Time of the last broadcast this node originated (storm suppression).
-    pub last_broadcast: Option<SimTime>,
+    pub last_broadcast: Vec<Option<SimTime>>,
     /// True if the node ever entered the Alert state (diagnostics).
-    pub alerted_ever: bool,
-    /// REQUEST frames sent.
-    pub requests_sent: u64,
-    /// RESPONSE frames sent.
-    pub responses_sent: u64,
-    /// Frames received while awake.
-    pub frames_received: u64,
+    pub alerted_ever: Vec<bool>,
 }
 
-impl Node {
-    /// A fresh node in the Safe state.
-    pub fn new(id: usize, pos: Vec2, meter: EnergyMeter, base_sleep_s: f64) -> Self {
-        Node {
-            id,
-            pos,
-            state: NodeState::Safe,
-            alive: true,
-            awake: !meter.mode().is_sleeping(),
-            sleep_interval_s: base_sleep_s,
-            meter,
-            death_energy: None,
-            detect_time: None,
-            velocity: None,
-            predictor_state: PredictorState::default(),
-            expected_arrival: SimTime::NEVER,
-            reports: BTreeMap::new(),
-            window: None,
-            last_tx_end: SimTime::ZERO,
-            last_broadcast: None,
-            alerted_ever: false,
-            requests_sent: 0,
-            responses_sent: 0,
-            frames_received: 0,
+impl Nodes {
+    /// Fresh nodes in the Safe state, all sharing `profile`.
+    pub fn new(
+        positions: &[Vec2],
+        profile: &'static PowerProfile,
+        starts_awake: bool,
+        base_sleep_s: f64,
+    ) -> Self {
+        let n = positions.len();
+        let mode = if starts_awake {
+            NodeMode::ACTIVE_RX
+        } else {
+            NodeMode::SLEEP
+        };
+        Nodes {
+            pos: positions.to_vec(),
+            state: vec![NodeState::Safe; n],
+            alive: vec![true; n],
+            awake: vec![starts_awake; n],
+            sleep_interval_s: vec![base_sleep_s; n],
+            meter: (0..n)
+                .map(|_| EnergyMeter::new(profile, mode, SimTime::ZERO))
+                .collect(),
+            death_energy: vec![None; n],
+            detect_time: vec![None; n],
+            velocity: vec![None; n],
+            predictor_state: vec![PredictorState::default(); n],
+            expected_arrival: vec![SimTime::NEVER; n],
+            reports: vec![Vec::new(); n],
+            window: vec![None; n],
+            last_tx_end: vec![SimTime::ZERO; n],
+            last_broadcast: vec![None; n],
+            alerted_ever: vec![false; n],
         }
     }
 
-    /// Transition the protocol state, enforcing the paper's Fig. 3 diagram.
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// `true` when there are no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Transition node `i`'s protocol state, enforcing the paper's Fig. 3
+    /// diagram.
     ///
     /// # Panics
     /// Panics on an illegal transition — always a runner bug.
-    pub fn transition(&mut self, to: NodeState) {
+    pub fn transition(&mut self, i: usize, to: NodeState) {
         assert!(
-            self.state.can_transition_to(to),
+            self.state[i].can_transition_to(to),
             "illegal transition {} -> {} on node {}",
-            self.state,
+            self.state[i],
             to,
-            self.id
+            i
         );
         if to == NodeState::Alert {
-            self.alerted_ever = true;
+            self.alerted_ever[i] = true;
         }
-        self.state = to;
+        self.state[i] = to;
     }
 
-    /// Wake the node at `t` (meter charges the sleep→active transition).
-    pub fn wake(&mut self, t: SimTime) {
-        debug_assert!(!self.awake, "waking an awake node {}", self.id);
-        self.meter.set_mode(t, NodeMode::ACTIVE_RX);
-        self.awake = true;
+    /// Wake node `i` at `t` (meter charges the sleep→active transition).
+    pub fn wake(&mut self, i: usize, t: SimTime) {
+        debug_assert!(!self.awake[i], "waking an awake node {i}");
+        self.meter[i].set_mode(t, NodeMode::ACTIVE_RX);
+        self.awake[i] = true;
     }
 
-    /// Put the node to sleep at `t`.
+    /// Put node `i` to sleep at `t`.
     ///
     /// # Panics
     /// Panics (debug) if called while a transmission is in flight — the
     /// runner must defer sleep past `last_tx_end`.
-    pub fn sleep(&mut self, t: SimTime) {
-        debug_assert!(self.awake, "sleeping an asleep node {}", self.id);
+    pub fn sleep(&mut self, i: usize, t: SimTime) {
+        debug_assert!(self.awake[i], "sleeping an asleep node {i}");
         debug_assert!(
-            t >= self.last_tx_end,
-            "node {} sleeping mid-transmission",
-            self.id
+            t >= self.last_tx_end[i],
+            "node {i} sleeping mid-transmission"
         );
-        self.meter.set_mode(t, NodeMode::SLEEP);
-        self.awake = false;
-        self.window = None;
+        self.meter[i].set_mode(t, NodeMode::SLEEP);
+        self.awake[i] = false;
+        self.window[i] = None;
     }
 
-    /// The report this node would send right now.
+    /// The report node `i` would send right now.
     ///
     /// Covered nodes report their detection time and actual velocity; alert
     /// nodes report their prediction. Safe nodes have nothing authoritative
     /// to say — callers should not solicit them.
-    pub fn report(&self, now: SimTime) -> Report {
-        let ref_time = match self.state {
-            NodeState::Covered => self.detect_time.unwrap_or(now),
+    pub fn report(&self, i: usize, now: SimTime) -> Report {
+        let ref_time = match self.state[i] {
+            NodeState::Covered => self.detect_time[i].unwrap_or(now),
             NodeState::Alert => {
-                if self.expected_arrival.is_finite() {
-                    self.expected_arrival
+                if self.expected_arrival[i].is_finite() {
+                    self.expected_arrival[i]
                 } else {
                     now
                 }
@@ -161,28 +187,27 @@ impl Node {
             NodeState::Safe => now,
         };
         Report {
-            pos: self.pos,
-            state: self.state,
-            velocity: self.velocity,
+            pos: self.pos[i],
+            state: self.state[i],
+            velocity: self.velocity[i],
             ref_time,
         }
     }
 
-    /// Store a neighbour's report (latest wins).
-    pub fn store_report(&mut self, from: usize, report: Report) {
-        self.reports.insert(from, report);
+    /// Store a neighbour's report on node `i` (latest wins).
+    pub fn store_report(&mut self, i: usize, from: u32, report: Report) {
+        let slot = &mut self.reports[i];
+        match slot.binary_search_by_key(&from, |&(k, _)| k) {
+            Ok(at) => slot[at].1 = report,
+            Err(at) => slot.insert(at, (from, report)),
+        }
     }
 
-    /// Snapshot of the neighbour reports for the estimators.
-    pub fn report_values(&self) -> Vec<Report> {
-        self.reports.values().copied().collect()
-    }
-
-    /// Final energy: frozen at death, else metered up to `end`.
-    pub fn final_energy(&mut self, end: SimTime) -> EnergyBreakdown {
-        match self.death_energy {
+    /// Final energy of node `i`: frozen at death, else metered up to `end`.
+    pub fn final_energy(&mut self, i: usize, end: SimTime) -> EnergyBreakdown {
+        match self.death_energy[i] {
             Some(e) => e,
-            None => self.meter.sample(end),
+            None => self.meter[i].sample(end),
         }
     }
 }
@@ -190,53 +215,47 @@ impl Node {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pas_platform::telos_profile;
+    use pas_platform::{telos_profile, telos_profile_ref};
 
-    fn node_at(pos: Vec2, awake: bool) -> Node {
-        let mode = if awake {
-            NodeMode::ACTIVE_RX
-        } else {
-            NodeMode::SLEEP
-        };
-        let meter = EnergyMeter::new(telos_profile(), mode, SimTime::ZERO);
-        Node::new(0, pos, meter, 1.0)
+    fn nodes_at(pos: Vec2, awake: bool) -> Nodes {
+        Nodes::new(&[pos], telos_profile_ref(), awake, 1.0)
     }
 
     #[test]
     fn fresh_node_is_safe() {
-        let n = node_at(Vec2::ZERO, false);
-        assert_eq!(n.state, NodeState::Safe);
-        assert!(!n.awake);
-        assert!(n.alive);
-        assert_eq!(n.expected_arrival, SimTime::NEVER);
+        let n = nodes_at(Vec2::ZERO, false);
+        assert_eq!(n.state[0], NodeState::Safe);
+        assert!(!n.awake[0]);
+        assert!(n.alive[0]);
+        assert_eq!(n.expected_arrival[0], SimTime::NEVER);
     }
 
     #[test]
     fn legal_transition_chain() {
-        let mut n = node_at(Vec2::ZERO, true);
-        n.transition(NodeState::Alert);
-        assert!(n.alerted_ever);
-        n.transition(NodeState::Covered);
-        n.transition(NodeState::Safe);
-        assert_eq!(n.state, NodeState::Safe);
+        let mut n = nodes_at(Vec2::ZERO, true);
+        n.transition(0, NodeState::Alert);
+        assert!(n.alerted_ever[0]);
+        n.transition(0, NodeState::Covered);
+        n.transition(0, NodeState::Safe);
+        assert_eq!(n.state[0], NodeState::Safe);
     }
 
     #[test]
     #[should_panic(expected = "illegal transition")]
     fn illegal_transition_panics() {
-        let mut n = node_at(Vec2::ZERO, true);
-        n.transition(NodeState::Covered);
-        n.transition(NodeState::Alert); // Covered -> Alert is not in Fig. 3
+        let mut n = nodes_at(Vec2::ZERO, true);
+        n.transition(0, NodeState::Covered);
+        n.transition(0, NodeState::Alert); // Covered -> Alert is not in Fig. 3
     }
 
     #[test]
     fn wake_sleep_cycle_meters_energy() {
-        let mut n = node_at(Vec2::ZERO, false);
-        n.wake(SimTime::from_secs(10.0));
-        assert!(n.awake);
-        n.sleep(SimTime::from_secs(11.0));
-        assert!(!n.awake);
-        let e = n.final_energy(SimTime::from_secs(20.0));
+        let mut n = nodes_at(Vec2::ZERO, false);
+        n.wake(0, SimTime::from_secs(10.0));
+        assert!(n.awake[0]);
+        n.sleep(0, SimTime::from_secs(11.0));
+        assert!(!n.awake[0]);
+        let e = n.final_energy(0, SimTime::from_secs(20.0));
         // 10 s sleep + 1 s active + 9 s sleep + 1 wake transition.
         let p = telos_profile();
         let want =
@@ -246,29 +265,29 @@ mod tests {
 
     #[test]
     fn report_reflects_state() {
-        let mut n = node_at(Vec2::new(1.0, 2.0), true);
+        let mut n = nodes_at(Vec2::new(1.0, 2.0), true);
         let now = SimTime::from_secs(5.0);
         // Safe: ref_time falls back to now.
-        assert_eq!(n.report(now).ref_time, now);
+        assert_eq!(n.report(0, now).ref_time, now);
 
-        n.transition(NodeState::Alert);
-        n.expected_arrival = SimTime::from_secs(9.0);
-        n.velocity = Some(Vec2::UNIT_X);
-        let r = n.report(now);
+        n.transition(0, NodeState::Alert);
+        n.expected_arrival[0] = SimTime::from_secs(9.0);
+        n.velocity[0] = Some(Vec2::UNIT_X);
+        let r = n.report(0, now);
         assert_eq!(r.state, NodeState::Alert);
         assert_eq!(r.ref_time, SimTime::from_secs(9.0));
         assert_eq!(r.velocity, Some(Vec2::UNIT_X));
 
-        n.transition(NodeState::Covered);
-        n.detect_time = Some(SimTime::from_secs(6.0));
-        let r = n.report(SimTime::from_secs(7.0));
+        n.transition(0, NodeState::Covered);
+        n.detect_time[0] = Some(SimTime::from_secs(6.0));
+        let r = n.report(0, SimTime::from_secs(7.0));
         assert_eq!(r.state, NodeState::Covered);
         assert_eq!(r.ref_time, SimTime::from_secs(6.0));
     }
 
     #[test]
-    fn reports_latest_wins() {
-        let mut n = node_at(Vec2::ZERO, true);
+    fn reports_latest_wins_and_stay_sorted() {
+        let mut n = nodes_at(Vec2::ZERO, true);
         let r1 = Report {
             pos: Vec2::UNIT_X,
             state: NodeState::Alert,
@@ -279,20 +298,24 @@ mod tests {
             ref_time: SimTime::from_secs(2.0),
             ..r1
         };
-        n.store_report(7, r1);
-        n.store_report(7, r2);
-        assert_eq!(n.reports.len(), 1);
-        assert_eq!(n.reports[&7].ref_time, SimTime::from_secs(2.0));
-        assert_eq!(n.report_values().len(), 1);
+        n.store_report(0, 7, r1);
+        n.store_report(0, 7, r2);
+        assert_eq!(n.reports[0].len(), 1);
+        assert_eq!(n.reports[0][0].1.ref_time, SimTime::from_secs(2.0));
+        // Inserts keep ascending sender order (the BTreeMap contract).
+        n.store_report(0, 3, r1);
+        n.store_report(0, 9, r1);
+        let keys: Vec<u32> = n.reports[0].iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![3, 7, 9]);
     }
 
     #[test]
     fn death_freezes_energy() {
-        let mut n = node_at(Vec2::ZERO, true);
-        let at_death = n.meter.sample(SimTime::from_secs(5.0));
-        n.death_energy = Some(at_death);
-        n.alive = false;
-        let e = n.final_energy(SimTime::from_secs(100.0));
+        let mut n = nodes_at(Vec2::ZERO, true);
+        let at_death = n.meter[0].sample(SimTime::from_secs(5.0));
+        n.death_energy[0] = Some(at_death);
+        n.alive[0] = false;
+        let e = n.final_energy(0, SimTime::from_secs(100.0));
         assert_eq!(e.total_j(), at_death.total_j(), "no post-mortem drain");
     }
 }

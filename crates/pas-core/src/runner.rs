@@ -1,4 +1,4 @@
-//! The simulation runner: wires nodes, radio, stimulus and policy into one
+//! The simulation runner: wires nodes, channel, stimulus and policy into one
 //! deterministic discrete-event run and reduces it to the paper's metrics.
 //!
 //! ## Event anatomy
@@ -11,13 +11,30 @@
 //! * `WindowEnd(i, purpose)` — the listening window after a REQUEST closes:
 //!   a safe prober decides alert-vs-sleep; a fresh covered node computes
 //!   its actual velocity and announces it.
-//! * `Deliver(i, msg)` — a frame reaches node `i`'s antenna. Heard only if
-//!   the node is awake and not mid-transmission (half-duplex).
+//! * `Deliver { to, frame }` — a frame reaches node `to`'s antenna. Heard
+//!   only if the node is awake and not mid-transmission (half-duplex).
 //! * `AlertReview(i)` — periodic re-examination of an alert node: fall back
 //!   to safe on misprediction (overdue) or receded threat.
 //! * `CoveredCheck(i)` — periodic re-sense of a covered node: if the
 //!   stimulus receded, return to safe after the detection timeout (§3.2).
 //! * `Fail(i)` — failure injection: the node dies, its meter freezes.
+//!
+//! ## Zero-allocation dispatch
+//!
+//! The hot loop allocates nothing per event. Three structures make that
+//! possible:
+//!
+//! * **Frame slab** — a broadcast's [`Msg`] payload is written once into a
+//!   free-list slab and `Deliver` events carry a `u32` slot index, keeping
+//!   [`Ev`] small enough for the calendar queue's inline storage. Every
+//!   `Deliver` dispatch (heard or not) drops the slot's reference count;
+//!   the slot recycles when the last scheduled delivery lands.
+//! * **Flat neighbour table** — the per-node neighbour lists are packed at
+//!   setup into one CSR array of `(id, distance)` pairs, so `broadcast()`
+//!   walks a contiguous slice and schedules deliveries directly instead of
+//!   collecting a `Vec<Delivery>` per send.
+//! * **Report scratch** — estimator calls copy a node's stored reports into
+//!   one reusable `Vec<Report>` owned by the world.
 //!
 //! ## Transmission metering
 //!
@@ -31,14 +48,17 @@
 use crate::config::{ChannelKind, RunConfig, Scenario};
 use crate::estimate;
 use crate::msg::{Msg, Report};
-use crate::node::{Node, Purpose};
+use crate::node::{Nodes, Purpose};
 use crate::policy::{AdaptiveParams, Policy};
+use crate::predictor::PredictorSpec;
 use crate::state::NodeState;
 use crate::timeline::Timeline;
 use pas_diffusion::StimulusField;
 use pas_metrics::{DelayStats, DelayTracker};
-use pas_net::{ChannelModel, DistanceLossChannel, IidLossChannel, PerfectChannel, Radio};
-use pas_platform::{telos_profile, EnergyBreakdown, EnergyMeter, FrameSpec, NodeMode};
+use pas_net::{ChannelModel, DistanceLossChannel, IidLossChannel, PerfectChannel};
+use pas_platform::{
+    telos_profile, telos_profile_ref, EnergyBreakdown, FrameSpec, MessageKind, NodeMode,
+};
 use pas_sim::{Engine, Rng, SimTime};
 
 /// Substream label: deployment positions.
@@ -79,17 +99,30 @@ impl From<ChannelKind> for ChannelImpl {
     }
 }
 
-/// Simulation events.
+/// Simulation events. Kept to 12 bytes (node ids as `u32`, message payloads
+/// in the frame slab) so a calendar-queue entry stays within 32 bytes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Ev {
-    Arrival(usize),
-    Wake(usize),
-    WindowEnd(usize, Purpose),
-    Deliver(usize, Msg),
-    AlertReview(usize),
-    CoveredCheck(usize),
-    Fail(usize),
+    Arrival(u32),
+    Wake(u32),
+    WindowEnd(u32, Purpose),
+    Deliver { to: u32, frame: u32 },
+    AlertReview(u32),
+    CoveredCheck(u32),
+    Fail(u32),
 }
+
+/// One in-flight broadcast payload in the frame slab.
+struct Frame {
+    msg: Msg,
+    /// Scheduled deliveries not yet dispatched; slot recycles at zero.
+    remaining: u32,
+    /// Free-list link ([`NO_FRAME`] terminates).
+    next_free: u32,
+}
+
+/// Free-list terminator for the frame slab.
+const NO_FRAME: u32 = u32::MAX;
 
 /// The outcome of one run.
 #[derive(Debug, Clone)]
@@ -163,12 +196,32 @@ impl RunResult {
 }
 
 struct World<'f> {
-    nodes: Vec<Node>,
-    radio: Radio<ChannelImpl>,
+    nodes: Nodes,
     field: &'f dyn StimulusField,
     policy: Policy,
+    /// Hoisted `policy.params()` (None for NS/Oracle).
+    params: Option<AdaptiveParams>,
+    /// Hoisted `policy.predictor()` — resolving the spec per estimator call
+    /// was measurable.
+    predictor: Option<PredictorSpec>,
+    /// Hoisted `policy.relays_predictions()`.
+    relays: bool,
+    channel: ChannelImpl,
+    range: f64,
+    /// CSR offsets into `nbr`: node `i`'s neighbours are
+    /// `nbr[nbr_off[i]..nbr_off[i+1]]`.
+    nbr_off: Vec<u32>,
+    /// Flat `(neighbour id, distance)` pairs, ascending id per node.
+    nbr: Vec<(u32, f64)>,
+    airtime_request_s: f64,
+    airtime_response_s: f64,
     tracker: DelayTracker,
     rng: Rng,
+    frames: Vec<Frame>,
+    free_frame: u32,
+    reports_scratch: Vec<Report>,
+    requests_sent: u64,
+    responses_sent: u64,
     frames_delivered: u64,
     frames_unheard: u64,
     timeline: Option<Timeline>,
@@ -185,7 +238,7 @@ pub fn run(scenario: &Scenario, field: &dyn StimulusField, config: &RunConfig) -
     let _prof = pas_obs::profile::scope("sim.run");
     config.policy.validate();
     let topology = scenario.topology();
-    let profile = telos_profile();
+    let profile = telos_profile_ref();
     let n = topology.len();
 
     // Ground-truth arrivals (oracle facts, known up front).
@@ -222,20 +275,7 @@ pub fn run(scenario: &Scenario, field: &dyn StimulusField, config: &RunConfig) -
         .map(|p| p.base_sleep_s)
         .unwrap_or(1.0);
 
-    let nodes: Vec<Node> = topology
-        .positions()
-        .iter()
-        .enumerate()
-        .map(|(i, &pos)| {
-            let mode = if starts_awake {
-                NodeMode::ACTIVE_RX
-            } else {
-                NodeMode::SLEEP
-            };
-            let meter = EnergyMeter::new(profile.clone(), mode, SimTime::ZERO);
-            Node::new(i, pos, meter, base_sleep)
-        })
-        .collect();
+    let nodes = Nodes::new(topology.positions(), profile, starts_awake, base_sleep);
 
     match config.policy {
         Policy::Ns => { /* always awake: Arrival events do the detecting */ }
@@ -244,7 +284,7 @@ pub fn run(scenario: &Scenario, field: &dyn StimulusField, config: &RunConfig) -
             for (i, arr) in arrivals.iter().enumerate() {
                 if let Some(t) = arr {
                     if *t <= horizon {
-                        engine.schedule_at(*t, Ev::Wake(i));
+                        engine.schedule_at(*t, Ev::Wake(i as u32));
                     }
                 }
             }
@@ -253,7 +293,7 @@ pub fn run(scenario: &Scenario, field: &dyn StimulusField, config: &RunConfig) -
             // Desynchronised first wake: uniform phase in [0, base interval).
             for i in 0..n {
                 let phase = node_rng.range_f64(0.0, base_sleep);
-                engine.schedule_at(SimTime::from_secs(phase), Ev::Wake(i));
+                engine.schedule_at(SimTime::from_secs(phase), Ev::Wake(i as u32));
             }
         }
     }
@@ -262,7 +302,7 @@ pub fn run(scenario: &Scenario, field: &dyn StimulusField, config: &RunConfig) -
     for (i, arr) in arrivals.iter().enumerate() {
         if let Some(t) = arr {
             if *t <= horizon {
-                engine.schedule_at(*t, Ev::Arrival(i));
+                engine.schedule_at(*t, Ev::Arrival(i as u32));
             }
         }
     }
@@ -270,22 +310,45 @@ pub fn run(scenario: &Scenario, field: &dyn StimulusField, config: &RunConfig) -
     // Failure injection.
     for (i, t) in config.failures.iter() {
         if t <= horizon {
-            engine.schedule_at(t, Ev::Fail(i));
+            engine.schedule_at(t, Ev::Fail(i as u32));
         }
     }
 
+    // Flatten the topology's neighbour lists into one CSR table with
+    // precomputed link distances (same distance expression the radio layer
+    // used per broadcast, so the channel sees bit-identical inputs).
+    let mut nbr_off = Vec::with_capacity(n + 1);
+    let mut nbr = Vec::new();
+    nbr_off.push(0u32);
+    for i in 0..n {
+        let pos_i = topology.position(i);
+        for &to in topology.neighbors(i) {
+            nbr.push((to as u32, pos_i.distance(topology.position(to))));
+        }
+        nbr_off.push(nbr.len() as u32);
+    }
+
+    let frame_spec = FrameSpec::default();
     let mut world = World {
         nodes,
-        radio: Radio::new(
-            topology,
-            ChannelImpl::from(config.channel),
-            FrameSpec::default(),
-            profile.clone(),
-        ),
         field,
         policy: config.policy,
+        params: config.policy.params().copied(),
+        predictor: config.policy.predictor(),
+        relays: config.policy.relays_predictions(),
+        channel: ChannelImpl::from(config.channel),
+        range: topology.range(),
+        nbr_off,
+        nbr,
+        airtime_request_s: frame_spec.airtime_s(MessageKind::Request, profile),
+        airtime_response_s: frame_spec.airtime_s(MessageKind::Response, profile),
         tracker,
         rng: Rng::substream(scenario.seed, STREAM_CHANNEL),
+        frames: Vec::new(),
+        free_frame: NO_FRAME,
+        reports_scratch: Vec::new(),
+        requests_sent: 0,
+        responses_sent: 0,
         frames_delivered: 0,
         frames_unheard: 0,
         timeline: config.record_timeline.then(Timeline::new),
@@ -296,12 +359,10 @@ pub fn run(scenario: &Scenario, field: &dyn StimulusField, config: &RunConfig) -
     // Reduce.
     let _prof_stats = pas_obs::profile::scope_detail("sim.stats");
     let duration_s = horizon.as_secs();
-    let per_node_energy: Vec<EnergyBreakdown> = world
-        .nodes
-        .iter_mut()
-        .map(|node| {
-            let end = horizon.max(node.last_tx_end);
-            node.final_energy(end)
+    let per_node_energy: Vec<EnergyBreakdown> = (0..n)
+        .map(|i| {
+            let end = horizon.max(world.nodes.last_tx_end[i]);
+            world.nodes.final_energy(i, end)
         })
         .collect();
     RunResult {
@@ -310,36 +371,73 @@ pub fn run(scenario: &Scenario, field: &dyn StimulusField, config: &RunConfig) -
         duration_s,
         delay: world.tracker.stats(),
         per_node_energy,
-        requests_sent: world.nodes.iter().map(|n| n.requests_sent).sum(),
-        responses_sent: world.nodes.iter().map(|n| n.responses_sent).sum(),
+        requests_sent: world.requests_sent,
+        responses_sent: world.responses_sent,
         frames_delivered: world.frames_delivered,
         frames_unheard: world.frames_unheard,
         events_processed: engine.processed(),
         covered_final: world
             .nodes
+            .state
             .iter()
-            .filter(|n| n.state == NodeState::Covered)
+            .filter(|&&s| s == NodeState::Covered)
             .count(),
-        alerted_ever: world.nodes.iter().filter(|n| n.alerted_ever).count(),
+        alerted_ever: world.nodes.alerted_ever.iter().filter(|&&a| a).count(),
         timeline: world.timeline,
     }
 }
 
 impl<'f> World<'f> {
-    fn params(&self) -> Option<&AdaptiveParams> {
-        self.policy.params()
-    }
-
     fn handle(&mut self, eng: &mut Engine<Ev>, ev: Ev) {
         match ev {
-            Ev::Arrival(i) => self.on_arrival(eng, i),
-            Ev::Wake(i) => self.on_wake(eng, i),
-            Ev::WindowEnd(i, purpose) => self.on_window_end(eng, i, purpose),
-            Ev::Deliver(i, msg) => self.on_deliver(eng, i, msg),
-            Ev::AlertReview(i) => self.on_alert_review(eng, i),
-            Ev::CoveredCheck(i) => self.on_covered_check(eng, i),
-            Ev::Fail(i) => self.on_fail(eng, i),
+            Ev::Arrival(i) => self.on_arrival(eng, i as usize),
+            Ev::Wake(i) => self.on_wake(eng, i as usize),
+            Ev::WindowEnd(i, purpose) => self.on_window_end(eng, i as usize, purpose),
+            Ev::Deliver { to, frame } => self.on_deliver(eng, to as usize, frame),
+            Ev::AlertReview(i) => self.on_alert_review(eng, i as usize),
+            Ev::CoveredCheck(i) => self.on_covered_check(eng, i as usize),
+            Ev::Fail(i) => self.on_fail(eng, i as usize),
         }
+    }
+
+    // --- frame slab -------------------------------------------------------
+
+    /// Park a broadcast payload in the slab; the caller sets `remaining`
+    /// once it knows how many deliveries were scheduled.
+    fn alloc_frame(&mut self, msg: Msg) -> u32 {
+        if self.free_frame != NO_FRAME {
+            let f = self.free_frame;
+            let slot = &mut self.frames[f as usize];
+            self.free_frame = slot.next_free;
+            slot.msg = msg;
+            slot.remaining = 0;
+            f
+        } else {
+            self.frames.push(Frame {
+                msg,
+                remaining: 0,
+                next_free: NO_FRAME,
+            });
+            (self.frames.len() - 1) as u32
+        }
+    }
+
+    /// Return a never-delivered frame slot to the free list.
+    fn release_frame(&mut self, f: u32) {
+        self.frames[f as usize].next_free = self.free_frame;
+        self.free_frame = f;
+    }
+
+    /// Read a delivery's payload and drop its slab reference.
+    fn take_frame(&mut self, f: u32) -> Msg {
+        let slot = &mut self.frames[f as usize];
+        let msg = slot.msg;
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            slot.next_free = self.free_frame;
+            self.free_frame = f;
+        }
+        msg
     }
 
     // --- detection --------------------------------------------------------
@@ -348,36 +446,29 @@ impl<'f> World<'f> {
     /// for adaptive policies, start the velocity-estimation exchange.
     fn detect(&mut self, eng: &mut Engine<Ev>, i: usize) {
         let now = eng.now();
-        {
-            let node = &self.nodes[i];
-            debug_assert!(node.alive && node.awake);
-            if node.state == NodeState::Covered {
-                return;
-            }
+        debug_assert!(self.nodes.alive[i] && self.nodes.awake[i]);
+        if self.nodes.state[i] == NodeState::Covered {
+            return;
         }
         self.set_state(i, NodeState::Covered, now);
-        {
-            let node = &mut self.nodes[i];
-            node.detect_time = Some(node.detect_time.unwrap_or(now).min(now));
-        }
+        self.nodes.detect_time[i] = Some(self.nodes.detect_time[i].unwrap_or(now).min(now));
         self.tracker.record_detection(i, now);
 
-        if let Some(p) = self.params().copied() {
+        if let Some(p) = self.params {
             // §3.2 alert-state detection: REQUEST, estimate, then RESPONSE.
             self.broadcast(eng, i, Msg::Request { from: i }, true);
-            self.nodes[i].window = Some(Purpose::CoveredEstimate);
+            self.nodes.window[i] = Some(Purpose::CoveredEstimate);
             eng.schedule_in(
                 p.response_window_s,
-                Ev::WindowEnd(i, Purpose::CoveredEstimate),
+                Ev::WindowEnd(i as u32, Purpose::CoveredEstimate),
             );
             // Re-sense for receding stimuli.
-            eng.schedule_in(p.detection_timeout_s, Ev::CoveredCheck(i));
+            eng.schedule_in(p.detection_timeout_s, Ev::CoveredCheck(i as u32));
         }
     }
 
     fn on_arrival(&mut self, eng: &mut Engine<Ev>, i: usize) {
-        let node = &self.nodes[i];
-        if !node.alive || !node.awake {
+        if !self.nodes.alive[i] || !self.nodes.awake[i] {
             return; // sleeping nodes detect at their next wake
         }
         self.detect(eng, i);
@@ -388,15 +479,12 @@ impl<'f> World<'f> {
     fn on_wake(&mut self, eng: &mut Engine<Ev>, i: usize) {
         let _prof = pas_obs::profile::scope_detail("sim.wake_decision");
         let now = eng.now();
-        {
-            let node = &mut self.nodes[i];
-            if !node.alive || node.awake {
-                return;
-            }
-            node.wake(now);
+        if !self.nodes.alive[i] || self.nodes.awake[i] {
+            return;
         }
+        self.nodes.wake(i, now);
         self.record_power(i, now, true);
-        let covered_now = self.field.is_covered(self.nodes[i].pos, now);
+        let covered_now = self.field.is_covered(self.nodes.pos[i], now);
 
         match self.policy {
             Policy::Oracle => {
@@ -415,8 +503,11 @@ impl<'f> World<'f> {
                 } else {
                     // Probe the neighbourhood (§3.2 safe-state behaviour).
                     self.broadcast(eng, i, Msg::Request { from: i }, true);
-                    self.nodes[i].window = Some(Purpose::SafeProbe);
-                    eng.schedule_in(p.response_window_s, Ev::WindowEnd(i, Purpose::SafeProbe));
+                    self.nodes.window[i] = Some(Purpose::SafeProbe);
+                    eng.schedule_in(
+                        p.response_window_s,
+                        Ev::WindowEnd(i as u32, Purpose::SafeProbe),
+                    );
                 }
             }
         }
@@ -427,24 +518,21 @@ impl<'f> World<'f> {
     fn on_window_end(&mut self, eng: &mut Engine<Ev>, i: usize, purpose: Purpose) {
         let _prof = pas_obs::profile::scope_detail("sim.window_end");
         let now = eng.now();
-        if !self.nodes[i].alive || self.nodes[i].window != Some(purpose) {
+        if !self.nodes.alive[i] || self.nodes.window[i] != Some(purpose) {
             return; // superseded (e.g. went Covered mid-window)
         }
-        self.nodes[i].window = None;
-        let Some(p) = self.params().copied() else {
+        self.nodes.window[i] = None;
+        let Some(p) = self.params else {
             return;
         };
         match purpose {
             Purpose::SafeProbe => {
-                if self.nodes[i].state != NodeState::Safe || !self.nodes[i].awake {
+                if self.nodes.state[i] != NodeState::Safe || !self.nodes.awake[i] {
                     return;
                 }
                 let (eta, vel) = self.estimate_for(i, now);
-                {
-                    let node = &mut self.nodes[i];
-                    node.expected_arrival = eta;
-                    node.velocity = vel;
-                }
+                self.nodes.expected_arrival[i] = eta;
+                self.nodes.velocity[i] = vel;
                 let imminent = eta.is_finite()
                     && eta <= now + p.alert_threshold_s
                     && eta + p.alert_overdue_timeout_s >= now;
@@ -452,21 +540,17 @@ impl<'f> World<'f> {
                     self.enter_alert(eng, i);
                 } else {
                     // Uneventful probe: grow the interval and go back to sleep.
-                    let t_sleep;
-                    let interval;
-                    {
-                        let node = &mut self.nodes[i];
-                        node.sleep_interval_s = p.grown_interval(node.sleep_interval_s);
-                        interval = node.sleep_interval_s;
-                        t_sleep = now.max(node.last_tx_end);
-                        node.sleep(t_sleep);
-                    }
+                    self.nodes.sleep_interval_s[i] =
+                        p.grown_interval(self.nodes.sleep_interval_s[i]);
+                    let interval = self.nodes.sleep_interval_s[i];
+                    let t_sleep = now.max(self.nodes.last_tx_end[i]);
+                    self.nodes.sleep(i, t_sleep);
                     self.record_power(i, now, false);
-                    eng.schedule_at(t_sleep + interval, Ev::Wake(i));
+                    eng.schedule_at(t_sleep + interval, Ev::Wake(i as u32));
                 }
             }
             Purpose::CoveredEstimate => {
-                if self.nodes[i].state != NodeState::Covered {
+                if self.nodes.state[i] != NodeState::Covered {
                     return;
                 }
                 // Actual velocity from covered neighbours (§3.3). The very
@@ -474,30 +558,31 @@ impl<'f> World<'f> {
                 // they keep whatever expected-velocity estimate they held
                 // while alert rather than erasing it — a None here would
                 // sever the prediction relay at its root.
-                let reports = self.nodes[i].report_values();
-                let detect_time = self.nodes[i].detect_time.expect("covered ⇒ detected");
-                let v = estimate::actual_velocity(self.nodes[i].pos, detect_time, &reports);
-                self.nodes[i].velocity = v.or(self.nodes[i].velocity);
+                self.fill_reports_scratch(i);
+                let detect_time = self.nodes.detect_time[i].expect("covered ⇒ detected");
+                let v = estimate::actual_velocity(
+                    self.nodes.pos[i],
+                    detect_time,
+                    &self.reports_scratch,
+                );
+                self.nodes.velocity[i] = v.or(self.nodes.velocity[i]);
                 // Announce the new state + estimate (§3.2: "finally it sends
                 // a RESPONSE message to deliver the new changes").
-                let report = self.nodes[i].report(now);
+                let report = self.nodes.report(i, now);
                 self.broadcast(eng, i, Msg::Response { from: i, report }, true);
             }
             Purpose::AlertRefresh => {
-                if self.nodes[i].state != NodeState::Alert {
+                if self.nodes.state[i] != NodeState::Alert {
                     return; // got covered mid-refresh; detection handled it
                 }
                 let (eta, vel) = self.estimate_for(i, now);
-                {
-                    let node = &mut self.nodes[i];
-                    node.expected_arrival = eta;
-                    node.velocity = vel;
-                }
+                self.nodes.expected_arrival[i] = eta;
+                self.nodes.velocity[i] = vel;
                 let still_live = eta.is_finite()
                     && eta <= now + p.alert_threshold_s
                     && eta + p.alert_overdue_timeout_s >= now;
                 if still_live {
-                    eng.schedule_in(p.alert_review_interval_s, Ev::AlertReview(i));
+                    eng.schedule_in(p.alert_review_interval_s, Ev::AlertReview(i as u32));
                 } else {
                     // Fresh data confirms the misprediction: stand down.
                     self.alert_to_safe(eng, i, /*reset_interval=*/ true);
@@ -508,20 +593,17 @@ impl<'f> World<'f> {
 
     // --- frame reception -------------------------------------------------
 
-    fn on_deliver(&mut self, eng: &mut Engine<Ev>, i: usize, msg: Msg) {
+    fn on_deliver(&mut self, eng: &mut Engine<Ev>, i: usize, frame: u32) {
         let _prof = pas_obs::profile::scope_detail("sim.delivery");
         let now = eng.now();
-        {
-            let node = &self.nodes[i];
-            // Half-duplex: a transmitting node cannot hear.
-            if !node.alive || !node.awake || now < node.last_tx_end {
-                self.frames_unheard += 1;
-                return;
-            }
+        let msg = self.take_frame(frame);
+        // Half-duplex: a transmitting node cannot hear.
+        if !self.nodes.alive[i] || !self.nodes.awake[i] || now < self.nodes.last_tx_end[i] {
+            self.frames_unheard += 1;
+            return;
         }
         self.frames_delivered += 1;
-        self.nodes[i].frames_received += 1;
-        let Some(p) = self.params().copied() else {
+        let Some(p) = self.params else {
             return; // NS/Oracle nodes ignore traffic (they never solicit it)
         };
 
@@ -529,31 +611,28 @@ impl<'f> World<'f> {
             Msg::Request { .. } => {
                 // Covered nodes always answer; alert nodes answer only under
                 // PAS (the prediction-relay mechanism SAS lacks).
-                let answers = match self.nodes[i].state {
+                let answers = match self.nodes.state[i] {
                     NodeState::Covered => true,
-                    NodeState::Alert => self.policy.relays_predictions(),
+                    NodeState::Alert => self.relays,
                     NodeState::Safe => false,
                 };
                 if answers {
-                    let report = self.nodes[i].report(now);
+                    let report = self.nodes.report(i, now);
                     self.broadcast(eng, i, Msg::Response { from: i, report }, false);
                 }
             }
             Msg::Response { from, report } => {
-                self.nodes[i].store_report(from, report);
+                self.nodes.store_report(i, from as u32, report);
                 // Inside a window: accumulate only; the decision happens at
                 // WindowEnd. Otherwise alert nodes re-estimate immediately
                 // (§3.2: "re-calculates the expected arrival time").
-                if self.nodes[i].window.is_none() && self.nodes[i].state == NodeState::Alert {
+                if self.nodes.window[i].is_none() && self.nodes.state[i] == NodeState::Alert {
                     let (eta, vel) = self.estimate_for(i, now);
-                    let old = self.nodes[i].expected_arrival;
-                    {
-                        let node = &mut self.nodes[i];
-                        node.expected_arrival = eta;
-                        node.velocity = vel;
-                    }
+                    let old = self.nodes.expected_arrival[i];
+                    self.nodes.expected_arrival[i] = eta;
+                    self.nodes.velocity[i] = vel;
                     if significant_change(old, eta, now, p.rebroadcast_rel_change) {
-                        let report = self.nodes[i].report(now);
+                        let report = self.nodes.report(i, now);
                         self.broadcast(eng, i, Msg::Response { from: i, report }, false);
                     }
                     // Prediction receded: fall back to safe.
@@ -569,13 +648,13 @@ impl<'f> World<'f> {
 
     fn on_alert_review(&mut self, eng: &mut Engine<Ev>, i: usize) {
         let now = eng.now();
-        if !self.nodes[i].alive || self.nodes[i].state != NodeState::Alert {
+        if !self.nodes.alive[i] || self.nodes.state[i] != NodeState::Alert {
             return;
         }
-        let Some(p) = self.params().copied() else {
+        let Some(p) = self.params else {
             return;
         };
-        let eta = self.nodes[i].expected_arrival;
+        let eta = self.nodes.expected_arrival[i];
         let overdue = !eta.is_finite() || now > eta + p.alert_overdue_timeout_s;
         let receded = eta.is_finite() && eta > now + p.alert_threshold_s;
         if overdue {
@@ -584,8 +663,11 @@ impl<'f> World<'f> {
             // front is likeliest to be close — re-probe for fresh reports;
             // the AlertRefresh window end makes the final call.
             self.broadcast(eng, i, Msg::Request { from: i }, true);
-            self.nodes[i].window = Some(Purpose::AlertRefresh);
-            eng.schedule_in(p.response_window_s, Ev::WindowEnd(i, Purpose::AlertRefresh));
+            self.nodes.window[i] = Some(Purpose::AlertRefresh);
+            eng.schedule_in(
+                p.response_window_s,
+                Ev::WindowEnd(i as u32, Purpose::AlertRefresh),
+            );
         } else if receded {
             // Threat receded: reset vigilance and sleep.
             self.alert_to_safe(eng, i, /*reset_interval=*/ true);
@@ -593,55 +675,56 @@ impl<'f> World<'f> {
             // Still alert: keep distributing the estimation (§3.1 — alert
             // information flows from uncovered sensors too), so probers
             // that wake nearby inside this interval can chain outward.
-            if self.policy.relays_predictions() {
-                let report = self.nodes[i].report(now);
+            if self.relays {
+                let report = self.nodes.report(i, now);
                 self.broadcast(eng, i, Msg::Response { from: i, report }, false);
             }
-            eng.schedule_in(p.alert_review_interval_s, Ev::AlertReview(i));
+            eng.schedule_in(p.alert_review_interval_s, Ev::AlertReview(i as u32));
         }
     }
 
     fn on_covered_check(&mut self, eng: &mut Engine<Ev>, i: usize) {
         let now = eng.now();
-        if !self.nodes[i].alive || self.nodes[i].state != NodeState::Covered {
+        if !self.nodes.alive[i] || self.nodes.state[i] != NodeState::Covered {
             return;
         }
-        let Some(p) = self.params().copied() else {
+        let Some(p) = self.params else {
             return;
         };
-        if self.field.is_covered(self.nodes[i].pos, now) {
-            eng.schedule_in(p.detection_timeout_s, Ev::CoveredCheck(i));
+        if self.field.is_covered(self.nodes.pos[i], now) {
+            eng.schedule_in(p.detection_timeout_s, Ev::CoveredCheck(i as u32));
         } else {
             // §3.2: stimulus moved away; after the detection timeout the
             // node returns to safe (and our detect-time record remains).
             self.set_state(i, NodeState::Safe, now);
-            let t_sleep;
-            let interval;
-            {
-                let node = &mut self.nodes[i];
-                node.sleep_interval_s = p.base_sleep_s;
-                interval = node.sleep_interval_s;
-                t_sleep = now.max(node.last_tx_end);
-                node.sleep(t_sleep);
-            }
+            self.nodes.sleep_interval_s[i] = p.base_sleep_s;
+            let interval = self.nodes.sleep_interval_s[i];
+            let t_sleep = now.max(self.nodes.last_tx_end[i]);
+            self.nodes.sleep(i, t_sleep);
             self.record_power(i, now, false);
-            eng.schedule_at(t_sleep + interval, Ev::Wake(i));
+            eng.schedule_at(t_sleep + interval, Ev::Wake(i as u32));
         }
     }
 
     fn on_fail(&mut self, eng: &mut Engine<Ev>, i: usize) {
         let now = eng.now();
-        let node = &mut self.nodes[i];
-        if !node.alive {
+        if !self.nodes.alive[i] {
             return;
         }
-        node.alive = false;
-        let frozen = node.meter.sample(now.max(node.last_tx_end));
-        node.death_energy = Some(frozen);
+        self.nodes.alive[i] = false;
+        let frozen = self.nodes.meter[i].sample(now.max(self.nodes.last_tx_end[i]));
+        self.nodes.death_energy[i] = Some(frozen);
         let _ = eng; // no follow-up events; stale ones are filtered by `alive`
     }
 
     // --- helpers -----------------------------------------------------------
+
+    /// Copy node `i`'s stored reports into the reusable scratch buffer.
+    fn fill_reports_scratch(&mut self, i: usize) {
+        self.reports_scratch.clear();
+        self.reports_scratch
+            .extend(self.nodes.reports[i].iter().map(|&(_, r)| r));
+    }
 
     /// Run the policy's mounted predictor over node `i`'s stored reports
     /// (see [`crate::predictor`] for the dispatch design). Takes `&mut
@@ -649,12 +732,16 @@ impl<'f> World<'f> {
     /// [`crate::predictor::PredictorState`].
     fn estimate_for(&mut self, i: usize, now: SimTime) -> (SimTime, Option<pas_geom::Vec2>) {
         let _prof = pas_obs::profile::scope_detail("sim.predictor");
-        let Some(predictor) = self.policy.predictor() else {
+        let Some(predictor) = self.predictor else {
             return (SimTime::NEVER, None); // NS/Oracle never estimate
         };
-        let reports: Vec<Report> = self.nodes[i].report_values();
-        let pos = self.nodes[i].pos;
-        predictor.estimate(pos, now, &reports, &mut self.nodes[i].predictor_state)
+        self.fill_reports_scratch(i);
+        predictor.estimate(
+            self.nodes.pos[i],
+            now,
+            &self.reports_scratch,
+            &mut self.nodes.predictor_state[i],
+        )
     }
 
     /// Safe → Alert: stay awake, start the review cycle, and (PAS only)
@@ -662,39 +749,34 @@ impl<'f> World<'f> {
     /// The announcement is protocol-mandated (§3.1: uncovered sensors "also
     /// transmit alert information"), so it bypasses the storm gap.
     fn enter_alert(&mut self, eng: &mut Engine<Ev>, i: usize) {
-        let p = *self.params().expect("adaptive policy");
+        let p = self.params.expect("adaptive policy");
         self.set_state(i, NodeState::Alert, eng.now());
-        eng.schedule_in(p.alert_review_interval_s, Ev::AlertReview(i));
-        if self.policy.relays_predictions() {
-            let report = self.nodes[i].report(eng.now());
+        eng.schedule_in(p.alert_review_interval_s, Ev::AlertReview(i as u32));
+        if self.relays {
+            let report = self.nodes.report(i, eng.now());
             self.broadcast(eng, i, Msg::Response { from: i, report }, true);
         }
     }
 
     /// Alert → Safe fallback: sleep again.
     fn alert_to_safe(&mut self, eng: &mut Engine<Ev>, i: usize, reset_interval: bool) {
-        let p = *self.params().expect("adaptive policy");
+        let p = self.params.expect("adaptive policy");
         let now = eng.now();
         self.set_state(i, NodeState::Safe, now);
-        let t_sleep;
-        let interval;
-        {
-            let node = &mut self.nodes[i];
-            if reset_interval {
-                node.sleep_interval_s = p.base_sleep_s;
-            }
-            interval = node.sleep_interval_s;
-            t_sleep = now.max(node.last_tx_end);
-            node.sleep(t_sleep);
+        if reset_interval {
+            self.nodes.sleep_interval_s[i] = p.base_sleep_s;
         }
+        let interval = self.nodes.sleep_interval_s[i];
+        let t_sleep = now.max(self.nodes.last_tx_end[i]);
+        self.nodes.sleep(i, t_sleep);
         self.record_power(i, now, false);
-        eng.schedule_at(t_sleep + interval, Ev::Wake(i));
+        eng.schedule_at(t_sleep + interval, Ev::Wake(i as u32));
     }
 
     /// Apply a state transition, recording it when the timeline is on.
     fn set_state(&mut self, i: usize, to: NodeState, now: SimTime) {
-        let from = self.nodes[i].state;
-        self.nodes[i].transition(to);
+        let from = self.nodes.state[i];
+        self.nodes.transition(i, to);
         if let Some(tl) = &mut self.timeline {
             tl.push_transition(now, i, from, to);
         }
@@ -709,41 +791,60 @@ impl<'f> World<'f> {
 
     /// Broadcast a frame from node `i`. `forced` sends bypass the storm
     /// gap (protocol-mandated sends); replies respect it.
+    ///
+    /// The payload is parked once in the frame slab and deliveries are
+    /// scheduled straight off the flat neighbour table — no allocation.
+    /// The RNG draw order matches the old radio layer exactly: one
+    /// `delivers` draw per neighbour in ascending id order, one jitter draw
+    /// per delivered frame.
     fn broadcast(&mut self, eng: &mut Engine<Ev>, i: usize, msg: Msg, forced: bool) {
         let _prof = pas_obs::profile::scope_detail("sim.channel");
         let now = eng.now();
-        let airtime = self.radio.airtime_s(msg.kind());
-        {
-            let node = &self.nodes[i];
-            debug_assert!(node.alive && node.awake, "only awake nodes transmit");
-            // Medium busy with our own previous frame: drop this send.
-            if now < node.last_tx_end {
-                return;
-            }
-            if !forced {
-                if let Some(p) = self.params() {
-                    if let Some(last) = node.last_broadcast {
-                        if now.since(last) < p.min_broadcast_gap_s {
-                            return;
-                        }
+        let airtime = match msg.kind() {
+            MessageKind::Request => self.airtime_request_s,
+            MessageKind::Response => self.airtime_response_s,
+        };
+        debug_assert!(
+            self.nodes.alive[i] && self.nodes.awake[i],
+            "only awake nodes transmit"
+        );
+        // Medium busy with our own previous frame: drop this send.
+        if now < self.nodes.last_tx_end[i] {
+            return;
+        }
+        if !forced {
+            if let Some(p) = &self.params {
+                if let Some(last) = self.nodes.last_broadcast[i] {
+                    if now.since(last) < p.min_broadcast_gap_s {
+                        return;
                     }
                 }
             }
         }
         // Pre-charge the TX window (see module docs).
-        {
-            let node = &mut self.nodes[i];
-            node.meter.set_mode(now, NodeMode::ACTIVE_TX);
-            node.meter.set_mode(now + airtime, NodeMode::ACTIVE_RX);
-            node.last_tx_end = now + airtime;
-            node.last_broadcast = Some(now);
-            match msg.kind() {
-                pas_platform::MessageKind::Request => node.requests_sent += 1,
-                pas_platform::MessageKind::Response => node.responses_sent += 1,
+        let meter = &mut self.nodes.meter[i];
+        meter.set_mode(now, NodeMode::ACTIVE_TX);
+        meter.set_mode(now + airtime, NodeMode::ACTIVE_RX);
+        self.nodes.last_tx_end[i] = now + airtime;
+        self.nodes.last_broadcast[i] = Some(now);
+        match msg.kind() {
+            MessageKind::Request => self.requests_sent += 1,
+            MessageKind::Response => self.responses_sent += 1,
+        }
+        let frame = self.alloc_frame(msg);
+        let (lo, hi) = (self.nbr_off[i] as usize, self.nbr_off[i + 1] as usize);
+        let mut scheduled = 0u32;
+        for &(to, dist) in &self.nbr[lo..hi] {
+            if self.channel.delivers(dist, self.range, &mut self.rng) {
+                let jitter = self.channel.extra_delay_s(&mut self.rng);
+                eng.schedule_at(now + airtime + jitter, Ev::Deliver { to, frame });
+                scheduled += 1;
             }
         }
-        for d in self.radio.plan_broadcast(i, msg.kind(), now, &mut self.rng) {
-            eng.schedule_at(d.at, Ev::Deliver(d.to, msg));
+        if scheduled == 0 {
+            self.release_frame(frame);
+        } else {
+            self.frames[frame as usize].remaining = scheduled;
         }
     }
 }
@@ -1078,5 +1179,16 @@ mod tests {
         assert!(significant_change(t(12.0), t(10.0), t(5.0), 0.2));
         // 2 s shift with 500 s remaining: insignificant.
         assert!(!significant_change(t(502.0), t(500.0), t(0.0), 0.2));
+    }
+
+    #[test]
+    fn event_payloads_fit_inline_queue_storage() {
+        // The calendar queue stores (time, seq, Ev) entries inline; keeping
+        // Ev at 12 bytes (32-byte entries) is the point of the frame slab.
+        assert!(
+            std::mem::size_of::<Ev>() <= 12,
+            "Ev grew to {} bytes",
+            std::mem::size_of::<Ev>()
+        );
     }
 }

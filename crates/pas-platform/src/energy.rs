@@ -64,7 +64,7 @@ impl EnergyBreakdown {
 /// interval.
 #[derive(Debug, Clone)]
 pub struct EnergyMeter {
-    profile: PowerProfile,
+    profile: &'static PowerProfile,
     mode: NodeMode,
     since: SimTime,
     acc: EnergyBreakdown,
@@ -72,8 +72,10 @@ pub struct EnergyMeter {
 }
 
 impl EnergyMeter {
-    /// Start metering at `start`, in `initial` mode.
-    pub fn new(profile: PowerProfile, initial: NodeMode, start: SimTime) -> Self {
+    /// Start metering at `start`, in `initial` mode. The profile is borrowed
+    /// (`&'static`): one shared profile serves every meter in a simulation,
+    /// instead of a per-node copy.
+    pub fn new(profile: &'static PowerProfile, initial: NodeMode, start: SimTime) -> Self {
         profile.validate();
         EnergyMeter {
             profile,
@@ -99,14 +101,14 @@ impl EnergyMeter {
     /// The platform profile being metered against.
     #[inline]
     pub fn profile(&self) -> &PowerProfile {
-        &self.profile
+        self.profile
     }
 
     fn charge(&mut self, until: SimTime) {
         let dt = until.since(self.since);
         assert!(dt >= -1e-12, "meter time went backwards: {dt}");
         let dt = dt.max(0.0);
-        let p = &self.profile;
+        let p = self.profile;
         match (self.mode.mcu(), self.mode.radio()) {
             (McuMode::Sleep, _) => self.acc.sleep_j += p.sleep_w * dt,
             (McuMode::Active, RadioMode::Off) => self.acc.mcu_active_j += p.mcu_active_w * dt,
@@ -152,7 +154,7 @@ impl EnergyMeter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::telos::telos_profile;
+    use crate::telos::telos_profile_ref;
 
     fn t(secs: f64) -> SimTime {
         SimTime::from_secs(secs)
@@ -160,7 +162,7 @@ mod tests {
 
     #[test]
     fn always_active_energy() {
-        let mut m = EnergyMeter::new(telos_profile(), NodeMode::ACTIVE_RX, t(0.0));
+        let mut m = EnergyMeter::new(telos_profile_ref(), NodeMode::ACTIVE_RX, t(0.0));
         let e = m.sample(t(100.0));
         // 41 mW for 100 s = 4.1 J.
         assert!((e.total_j() - 4.1).abs() < 1e-9, "{}", e.total_j());
@@ -172,7 +174,7 @@ mod tests {
 
     #[test]
     fn always_sleeping_energy() {
-        let mut m = EnergyMeter::new(telos_profile(), NodeMode::SLEEP, t(0.0));
+        let mut m = EnergyMeter::new(telos_profile_ref(), NodeMode::SLEEP, t(0.0));
         let e = m.sample(t(1000.0));
         // 15 µW for 1000 s = 15 mJ.
         assert!((e.total_j() - 0.015).abs() < 1e-12);
@@ -182,7 +184,7 @@ mod tests {
     #[test]
     fn duty_cycle_halves() {
         // 50 s active, 50 s sleep.
-        let mut m = EnergyMeter::new(telos_profile(), NodeMode::ACTIVE_RX, t(0.0));
+        let mut m = EnergyMeter::new(telos_profile_ref(), NodeMode::ACTIVE_RX, t(0.0));
         m.set_mode(t(50.0), NodeMode::SLEEP);
         let e = m.finish(t(100.0));
         let want = 0.041 * 50.0 + 15e-6 * 50.0;
@@ -191,7 +193,7 @@ mod tests {
 
     #[test]
     fn wake_transition_charged_once_per_wake() {
-        let p = telos_profile();
+        let p = telos_profile_ref();
         let per_wake = p.total_active_w() * p.wake_transition_s;
         let mut m = EnergyMeter::new(p, NodeMode::SLEEP, t(0.0));
         m.set_mode(t(10.0), NodeMode::ACTIVE_RX); // wake 1
@@ -206,7 +208,7 @@ mod tests {
 
     #[test]
     fn tx_energy_separated() {
-        let mut m = EnergyMeter::new(telos_profile(), NodeMode::ACTIVE_RX, t(0.0));
+        let mut m = EnergyMeter::new(telos_profile_ref(), NodeMode::ACTIVE_RX, t(0.0));
         m.set_mode(t(1.0), NodeMode::ACTIVE_TX);
         m.set_mode(t(1.1), NodeMode::ACTIVE_RX);
         let e = m.sample(t(2.0));
@@ -235,7 +237,7 @@ mod tests {
 
     #[test]
     fn sample_then_continue() {
-        let mut m = EnergyMeter::new(telos_profile(), NodeMode::ACTIVE_RX, t(0.0));
+        let mut m = EnergyMeter::new(telos_profile_ref(), NodeMode::ACTIVE_RX, t(0.0));
         let e1 = m.sample(t(10.0));
         let e2 = m.sample(t(20.0));
         assert!(e2.total_j() > e1.total_j());
@@ -245,7 +247,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "backwards")]
     fn time_reversal_panics() {
-        let mut m = EnergyMeter::new(telos_profile(), NodeMode::ACTIVE_RX, t(10.0));
+        let mut m = EnergyMeter::new(telos_profile_ref(), NodeMode::ACTIVE_RX, t(10.0));
         let _ = m.sample(t(5.0));
     }
 }

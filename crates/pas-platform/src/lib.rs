@@ -33,7 +33,7 @@ pub use battery::Battery;
 pub use energy::{EnergyBreakdown, EnergyMeter};
 pub use frame::{FrameSpec, MessageKind};
 pub use power::{McuMode, NodeMode, PowerProfile, RadioMode};
-pub use telos::telos_profile;
+pub use telos::{telos_profile, telos_profile_ref, TELOS_PROFILE};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -41,5 +41,5 @@ pub mod prelude {
     pub use crate::energy::{EnergyBreakdown, EnergyMeter};
     pub use crate::frame::{FrameSpec, MessageKind};
     pub use crate::power::{McuMode, NodeMode, PowerProfile, RadioMode};
-    pub use crate::telos::telos_profile;
+    pub use crate::telos::{telos_profile, telos_profile_ref};
 }

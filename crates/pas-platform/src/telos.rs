@@ -17,17 +17,28 @@
 
 use crate::power::PowerProfile;
 
+/// The Telos rev. B power profile used throughout the paper's evaluation,
+/// as one shared static: every node's [`crate::EnergyMeter`] borrows this
+/// instead of carrying its own copy.
+pub static TELOS_PROFILE: PowerProfile = PowerProfile {
+    name: "Telos (rev. B)",
+    mcu_active_w: 3.0e-3,      // 3 mW
+    sleep_w: 15.0e-6,          // 15 µW
+    radio_rx_w: 38.0e-3,       // 38 mW
+    radio_tx_w: 35.0e-3,       // 35 mW ("transition power" in Table 1)
+    data_rate_bps: 250_000.0,  // 250 kbps (IEEE 802.15.4, CC2420)
+    wake_transition_s: 2.0e-3, // ~2 ms wake-up (Telos paper, §3)
+};
+
 /// The Telos rev. B power profile used throughout the paper's evaluation.
 pub fn telos_profile() -> PowerProfile {
-    PowerProfile {
-        name: "Telos (rev. B)",
-        mcu_active_w: 3.0e-3,      // 3 mW
-        sleep_w: 15.0e-6,          // 15 µW
-        radio_rx_w: 38.0e-3,       // 38 mW
-        radio_tx_w: 35.0e-3,       // 35 mW ("transition power" in Table 1)
-        data_rate_bps: 250_000.0,  // 250 kbps (IEEE 802.15.4, CC2420)
-        wake_transition_s: 2.0e-3, // ~2 ms wake-up (Telos paper, §3)
-    }
+    TELOS_PROFILE.clone()
+}
+
+/// Borrow the shared static Telos profile (meter construction wants a
+/// `&'static` so thirty nodes share one profile instead of thirty copies).
+pub fn telos_profile_ref() -> &'static PowerProfile {
+    &TELOS_PROFILE
 }
 
 /// A hypothetical always-cheap platform for sensitivity analysis: halves

@@ -1,6 +1,8 @@
 //! Property-based tests for the hardware model.
 
-use pas_platform::{telos_profile, Battery, EnergyMeter, FrameSpec, MessageKind, NodeMode};
+use pas_platform::{
+    telos_profile, telos_profile_ref, Battery, EnergyMeter, FrameSpec, MessageKind, NodeMode,
+};
 use pas_sim::SimTime;
 use proptest::prelude::*;
 
@@ -21,10 +23,10 @@ proptest! {
         total in 0.01..1.0e4f64,
         frac in 0.0..1.0f64,
     ) {
-        let p = telos_profile();
+        let p = telos_profile_ref();
         let split = total * frac;
 
-        let mut whole = EnergyMeter::new(p.clone(), mode, SimTime::ZERO);
+        let mut whole = EnergyMeter::new(p, mode, SimTime::ZERO);
         let e_whole = whole.sample(SimTime::from_secs(total));
 
         let mut parts = EnergyMeter::new(p, mode, SimTime::ZERO);
@@ -39,8 +41,7 @@ proptest! {
     fn energy_monotone_under_any_schedule(
         modes in prop::collection::vec((any_mode(), 0.001..100.0f64), 1..20),
     ) {
-        let p = telos_profile();
-        let mut meter = EnergyMeter::new(p, NodeMode::SLEEP, SimTime::ZERO);
+        let mut meter = EnergyMeter::new(telos_profile_ref(), NodeMode::SLEEP, SimTime::ZERO);
         let mut now = SimTime::ZERO;
         let mut last_total = 0.0;
         for (mode, dwell) in modes {
@@ -55,9 +56,8 @@ proptest! {
     /// Mode power ordering: sleep < mcu-only < mcu+radio, always.
     #[test]
     fn power_ordering_invariant(dwell in 0.1..1000.0f64) {
-        let p = telos_profile();
         let energy_of = |mode: NodeMode| {
-            let mut m = EnergyMeter::new(p.clone(), mode, SimTime::ZERO);
+            let mut m = EnergyMeter::new(telos_profile_ref(), mode, SimTime::ZERO);
             m.sample(SimTime::from_secs(dwell)).total_j()
         };
         let sleep = energy_of(NodeMode::SLEEP);

@@ -154,7 +154,30 @@ pub fn expand_indices(
 pub fn expand(manifest: &Manifest) -> Result<Vec<RunPoint>, ManifestError> {
     let n = matrix_size(manifest)
         .ok_or_else(|| ManifestError::at(0, "run matrix size overflows u64"))? as usize;
-    (0..n).map(|i| point_at(manifest, i)).collect()
+    // Replicate seeds vary innermost, so each consecutive block of
+    // `replicates` indices is one matrix cell: identical assignments,
+    // policy, and label, differing only in index and seed. Resolving the
+    // cell once and cloning across its seeds skips the per-replicate
+    // policy construction and label work `point_at` would redo — the
+    // `point_at_matches_full_expansion` test pins the equivalence.
+    let n_seeds = manifest.run.replicates.max(1) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while i < n {
+        let cell = point_at(manifest, i)?;
+        let block = n_seeds.min(n - i);
+        for k in 1..block {
+            let mut p = cell.clone();
+            p.index = i + k;
+            p.seed = cell.seed + k as u64;
+            out.push(p);
+        }
+        // Insert the resolved head in front of its clones without an
+        // extra clone of the last point.
+        out.insert(out.len() - (block - 1), cell);
+        i += block;
+    }
+    Ok(out)
 }
 
 /// The measured outcome of one [`RunPoint`].

@@ -167,12 +167,22 @@ impl<E> Engine<E> {
             if dispatched >= max_events {
                 return StopReason::BudgetExhausted;
             }
-            match self.queue.peek_time() {
-                None => return StopReason::QueueEmpty,
-                Some(t) if t > horizon => return StopReason::HorizonReached,
-                Some(_) => {}
-            }
-            let event = self.step().expect("peeked non-empty queue");
+            // One combined settle-and-pop per event: a peek + pop pair
+            // would advance the calendar queue's cursor state twice.
+            let popped = {
+                let _prof = pas_obs::profile::scope_detail("sim.queue.pop");
+                self.queue.pop_at_or_before(horizon)
+            };
+            let Some((t, event)) = popped else {
+                return if self.queue.is_empty() {
+                    StopReason::QueueEmpty
+                } else {
+                    StopReason::HorizonReached
+                };
+            };
+            debug_assert!(t >= self.now, "event queue yielded a past event");
+            self.now = t;
+            self.processed += 1;
             handler(self, event);
             dispatched += 1;
             if self.stop_requested {

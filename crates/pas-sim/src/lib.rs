@@ -44,14 +44,14 @@ pub mod rng;
 pub mod time;
 
 pub use engine::{Engine, StopReason};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapEventQueue};
 pub use rng::Rng;
 pub use time::SimTime;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::engine::{Engine, StopReason};
-    pub use crate::queue::EventQueue;
+    pub use crate::queue::{EventQueue, HeapEventQueue};
     pub use crate::rng::Rng;
     pub use crate::time::SimTime;
 }

@@ -143,8 +143,9 @@ PROFILE OPTIONS:
 
 BENCH OPTIONS:
     --out FILE           output JSON path (default BENCH_batch.json,
-                         BENCH_dist.json with --dist, or
-                         BENCH_predictors.json with --predictors); results
+                         BENCH_dist.json with --dist,
+                         BENCH_predictors.json with --predictors, or
+                         BENCH_queue.json with --queue); results
                          append to the file's versioned history with
                          commit/date metadata (legacy files upgrade in place)
     --dist N             distributed scaling bench: cold-run paper-default
@@ -153,6 +154,9 @@ BENCH OPTIONS:
     --predictors         per-predictor hot-path bench: sequential point
                          throughput of every arrival-predictor variant on
                          the paper workload
+    --queue              event-queue microbench: steady-state push+pop
+                         throughput of the calendar queue vs the heap
+                         reference at 1k/100k/1M pending events
     --profile            batch bench only: also time the sequential grid
                          with region profiling off, record the derived
                          profile_overhead_pct and a per-region self-time
@@ -1341,6 +1345,7 @@ fn cmd_bench_gate(max_drop_pct: f64, files: &[PathBuf]) -> ExitCode {
         "BENCH_batch.json",
         "BENCH_dist.json",
         "BENCH_predictors.json",
+        "BENCH_queue.json",
     ];
     let files: Vec<PathBuf> = if files.is_empty() {
         defaults.iter().map(PathBuf::from).collect()
@@ -1399,6 +1404,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut dist: Option<usize> = None;
     let mut predictors = false;
+    let mut queue = false;
     let mut profile = false;
     let mut gate = false;
     let mut max_drop_pct = pas_bench::DEFAULT_MAX_DROP_PCT;
@@ -1415,6 +1421,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 _ => return fail("--dist needs a worker count >= 1"),
             },
             "--predictors" => predictors = true,
+            "--queue" => queue = true,
             "--profile" => profile = true,
             "--gate" => gate = true,
             "--max-drop" => match it.next().map(|v| v.parse::<f64>()) {
@@ -1435,6 +1442,9 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     }
     if predictors {
         return cmd_bench_predictors(out.unwrap_or_else(|| PathBuf::from("BENCH_predictors.json")));
+    }
+    if queue {
+        return cmd_bench_queue(out.unwrap_or_else(|| PathBuf::from("BENCH_queue.json")));
     }
     if let Some(max_workers) = dist {
         return cmd_bench_dist(
@@ -1641,6 +1651,72 @@ fn cmd_bench_predictors(out: PathBuf) -> ExitCode {
     let json = format!(
         "{{\n  \"bench\": \"predictors\",\n  \"scenario\": \"paper-default\",\n  \
          \"runs_per_predictor\": {runs_per_predictor},\n  \"predictors\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+    );
+    record_bench(&out, &json)
+}
+
+/// Event-queue microbench: steady-state push+pop throughput of the
+/// calendar queue against the heap reference, at several pending-set
+/// sizes. The workload mirrors the simulator's access pattern: hold N
+/// events pending and repeatedly pop the earliest, then push a
+/// replacement 0–20 s ahead of the popped time (an LCG supplies the
+/// jitter so both implementations see the identical sequence).
+fn cmd_bench_queue(out: PathBuf) -> ExitCode {
+    use pas_sim::{EventQueue, HeapEventQueue, SimTime};
+    const OPS: u64 = 200_000;
+    fn next_time(x: &mut u64, now: f64) -> f64 {
+        *x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        now + ((*x >> 40) as f64) * (20.0 / 16777216.0)
+    }
+    fn bench<Q>(
+        n: usize,
+        mut push: impl FnMut(&mut Q, SimTime),
+        mut pop: impl FnMut(&mut Q) -> SimTime,
+        q: &mut Q,
+    ) -> u64 {
+        let mut x: u64 = 12345;
+        for _ in 0..n {
+            push(q, SimTime::from_secs(next_time(&mut x, 0.0)));
+        }
+        let t0 = std::time::Instant::now();
+        for _ in 0..OPS {
+            let now = pop(q).as_secs();
+            push(q, SimTime::from_secs(next_time(&mut x, now)));
+        }
+        (t0.elapsed().as_nanos() as u64).max(1) / OPS
+    }
+    let mut entries = Vec::new();
+    for &n in &[1_000usize, 100_000, 1_000_000] {
+        let label = match n {
+            1_000 => "n1k",
+            100_000 => "n100k",
+            _ => "n1m",
+        };
+        let mut cq: EventQueue<u32> = EventQueue::new();
+        let cal = bench(
+            n,
+            |q: &mut EventQueue<u32>, t| q.push(t, 0),
+            |q| q.pop().expect("queue holds n pending").0,
+            &mut cq,
+        );
+        let mut hq: HeapEventQueue<u32> = HeapEventQueue::new();
+        let heap = bench(
+            n,
+            |q: &mut HeapEventQueue<u32>, t| q.push(t, 0),
+            |q| q.pop().expect("queue holds n pending").0,
+            &mut hq,
+        );
+        for (impl_name, ns) in [("calendar", cal), ("heap", heap)] {
+            entries.push(format!(
+                "    {{\"config\": \"{impl_name}-{label}\", \"pending\": {n}, \
+                 \"ns_per_op\": {ns}, \"ops_per_s\": {:.1}}}",
+                1e9 / ns.max(1) as f64,
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"queue\",\n  \"ops\": {OPS},\n  \"configs\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
     );
     record_bench(&out, &json)
