@@ -50,7 +50,7 @@ pub struct HistoryEntry {
 /// A bench file's full history.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchHistory {
-    /// Bench kind: `batch`, `dist`, or `predictors`.
+    /// Bench kind: `batch`, `queue`, `dist`, `predictors`, or `server`.
     pub bench: String,
     /// Scenario the bench runs.
     pub scenario: String,
@@ -348,6 +348,7 @@ pub fn throughput_by_key(bench: &str, payload: &str) -> Vec<(String, f64)> {
                 ("sequential", "execute_us_sequential"),
                 ("sequential-trace-off", "execute_us_trace_off"),
                 ("sequential-profile-off", "execute_us_profile_off"),
+                ("sequential-history-off", "execute_us_history_off"),
                 ("sequential-obs-off", "execute_us_obs_off"),
             ] {
                 let us = scan_u64(payload, field).map(|v| v as f64);
@@ -389,6 +390,16 @@ pub fn throughput_by_key(bench: &str, payload: &str) -> Vec<(String, f64)> {
         "predictors" => scan_keyed(payload, "predictor", "runs_per_s", |v| {
             v.trim_matches('"').to_string()
         }),
+        // One sample per ramp step (`clients=N` ← `jobs_per_s`) plus
+        // the headline `server-max` key, so a saturation collapse at
+        // one concurrency fails the gate even when the peak holds.
+        "server" => {
+            let mut out = scan_keyed(payload, "clients", "jobs_per_s", |v| format!("clients={v}"));
+            if let Some(max) = scan_all_f64(payload, "max_jobs_per_s").first() {
+                out.push(("server-max".to_string(), *max));
+            }
+            out
+        }
         _ => Vec::new(),
     }
 }
@@ -643,6 +654,19 @@ mod tests {
             vec![
                 ("calendar-n1000".to_string(), 25000000.0),
                 ("heap-n1000".to_string(), 12500000.0)
+            ]
+        );
+        // Server saturation payloads key per ramp step plus the peak.
+        let server = "{\"bench\":\"server\",\"steps\":[\
+             {\"clients\": 1, \"jobs\": 50, \"jobs_per_s\": 120.5},\
+             {\"clients\": 4, \"jobs\": 180, \"jobs_per_s\": 410.0}],\
+             \"max_jobs_per_s\": 410.0}";
+        assert_eq!(
+            throughput_by_key("server", server),
+            vec![
+                ("clients=1".to_string(), 120.5),
+                ("clients=4".to_string(), 410.0),
+                ("server-max".to_string(), 410.0)
             ]
         );
         let pred = "{\"bench\":\"predictors\",\"predictors\":[\

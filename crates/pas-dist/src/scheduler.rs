@@ -92,6 +92,12 @@ struct WorkerEntry {
     last_seen: Instant,
     shards_done: u64,
     points_done: u64,
+    /// Last heartbeat-reported cumulative executed points, for rate
+    /// derivation between beats.
+    last_points: Option<(u64, Instant)>,
+    /// Executed points per second over the last heartbeat window; 0
+    /// across a worker restart (cumulative count went down).
+    points_per_s: f64,
 }
 
 struct Lease {
@@ -191,6 +197,8 @@ impl Scheduler {
                 last_seen: Instant::now(),
                 shards_done: 0,
                 points_done: 0,
+                last_points: None,
+                points_per_s: 0.0,
             },
         );
         Registered {
@@ -222,6 +230,17 @@ impl Scheduler {
                 &[("worker", &w.name)],
                 p as i64,
             );
+            // Per-beat rate from the cumulative count: a drop means the
+            // worker restarted, so that window's rate is zero.
+            if let Some((prev, at)) = w.last_points {
+                let dt = now.duration_since(at).as_secs_f64();
+                w.points_per_s = if dt > 0.0 && p >= prev {
+                    (p - prev) as f64 / dt
+                } else {
+                    0.0
+                };
+            }
+            w.last_points = Some((p, now));
         }
         if let Some(b) = busy_us {
             pas_obs::gauge_set(
@@ -628,13 +647,14 @@ impl Scheduler {
                 format!(
                     "{{\"id\":{id},\"name\":{},\"threads\":{},\"alive\":{},\
                      \"active_leases\":{},\"shards_done\":{},\"points_done\":{},\
-                     \"last_seen_ms\":{}}}",
+                     \"points_per_s\":{:.1},\"last_seen_ms\":{}}}",
                     json_string(&w.name),
                     w.threads,
                     age <= self.opts.lease,
                     active_leases(&s, id),
                     w.shards_done,
                     w.points_done,
+                    w.points_per_s,
                     age.as_millis()
                 )
             })
@@ -648,13 +668,13 @@ impl Scheduler {
         let s = self.lock();
         let now = Instant::now();
         let mut out = format!(
-            "{:<6} {:<16} {:>7} {:>6} {:>7} {:>7} {:>7} {:>9}\n",
-            "id", "name", "threads", "alive", "leases", "shards", "points", "seen(ms)"
+            "{:<6} {:<16} {:>7} {:>6} {:>7} {:>7} {:>7} {:>8} {:>9}\n",
+            "id", "name", "threads", "alive", "leases", "shards", "points", "pts/s", "seen(ms)"
         );
         for (&id, w) in &s.workers {
             let age = now.duration_since(w.last_seen);
             out.push_str(&format!(
-                "{:<6} {:<16} {:>7} {:>6} {:>7} {:>7} {:>7} {:>9}\n",
+                "{:<6} {:<16} {:>7} {:>6} {:>7} {:>7} {:>7} {:>8.1} {:>9}\n",
                 id,
                 w.name,
                 w.threads,
@@ -662,6 +682,7 @@ impl Scheduler {
                 active_leases(&s, id),
                 w.shards_done,
                 w.points_done,
+                w.points_per_s,
                 age.as_millis()
             ));
         }

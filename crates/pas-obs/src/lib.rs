@@ -17,6 +17,7 @@
 //! sorted by key — injective, so distinct label sets can never collide,
 //! and canonical, so exposition output is deterministic bytes.
 
+pub mod history;
 pub mod profile;
 pub mod trace;
 

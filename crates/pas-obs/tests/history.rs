@@ -1,0 +1,94 @@
+//! History sampler vs concurrent writers: whatever interleaving the
+//! scheduler produces, samples must be internally consistent — counter
+//! rings monotone, rates non-negative, rings bounded, and the final
+//! sample never ahead of the final written value.
+
+use pas_obs::history::{parse_dump, History, HistoryConfig};
+use pas_obs::Registry;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+proptest! {
+    /// 8 writer threads hammer counters/gauges/histograms while the
+    /// test thread samples between joins-free pauses. Each sample is a
+    /// racy read of live atomics, but per-series invariants must hold:
+    /// counters never go backwards between samples (so every derived
+    /// rate is ≥ 0), rings never exceed retention, and the last sample
+    /// is ≤ the final settled value.
+    #[test]
+    fn sampler_vs_writers_stays_consistent(
+        seqs in prop::collection::vec(prop::collection::vec(0u8..6, 20..200), 8..9),
+        retention in 2usize..12,
+    ) {
+        let reg = Arc::new(Registry::new());
+        let history = History::new(HistoryConfig {
+            interval: Duration::from_millis(1),
+            retention,
+        });
+        let handles: Vec<_> = seqs
+            .into_iter()
+            .enumerate()
+            .map(|(t, seq)| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let worker = format!("w{t}");
+                    for op in seq {
+                        match op {
+                            0 | 1 => reg
+                                .counter("pas.t.hist.submit.count", &[])
+                                .inc(),
+                            2 => reg
+                                .counter("pas.t.hist.lookup.count", &[("outcome", "hit")])
+                                .add(3),
+                            3 => reg
+                                .gauge("pas.t.hist.depth.jobs", &[])
+                                .add(if t % 2 == 0 { 1 } else { -1 }),
+                            4 => reg
+                                .gauge("pas.t.hist.points", &[("worker", &worker)])
+                                .add(10),
+                            _ => reg
+                                .histogram("pas.t.hist.wait.microseconds", &[], &[10.0, 100.0])
+                                .observe((op as f64) * 7.0),
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Sample concurrently with the writers, then twice more after
+        // the join so the final ring entry reflects the settled state.
+        for i in 0..6u64 {
+            history.sample_at(&reg, i * 10);
+            std::thread::yield_now();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        history.sample_at(&reg, 100);
+        history.sample_at(&reg, 110);
+
+        let dump = parse_dump(&history.render_json()).expect("history JSON parses");
+        let final_submits = reg.counter("pas.t.hist.submit.count", &[]).get() as f64;
+        for s in &dump.series {
+            prop_assert!(s.t_ms.len() <= retention, "ring exceeded retention");
+            if s.kind == "counter" {
+                for w in s.values.windows(2) {
+                    prop_assert!(w[1] >= w[0], "counter sample went backwards: {:?}", s.values);
+                }
+                for r in &s.rates {
+                    prop_assert!(*r >= 0.0 && r.is_finite(), "bad rate {r}");
+                }
+                if s.name == "pas.t.hist.submit.count" {
+                    prop_assert_eq!(*s.values.last().unwrap(), final_submits);
+                }
+            }
+        }
+        // The settled histogram window percentiles are finite or null,
+        // never garbage.
+        for s in dump.named("pas.t.hist.wait.microseconds") {
+            for p in s.p99.iter().filter(|p| p.is_finite()) {
+                prop_assert!(*p >= 0.0);
+            }
+        }
+    }
+}

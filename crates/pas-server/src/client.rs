@@ -90,6 +90,26 @@ impl ProfileFormat {
     }
 }
 
+/// History format for [`Client::metrics_history`] (`GET /metrics/history`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryFormat {
+    /// The sampled ring dump (`application/json`) — parse with
+    /// `pas_obs::history::parse_dump`.
+    Json,
+    /// Self-contained SVG sparkline board (`image/svg+xml`).
+    Svg,
+}
+
+impl HistoryFormat {
+    /// The `Accept` value selecting this format.
+    pub fn accept(&self) -> &'static str {
+        match self {
+            HistoryFormat::Json => "application/json",
+            HistoryFormat::Svg => "image/svg+xml",
+        }
+    }
+}
+
 /// Progress snapshot of a submitted job, decoded from `GET /jobs/:id`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobStatus {
@@ -438,8 +458,21 @@ impl Client {
     /// Poll `GET /jobs/:id` every `interval` until the job completes.
     /// Returns the final status; a `failed` phase is returned, not an error.
     pub fn wait(&self, id: u64, interval: Duration) -> Result<JobStatus, ClientError> {
+        self.wait_with(id, interval, |_| {})
+    }
+
+    /// [`Client::wait`], invoking `on_status` with every polled snapshot
+    /// (including the final one) — the hook `pas submit -v` uses to show
+    /// a live points/s readout without a second polling loop.
+    pub fn wait_with(
+        &self,
+        id: u64,
+        interval: Duration,
+        mut on_status: impl FnMut(&JobStatus),
+    ) -> Result<JobStatus, ClientError> {
         loop {
             let status = self.status(id)?;
+            on_status(&status);
             if status.phase == "completed" || status.phase == "failed" {
                 return Ok(status);
             }
@@ -495,6 +528,21 @@ impl Client {
             None => "/profile".to_string(),
         };
         let (status, body) = self.call("GET", &path, Some(format.accept()), &[])?;
+        if status == 200 {
+            Ok(body)
+        } else {
+            let text = String::from_utf8_lossy(&body).into_owned();
+            let msg = json_find_string(&text, "error").unwrap_or(text);
+            Err(ClientError::Api(status, msg))
+        }
+    }
+
+    /// `GET /metrics/history` in the requested format, as raw bytes
+    /// (requires `pas serve --metrics`). A server running without
+    /// exposition answers `403` with guidance, surfaced as
+    /// [`ClientError::Api`].
+    pub fn metrics_history(&self, format: HistoryFormat) -> Result<Vec<u8>, ClientError> {
+        let (status, body) = self.call("GET", "/metrics/history", Some(format.accept()), &[])?;
         if status == 200 {
             Ok(body)
         } else {

@@ -85,6 +85,7 @@ impl Response {
             202 => "Accepted",
             204 => "No Content",
             400 => "Bad Request",
+            403 => "Forbidden",
             404 => "Not Found",
             405 => "Method Not Allowed",
             409 => "Conflict",

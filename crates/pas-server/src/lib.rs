@@ -41,8 +41,8 @@ pub mod server;
 
 pub use cache::{execute_with_cache, execute_with_cache_traced, CacheStats, ResultCache};
 pub use client::{
-    retry_cause, Client, ClientError, JobStatus, ProfileFormat, ReportFormat, ResultFormat,
-    RetryPolicy, TraceFormat,
+    retry_cause, Client, ClientError, HistoryFormat, JobStatus, ProfileFormat, ReportFormat,
+    ResultFormat, RetryPolicy, TraceFormat,
 };
 pub use queue::{Job, JobPhase, JobQueue, JobTrace, SubmitError};
 pub use server::{Router, Server, ServerOptions};

@@ -11,6 +11,7 @@
 //! | `GET /jobs/:id/report` | statistical report: Markdown (default), `report.json`, or SVG curves via `Accept` |
 //! | `GET /jobs/:id/trace` | causal span tree: Chrome trace-event JSON (default), text tree, or critical-path summary via `Accept` (opt-in, with `/metrics`) |
 //! | `GET /profile` | in-process region profile: folded stacks (default), SVG flamegraph, or JSON via `Accept`; `?seconds=N` resets and windows (opt-in, with `/metrics`) |
+//! | `GET /metrics/history` | sampled time series: JSON ring dump (default) or SVG sparkline board via `Accept` (opt-in, with `/metrics`) |
 //!
 //! One thread per connection (requests are one round trip and jobs are
 //! asynchronous, so connections are short-lived); simulation work happens
@@ -45,6 +46,13 @@ pub struct ServerOptions {
     /// only gates exposition, so a closed deployment is not forced to
     /// publish its internals.
     pub metrics: bool,
+    /// History sampling interval for `GET /metrics/history`
+    /// (`pas serve --history-interval-ms`). The sampler thread only
+    /// runs when [`ServerOptions::metrics`] is set.
+    pub history_interval: Duration,
+    /// Samples retained per series in the history ring
+    /// (`pas serve --history-retention`).
+    pub history_retention: usize,
 }
 
 impl Default for ServerOptions {
@@ -55,6 +63,8 @@ impl Default for ServerOptions {
             workers: 1,
             local_exec: true,
             metrics: false,
+            history_interval: pas_obs::history::DEFAULT_INTERVAL,
+            history_retention: pas_obs::history::DEFAULT_RETENTION,
         }
     }
 }
@@ -118,6 +128,15 @@ impl Server {
     /// Serve forever: spawn the worker pool, then accept connections,
     /// one short-lived thread each.
     pub fn run(self) -> io::Result<()> {
+        // With exposition enabled, feed `GET /metrics/history`: a
+        // background thread snapshots the registry into bounded rings.
+        // The guard lives as long as the accept loop (the process).
+        let _sampler = self.opts.metrics.then(|| {
+            pas_obs::history::start_sampler(pas_obs::history::HistoryConfig {
+                interval: self.opts.history_interval,
+                retention: self.opts.history_retention,
+            })
+        });
         if self.opts.local_exec {
             for _ in 0..self.opts.workers.max(1) {
                 let queue = self.queue.clone();
@@ -223,6 +242,7 @@ fn route_label(path: &str) -> &'static str {
         ["jobs", _, "events"] => "/jobs/:id/events",
         ["healthz"] => "/healthz",
         ["metrics"] => "/metrics",
+        ["metrics", "history"] => "/metrics/history",
         ["profile"] => "/profile",
         ["dist", "register"] => "/dist/register",
         ["dist", "heartbeat"] => "/dist/heartbeat",
@@ -257,6 +277,7 @@ fn route(ctx: &Ctx, req: &Request) -> Response {
             "text/plain; version=0.0.4; charset=utf-8",
             pas_obs::render_global(),
         ),
+        ("GET", ["metrics", "history"]) if ctx.opts.metrics => metrics_history(req),
         ("GET", ["profile"]) if ctx.opts.metrics => profile(req),
         ("GET", ["scenarios"]) => scenarios(),
         ("POST", ["validate"]) => with_manifest(req, |m, runs| {
@@ -299,6 +320,16 @@ fn route(ctx: &Ctx, req: &Request) -> Response {
         ("GET", ["jobs", id, "results"]) => results(queue, req, id),
         ("GET", ["jobs", id, "report"]) => report(queue, req, id),
         ("GET", ["jobs", id, "trace"]) if ctx.opts.metrics => trace(queue, req, id),
+        // Observability routes exist but exposition is off: a clear,
+        // actionable refusal instead of a misleading "no such route".
+        ("GET", ["metrics"] | ["metrics", "history"] | ["profile"] | ["jobs", _, "trace"]) => {
+            Response::error(
+                403,
+                "metrics exposition is disabled on this server; \
+                 restart it with `pas serve --metrics` to enable \
+                 /metrics, /metrics/history, /profile, and /jobs/:id/trace",
+            )
+        }
         ("GET", _) | ("POST", _) => Response::error(404, "no such route"),
         _ => Response::error(405, "method not allowed"),
     }
@@ -406,6 +437,27 @@ fn profile(req: &Request) -> Response {
     }
 }
 
+/// `GET /metrics/history`: the sampled time series of every metric —
+/// counter values + derived rates, gauge levels, histogram window
+/// percentiles — over the server's retention window.
+/// Content-negotiated: the JSON ring dump by default, a self-contained
+/// SVG sparkline board for `Accept: image/svg+xml`. Gated behind
+/// [`ServerOptions::metrics`] like `/metrics`; the sampler itself is
+/// started by [`Server::run`], so an active registration is an
+/// invariant here — the 503 arm only covers an embedder that routed
+/// here without running a sampler.
+fn metrics_history(req: &Request) -> Response {
+    let Some(history) = pas_obs::history::active() else {
+        return Response::error(503, "history sampler is not running");
+    };
+    let accept = req.header("accept").unwrap_or("application/json");
+    if accept.contains("svg") {
+        Response::new(200, "image/svg+xml", history.render_svg())
+    } else {
+        Response::json(200, history.render_json())
+    }
+}
+
 /// How often the SSE loop samples job state.
 const SSE_POLL: Duration = Duration::from_millis(50);
 
@@ -450,6 +502,9 @@ fn stream_job_events(stream: &mut TcpStream, queue: &JobQueue, id: u64) -> io::R
         emit(stream, &event("phase", &status_json(&last)))?;
     }
     let mut last_write = Instant::now();
+    // Rate anchor for the `points_per_s` field: progress since the last
+    // progress frame (or stream start), over wall time.
+    let mut rate_mark = (Instant::now(), last.done);
     loop {
         if matches!(last.phase, JobPhase::Completed | JobPhase::Failed) {
             emit(stream, &event("done", &status_json(&last)))?;
@@ -465,16 +520,24 @@ fn stream_job_events(stream: &mut TcpStream, queue: &JobQueue, id: u64) -> io::R
             emit(stream, &event("phase", &status_json(&job)))?;
             last_write = Instant::now();
         } else if job.done != last.done {
+            let elapsed = rate_mark.0.elapsed().as_secs_f64();
+            let points_per_s = if elapsed > 0.0 && job.done >= rate_mark.1 {
+                (job.done - rate_mark.1) as f64 / elapsed
+            } else {
+                0.0
+            };
             emit(
                 stream,
                 &event(
                     "progress",
                     &format!(
-                        "{{\"done\":{},\"total\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+                        "{{\"done\":{},\"total\":{},\"cache_hits\":{},\"cache_misses\":{},\
+                         \"points_per_s\":{points_per_s:.1}}}",
                         job.done, job.total, job.stats.hits, job.stats.misses
                     ),
                 ),
             )?;
+            rate_mark = (Instant::now(), job.done);
             last_write = Instant::now();
         } else if last_write.elapsed() >= SSE_HEARTBEAT {
             emit(stream, ": hb\n\n")?;

@@ -119,8 +119,7 @@ fn full_queue_answers_429() {
             threads: 1,
             queue_capacity: 1,
             workers: 1,
-            local_exec: true,
-            metrics: false,
+            ..ServerOptions::default()
         },
     );
     let (_, toml) = small_manifest_toml();
@@ -248,14 +247,83 @@ fn healthz_metrics_and_sse_events() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// `/metrics` is opt-in: without `--metrics` the route 404s.
+/// Observability exposition is opt-in: without `--metrics` the routes
+/// answer an actionable `403` naming the flag to restart with — not a
+/// misleading 404, not a hang, not an empty body.
 #[test]
-fn metrics_endpoint_is_gated() {
+fn metrics_endpoints_are_gated_with_guidance() {
     let (client, dir) = boot("obs_gated", ServerOptions::default());
     match client.metrics().unwrap_err() {
+        pas_server::ClientError::Api(403, msg) => {
+            assert!(msg.contains("pas serve --metrics"), "actionable: {msg}")
+        }
+        other => panic!("expected 403, got {other}"),
+    }
+    match client
+        .metrics_history(pas_server::HistoryFormat::Json)
+        .unwrap_err()
+    {
+        pas_server::ClientError::Api(403, msg) => {
+            assert!(msg.contains("pas serve --metrics"), "actionable: {msg}")
+        }
+        other => panic!("expected 403, got {other}"),
+    }
+    // Truly unknown routes still 404 — the 403 arm must not swallow them.
+    match client.status(9999).unwrap_err() {
         pas_server::ClientError::Api(404, _) => {}
         other => panic!("expected 404, got {other}"),
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With `--metrics`, `/metrics/history` serves the sampled time series
+/// in both negotiated formats, and the JSON parses with the shipped
+/// client-side parser.
+#[test]
+fn metrics_history_serves_sampled_series() {
+    let (client, dir) = boot(
+        "obs_history",
+        ServerOptions {
+            metrics: true,
+            history_interval: Duration::from_millis(25),
+            history_retention: 64,
+            ..ServerOptions::default()
+        },
+    );
+    let (_, toml) = small_manifest_toml();
+    let id = client.submit(&toml).unwrap();
+    let done = client.wait(id, Duration::from_millis(25)).unwrap();
+    assert_eq!(done.phase, "completed");
+    // Poll until the sampler has two windows over the post-job registry.
+    // (The active sampler slot is process-global; a concurrently booted
+    // metrics-enabled test server may own it with a slower interval, so
+    // the deadline is generous and the interval is not asserted.)
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let subs = loop {
+        let json = client
+            .metrics_history(pas_server::HistoryFormat::Json)
+            .unwrap();
+        let dump = pas_obs::history::parse_dump(std::str::from_utf8(&json).unwrap())
+            .expect("history JSON parses");
+        if let Some(s) = dump
+            .named("pas.queue.submit.count")
+            .find(|s| s.t_ms.len() >= 2)
+        {
+            break s.clone();
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "submit counter never reached two samples"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(subs.values.last().copied().unwrap_or(0.0) >= 1.0);
+    assert!(subs.rates.iter().all(|r| *r >= 0.0));
+    let svg = client
+        .metrics_history(pas_server::HistoryFormat::Svg)
+        .unwrap();
+    let svg = String::from_utf8(svg).unwrap();
+    assert!(svg.starts_with("<svg") && svg.contains("pas.queue.submit.count"));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -425,7 +493,8 @@ fn trace_endpoint_negotiates_all_three_formats() {
 }
 
 /// The trace endpoint is exposition, so it is gated with `/metrics`;
-/// collection still runs, it is only the route that 404s.
+/// collection still runs, it is only the route that refuses (with the
+/// same actionable 403 the other observability routes use).
 #[test]
 fn trace_endpoint_is_gated_with_metrics() {
     use pas_server::TraceFormat;
@@ -435,8 +504,10 @@ fn trace_endpoint_is_gated_with_metrics() {
     let id = client.submit(&toml).unwrap();
     client.wait(id, Duration::from_millis(25)).unwrap();
     match client.trace(id, TraceFormat::Chrome).unwrap_err() {
-        pas_server::ClientError::Api(404, _) => {}
-        other => panic!("expected 404, got {other}"),
+        pas_server::ClientError::Api(403, msg) => {
+            assert!(msg.contains("pas serve --metrics"), "actionable: {msg}")
+        }
+        other => panic!("expected 403, got {other}"),
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

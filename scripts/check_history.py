@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate one `/metrics/history` export in both formats.
+
+Given the JSON and SVG renderings of the same metric history, checks in
+order:
+
+1. JSON envelope: ``schema == 1``, positive ``interval_ms``, positive
+   ``retention``, and a non-empty ``series`` array sorted by
+   ``(name, labels)``;
+2. per-series schema: every series carries ``name``, ``labels`` (a
+   string map), ``kind`` in {counter, gauge, histogram}, and a ``t_ms``
+   array of non-decreasing timestamps no longer than the retention;
+3. per-kind arrays: counters carry ``values`` (len == t_ms) and
+   ``rates`` (len == t_ms - 1, every finite rate >= 0 — counter rates
+   can never be negative after reset clamping); gauges carry ``values``
+   (len == t_ms); histograms carry ``count``, ``count_rate``, and
+   ``p50``/``p95``/``p99`` window arrays (len == t_ms - 1, nullable);
+4. the SVG parses as XML, contains no external references, and names at
+   least one of the JSON series;
+5. every ``--require`` series name appears, and at least
+   ``--min-series`` distinct series were sampled.
+
+Exits non-zero with a message on the first violation; prints a one-line
+summary on success.
+"""
+
+import argparse
+import json
+import math
+import sys
+import xml.etree.ElementTree as ET
+
+KINDS = {"counter", "gauge", "histogram"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_history: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def num_array(series: dict, key: str, want_len: int, nullable: bool) -> list:
+    arr = series.get(key)
+    if not isinstance(arr, list):
+        fail(f"series {series['name']!r} lacks array {key!r}")
+    if len(arr) != want_len:
+        fail(
+            f"series {series['name']!r} {key}: length {len(arr)}, "
+            f"expected {want_len}"
+        )
+    for v in arr:
+        if v is None:
+            if not nullable:
+                fail(f"series {series['name']!r} {key} contains null")
+            continue
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            fail(f"series {series['name']!r} {key} contains {v!r}")
+        if math.isnan(v) or math.isinf(v):
+            fail(f"series {series['name']!r} {key} contains {v!r}")
+    return arr
+
+
+def check_json(path: str) -> dict:
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"history JSON does not parse: {e}")
+    if doc.get("schema") != 1:
+        fail(f"schema is {doc.get('schema')!r}, expected 1")
+    interval = doc.get("interval_ms")
+    if not isinstance(interval, int) or interval <= 0:
+        fail(f"bad interval_ms: {interval!r}")
+    retention = doc.get("retention")
+    if not isinstance(retention, int) or retention <= 0:
+        fail(f"bad retention: {retention!r}")
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        fail("history JSON lacks a non-empty 'series' array")
+
+    keys = []
+    for s in series:
+        name = s.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"series without a name: {s!r}")
+        labels = s.get("labels")
+        if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+        ):
+            fail(f"series {name!r} has bad labels: {labels!r}")
+        kind = s.get("kind")
+        if kind not in KINDS:
+            fail(f"series {name!r} has unknown kind {kind!r}")
+        t_ms = s.get("t_ms")
+        if not isinstance(t_ms, list) or not t_ms:
+            fail(f"series {name!r} lacks a non-empty t_ms array")
+        if len(t_ms) > retention:
+            fail(f"series {name!r}: {len(t_ms)} samples exceed retention {retention}")
+        if any(b < a for a, b in zip(t_ms, t_ms[1:])):
+            fail(f"series {name!r}: t_ms is not non-decreasing")
+        n = len(t_ms)
+        if kind == "counter":
+            num_array(s, "values", n, nullable=False)
+            # Values may drop across a process restart; the rates must
+            # clamp such windows to zero rather than going negative.
+            rates = num_array(s, "rates", n - 1, nullable=False)
+            if any(r < 0 for r in rates):
+                fail(f"counter {name!r}: negative rate after reset clamp")
+        elif kind == "gauge":
+            num_array(s, "values", n, nullable=False)
+        else:
+            num_array(s, "count", n, nullable=False)
+            rates = num_array(s, "count_rate", n - 1, nullable=False)
+            if any(r < 0 for r in rates):
+                fail(f"histogram {name!r}: negative count_rate")
+            for q in ("p50", "p95", "p99"):
+                num_array(s, q, n - 1, nullable=True)
+        keys.append((name, tuple(sorted(labels.items()))))
+    if keys != sorted(keys):
+        fail("series are not sorted by (name, labels)")
+    return doc
+
+
+def check_svg(path: str, doc: dict) -> int:
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    try:
+        tree = ET.fromstring(text)
+    except ET.ParseError as e:
+        fail(f"SVG does not parse: {e}")
+    for banned in ("href", "<script", "<image"):
+        if banned in text:
+            fail(f"SVG is not self-contained: contains {banned!r}")
+    if not any(s["name"] in text for s in doc["series"]):
+        fail("SVG names none of the JSON series")
+    return sum(1 for _ in tree.iter())
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json", help="JSON rendering of /metrics/history")
+    ap.add_argument("svg", help="SVG rendering of /metrics/history")
+    ap.add_argument(
+        "--min-series",
+        type=int,
+        default=1,
+        help="minimum distinct series that must have been sampled",
+    )
+    ap.add_argument(
+        "--require",
+        default="",
+        help="comma-separated series names that must appear",
+    )
+    args = ap.parse_args()
+
+    doc = check_json(args.json)
+    elements = check_svg(args.svg, doc)
+
+    names = {s["name"] for s in doc["series"]}
+    for name in filter(None, args.require.split(",")):
+        if name not in names:
+            fail(f"required series {name!r} absent (have: {sorted(names)})")
+    if len(names) < args.min_series:
+        fail(f"only {len(names)} series sampled, need >= {args.min_series}")
+
+    samples = max(len(s["t_ms"]) for s in doc["series"])
+    print(
+        f"check_history: OK: {len(doc['series'])} series, "
+        f"{len(names)} names, up to {samples} samples at "
+        f"{doc['interval_ms']}ms, {elements} SVG elements"
+    )
+
+
+if __name__ == "__main__":
+    main()

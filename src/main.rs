@@ -12,8 +12,10 @@
 //! pas worker [options]             join a server as an execution worker
 //! pas submit <name|path> [options] run a batch on a server (with caching)
 //! pas status [options]             server health + per-worker progress
+//! pas top [options]                live fleet dashboard from /metrics/history
 //! pas profile [options]            region profile: flamegraph / folded / json
-//! pas bench [options]              time expansion, batches, dist scaling
+//! pas bench [options]              time expansion, batches, dist scaling,
+//!                                  server saturation (--server)
 //! ```
 //!
 //! Scenario arguments resolve against the built-in registry first and fall
@@ -28,8 +30,8 @@
 use pas_dist::{Scheduler, SchedulerOptions, WorkerOptions};
 use pas_scenario::{execute, expand, registry, ExecOptions, Manifest};
 use pas_server::{
-    Client, ProfileFormat, ResultCache, ResultFormat, RetryPolicy, Server, ServerOptions,
-    TraceFormat,
+    Client, ClientError, HistoryFormat, ProfileFormat, ResultCache, ResultFormat, RetryPolicy,
+    Server, ServerOptions, TraceFormat,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -54,13 +56,17 @@ USAGE:
     pas worker [options]              join a server as an execution worker
     pas submit <name|path> [options]  run a batch on a server (with caching)
     pas status [options]              server health + per-worker progress
+    pas top [options]                 live terminal dashboard: rates, queue,
+                                      cache, latency, per-worker lanes with
+                                      sparklines, refreshing in place
     pas trace <job-id> [options]      fetch a job's causal span trace
     pas profile [<name|path>] [opts]  region profile: run a manifest locally
                                       (detail regions on) or sample a running
                                       server's /profile window, as a folded
                                       stack listing, SVG flamegraph, or JSON
-    pas bench [options]               time expansion, batches, dist scaling;
-                                      gate on the unified bench history
+    pas bench [options]               time expansion, batches, dist scaling,
+                                      or server saturation (--server); gate on
+                                      the unified bench history
 
 RUN OPTIONS:
     --out FILE.csv       write per-point delay/energy summaries
@@ -88,6 +94,11 @@ SERVE OPTIONS:
     --heartbeat-ms N     worker heartbeat cadence (default 2000)
     --shard-points N     points per shard (default 0 = auto)
     --metrics            expose the Prometheus text registry at GET /metrics
+                         and the sampled time series at GET /metrics/history
+    --history-interval-ms N  metric history sampling interval (default 1000;
+                         needs --metrics)
+    --history-retention N    samples retained per series (default 120;
+                         needs --metrics)
 
 WORKER OPTIONS:
     --connect HOST:PORT  server address          (default 127.0.0.1:8479)
@@ -105,7 +116,8 @@ SUBMIT OPTIONS:
     --raw FILE.jsonl     also fetch per-run JSONL
     --poll-ms N          status poll interval    (default 200)
     --retries N          backoff retries on 429/conn-refused (default 8)
-    -v, --verbose        print a per-cause retry tally and, when the
+    -v, --verbose        print a per-cause retry tally, a live points/s
+                         readout while the job runs, and, when the
                          server exposes traces (`pas serve --metrics`),
                          a queued/execute/download latency breakdown
     --quiet              suppress progress; print nothing but errors
@@ -117,7 +129,15 @@ STATUS OPTIONS:
                          p50/p95/p99 summary line per series
                          (the server must run with `pas serve --metrics`)
     --raw                with --metrics, dump the exposition verbatim
-                         (raw histogram buckets included)
+                         (raw histogram buckets included); without it the
+                         summary also derives req/s and points/s from the
+                         server's metric history when available
+
+TOP OPTIONS:
+    --addr HOST:PORT     server address          (default 127.0.0.1:8479)
+    --interval-ms N      refresh interval        (default 1000)
+    --frames N           render N frames then exit (default: until Ctrl-C)
+                         (the server must run with `pas serve --metrics`)
 
 TRACE OPTIONS:
     --addr HOST:PORT     server address          (default 127.0.0.1:8479)
@@ -144,10 +164,22 @@ PROFILE OPTIONS:
 BENCH OPTIONS:
     --out FILE           output JSON path (default BENCH_batch.json,
                          BENCH_dist.json with --dist,
-                         BENCH_predictors.json with --predictors, or
-                         BENCH_queue.json with --queue); results
+                         BENCH_predictors.json with --predictors,
+                         BENCH_queue.json with --queue, or
+                         BENCH_server.json with --server); results
                          append to the file's versioned history with
                          commit/date metadata (legacy files upgrade in place)
+    --server             saturation load harness: ramp concurrent closed-loop
+                         submit clients against a server (an in-process one
+                         unless --addr names a live instance), find the
+                         throughput knee, and record max sustained jobs/s,
+                         p99 at the knee, and error/429 counts
+    --addr HOST:PORT     with --server: target a running server instead of
+                         booting an in-process one
+    --max-clients N      with --server: top of the 1,2,4,.. client ramp
+                         (default 32)
+    --step-ms N          with --server: measured duration of each ramp step
+                         (default 1500)
     --dist N             distributed scaling bench: cold-run paper-default
                          on in-process fleets of 1/2/../N single-threaded
                          workers vs the single-process baseline
@@ -574,6 +606,21 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             }
             "--no-local-exec" => opts.local_exec = false,
             "--metrics" => opts.metrics = true,
+            "--history-interval-ms" => {
+                opts.history_interval = ms(
+                    it.next().ok_or("--history-interval-ms needs a number")?,
+                    "--history-interval-ms",
+                )?;
+                if opts.history_interval.is_zero() {
+                    return Err("--history-interval-ms must be at least 1".to_string());
+                }
+            }
+            "--history-retention" => {
+                let v = it.next().ok_or("--history-retention needs a number")?;
+                opts.history_retention = v
+                    .parse()
+                    .map_err(|_| format!("--history-retention: `{v}` is not a number"))?;
+            }
             "--lease-ms" => {
                 sched.lease = ms(it.next().ok_or("--lease-ms needs a number")?, "--lease-ms")?
             }
@@ -760,6 +807,13 @@ fn cmd_status(args: &[String]) -> ExitCode {
                 if raw {
                     print!("{text}");
                 } else {
+                    // Derived rates lead the summary: the cumulative
+                    // counters below say how much ever happened, two
+                    // history samples say how fast it is happening now.
+                    if let Some(rates) = status_rates(&client) {
+                        print!("{rates}");
+                        println!();
+                    }
                     print!("{}", summarize_metrics(&text));
                 }
             }
@@ -771,6 +825,40 @@ fn cmd_status(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Current rates from the server's metric history (`req/s`, submits/s,
+/// points/s), each the newest sampling window's derivative. `None` when
+/// the server has no history (older build, or sampler not yet warm) —
+/// the status summary then just shows cumulative counters as before.
+fn status_rates(client: &Client) -> Option<String> {
+    let body = client.metrics_history(HistoryFormat::Json).ok()?;
+    let dump = pas_obs::history::parse_dump(std::str::from_utf8(&body).ok()?)?;
+    if dump.series.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "req/s           {:.1}",
+        dump.rate_sum("pas.server.http.requests.count", None)
+    );
+    let _ = writeln!(
+        out,
+        "submits/s       {:.1}",
+        dump.rate_sum("pas.queue.submit.count", None)
+    );
+    let _ = writeln!(
+        out,
+        "points/s        {:.1}",
+        dump.rate_sum("pas.exec.points.count", None)
+            + dump.rate_sum(
+                "pas.dist.report.points.count",
+                Some(("outcome", "accepted"))
+            )
+    );
+    Some(out)
 }
 
 /// One histogram label-set being folded down while summarizing a
@@ -869,6 +957,204 @@ fn summarize_metrics(text: &str) -> String {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// top
+// ---------------------------------------------------------------------------
+
+/// Render up to `width` trailing values as a unicode sparkline, scaled
+/// to their own min..max (a flat series renders as a low bar, not
+/// noise). Non-finite values (empty percentile windows) leave a gap.
+fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let tail: Vec<f64> = values
+        .iter()
+        .copied()
+        .skip(values.len().saturating_sub(width))
+        .collect();
+    let finite: Vec<f64> = tail.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    tail.iter()
+        .map(|v| {
+            if !v.is_finite() {
+                ' '
+            } else {
+                let idx = ((v - lo) / span * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// One `pas top` frame, rendered from a healthz body and a parsed
+/// metric history. Pure so the layout is unit-testable; every line is
+/// erase-to-eol terminated by the caller.
+fn top_frame(addr: &str, health: &str, dump: &pas_obs::history::Dump, frame: u64) -> Vec<String> {
+    use std::fmt::Write as _;
+    let h_u64 = |k: &str| pas_server::json::find_u64(health, k).unwrap_or(0);
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "pas top — {addr} · up {}s · {} worker(s) · frame {frame} (Ctrl-C quits)",
+        h_u64("uptime_s"),
+        h_u64("workers").max(h_u64("workers_alive")),
+    ));
+    lines.push(String::new());
+
+    let depth = dump
+        .named("pas.queue.depth.jobs")
+        .next()
+        .map(|s| s.values.clone())
+        .unwrap_or_default();
+    lines.push(format!(
+        "queue    depth {:<5} {:<24} submits/s {:<8.1} jobs done/s {:<8.1}",
+        h_u64("queue_depth"),
+        sparkline(&depth, 24),
+        dump.rate_sum("pas.queue.submit.count", None),
+        dump.rate_sum("pas.queue.jobs.count", None),
+    ));
+
+    let points_rate = dump.rate_sum("pas.exec.points.count", None)
+        + dump.rate_sum(
+            "pas.dist.report.points.count",
+            Some(("outcome", "accepted")),
+        );
+    let hit_rate = dump.rate_sum("pas.cache.lookup.count", Some(("outcome", "hit")));
+    let miss_rate = dump.rate_sum("pas.cache.lookup.count", Some(("outcome", "miss")));
+    let lookups = hit_rate + miss_rate;
+    let mut line = format!("exec     points/s {points_rate:<10.1} cache ");
+    if lookups > 0.0 {
+        let _ = write!(
+            line,
+            "{:.0}% hit of {lookups:.1}/s",
+            100.0 * hit_rate / lookups
+        );
+    } else {
+        line.push_str("idle");
+    }
+    lines.push(line);
+
+    // HTTP: total request rate plus the busiest route's window
+    // percentiles. (Percentiles cannot be merged across routes — the
+    // buckets can, but one route's tail would vanish into another's
+    // bulk — so the dashboard shows the hottest route honestly.)
+    let req_rate = dump.rate_sum("pas.server.http.requests.count", None);
+    let busiest = dump
+        .named("pas.server.http.latency.microseconds")
+        .filter(|s| s.count_rate.last().copied().unwrap_or(0.0) > 0.0)
+        .max_by(|a, b| {
+            a.count_rate
+                .last()
+                .copied()
+                .unwrap_or(0.0)
+                .total_cmp(&b.count_rate.last().copied().unwrap_or(0.0))
+        });
+    let mut line = format!("http     req/s {req_rate:<10.1}");
+    if let Some(s) = busiest {
+        let q = |v: &[f64]| v.last().copied().filter(|v| v.is_finite());
+        if let (Some(p50), Some(p95), Some(p99)) = (q(&s.p50), (q(&s.p95)), q(&s.p99)) {
+            let _ = write!(
+                line,
+                " {} p50 {p50:.0}us p95 {p95:.0}us p99 {p99:.0}us",
+                s.label("route").unwrap_or("?"),
+            );
+        }
+    }
+    lines.push(line);
+
+    // One lane per dist worker: executed points carried as a cumulative
+    // gauge on heartbeats, differenced into a rate lane here.
+    let mut workers: Vec<_> = dump.named("pas.dist.worker.executed.points").collect();
+    workers.sort_by_key(|s| s.label("worker").unwrap_or("").to_string());
+    if !workers.is_empty() {
+        lines.push(String::new());
+        lines.push(format!("workers  ({} reporting)", workers.len()));
+        for s in workers {
+            let rates = s.gauge_rates();
+            lines.push(format!(
+                "  {:<16} {:<24} {:>8.1} points/s",
+                s.label("worker").unwrap_or("?"),
+                sparkline(&rates, 24),
+                rates.last().copied().unwrap_or(0.0),
+            ));
+        }
+    }
+    lines
+}
+
+fn cmd_top(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut interval_ms = 1000u64;
+    let mut frames: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => return fail("--addr needs HOST:PORT"),
+            },
+            "--interval-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => interval_ms = n,
+                _ => return fail("--interval-ms needs a number >= 1"),
+            },
+            "--frames" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => frames = Some(n),
+                _ => return fail("--frames needs a number >= 1"),
+            },
+            other => return fail(format!("unknown top option `{other}`")),
+        }
+    }
+    let client = Client::new(addr.clone());
+    let mut frame = 0u64;
+    loop {
+        let health = match client.healthz() {
+            Ok(h) => h,
+            Err(e) => return fail(format!("{addr}: {e}")),
+        };
+        let body = match client.metrics_history(HistoryFormat::Json) {
+            Ok(b) => b,
+            // The degradation path: a server without `--metrics` refuses
+            // with guidance — report it instead of an empty dashboard.
+            Err(ClientError::Api(status, msg)) => {
+                return fail(format!("{addr}: /metrics/history: {status} {msg}"))
+            }
+            Err(e) => return fail(format!("{addr}: /metrics/history: {e}")),
+        };
+        let Some(dump) = std::str::from_utf8(&body)
+            .ok()
+            .and_then(pas_obs::history::parse_dump)
+        else {
+            return fail(format!(
+                "{addr}: /metrics/history returned unparseable JSON"
+            ));
+        };
+        frame += 1;
+        // First frame clears the screen; later ones repaint from the
+        // top-left and erase each line's tail, so the view refreshes in
+        // place without flicker.
+        let mut out = if frame == 1 {
+            "\x1b[2J\x1b[H".to_string()
+        } else {
+            "\x1b[H".to_string()
+        };
+        for line in top_frame(&addr, &health, &dump, frame) {
+            out.push_str(&line);
+            out.push_str("\x1b[K\n");
+        }
+        out.push_str("\x1b[J");
+        print!("{out}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        if frames.is_some_and(|n| frame >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1215,7 +1501,38 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     if !sub.quiet {
         eprintln!("submitted `{}` to {} as job {id}", m.name, sub.addr);
     }
-    let status = match client.wait(id, std::time::Duration::from_millis(sub.poll_ms.max(1))) {
+    let poll = std::time::Duration::from_millis(sub.poll_ms.max(1));
+    let status = if sub.verbose && !sub.quiet {
+        // Live rate readout: difference consecutive status polls, the
+        // same derivation the server's SSE `progress` frames use.
+        let mut mark: Option<(std::time::Instant, u64)> = None;
+        let mut printed = false;
+        let result = client.wait_with(id, poll, |s| {
+            let now = std::time::Instant::now();
+            if let Some((at, done)) = mark {
+                let dt = now.duration_since(at).as_secs_f64();
+                if s.phase == "running" && dt > 0.0 && s.done > done {
+                    eprint!(
+                        "\rrunning   {}/{} points ({:.0} points/s)  ",
+                        s.done,
+                        s.total,
+                        (s.done - done) as f64 / dt
+                    );
+                    printed = true;
+                }
+            }
+            if mark.is_none_or(|(_, done)| done != s.done) {
+                mark = Some((now, s.done));
+            }
+        });
+        if printed {
+            eprintln!();
+        }
+        result
+    } else {
+        client.wait(id, poll)
+    };
+    let status = match status {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
@@ -1346,6 +1663,7 @@ fn cmd_bench_gate(max_drop_pct: f64, files: &[PathBuf]) -> ExitCode {
         "BENCH_dist.json",
         "BENCH_predictors.json",
         "BENCH_queue.json",
+        "BENCH_server.json",
     ];
     let files: Vec<PathBuf> = if files.is_empty() {
         defaults.iter().map(PathBuf::from).collect()
@@ -1407,6 +1725,10 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut queue = false;
     let mut profile = false;
     let mut gate = false;
+    let mut server = false;
+    let mut addr: Option<String> = None;
+    let mut max_clients = 32usize;
+    let mut step_ms = 1500u64;
     let mut max_drop_pct = pas_bench::DEFAULT_MAX_DROP_PCT;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
@@ -1424,6 +1746,19 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             "--queue" => queue = true,
             "--profile" => profile = true,
             "--gate" => gate = true,
+            "--server" => server = true,
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => return fail("--addr needs HOST:PORT"),
+            },
+            "--max-clients" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => max_clients = n,
+                _ => return fail("--max-clients needs a count >= 1"),
+            },
+            "--step-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 100 => step_ms = n,
+                _ => return fail("--step-ms needs a duration >= 100"),
+            },
             "--max-drop" => match it.next().map(|v| v.parse::<f64>()) {
                 Some(Ok(p)) if p >= 0.0 => max_drop_pct = p,
                 _ => return fail("--max-drop needs a percentage >= 0"),
@@ -1439,6 +1774,17 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     }
     if !files.is_empty() {
         return fail("positional files only apply to --gate");
+    }
+    if server {
+        return cmd_bench_server(
+            addr,
+            max_clients,
+            step_ms,
+            out.unwrap_or_else(|| PathBuf::from("BENCH_server.json")),
+        );
+    }
+    if addr.is_some() {
+        return fail("--addr only applies to --server");
     }
     if predictors {
         return cmd_bench_predictors(out.unwrap_or_else(|| PathBuf::from("BENCH_predictors.json")));
@@ -1510,6 +1856,14 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     // with pre-profiler history. Zero the table first so the breakdown
     // below attributes only this bench's own runs.
     pas_obs::profile::reset();
+    // The history sampler also rides the shipping configuration, at an
+    // aggressive interval so the pair is a worst-case bound: it stays
+    // running through every on-variant and is dropped only for the
+    // `execute_us_history_off` re-measurement below.
+    let history_sampler = pas_obs::history::start_sampler(pas_obs::history::HistoryConfig {
+        interval: Duration::from_millis(100),
+        retention: 64,
+    });
     let (exec_us, batch) = match timed(true, true, true) {
         Ok(r) => r,
         Err(e) => return fail(e),
@@ -1532,6 +1886,14 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         Ok((us, _)) => us,
         Err(e) => return fail(e),
     };
+    // Sampler-off pair: stop (and join) the history thread, re-run the
+    // shipping configuration. The delta is what background sampling
+    // costs the hot path — budgeted under 2% like the other pairs.
+    drop(history_sampler);
+    let exec_us_history_off = match timed(true, true, true) {
+        Ok((us, _)) => us,
+        Err(e) => return fail(e),
+    };
     pas_obs::set_enabled(true);
     pas_obs::trace::set_tracing(true);
     pas_obs::profile::set_profiling(true);
@@ -1544,6 +1906,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     };
     let overhead_pct = overhead(exec_us, exec_us_off);
     let trace_overhead_pct = overhead(exec_us, exec_us_trace_off);
+    let history_overhead_pct = overhead(exec_us, exec_us_history_off);
     // `--profile` contributes three extra fields; without it the payload
     // is byte-identical to the pre-profiler shape.
     let profile_fields = match (exec_us_profile_off, regions) {
@@ -1561,7 +1924,9 @@ fn cmd_bench(args: &[String]) -> ExitCode {
          \"execute_runs\": {n_runs},\n  \"execute_us_sequential\": {exec_us},\n  \
          \"execute_us_trace_off\": {exec_us_trace_off},\n  \
          \"trace_overhead_pct\": {trace_overhead_pct:.2},\n  \
-         \"execute_us_obs_off\": {exec_us_off},\n  \"obs_overhead_pct\": {overhead_pct:.2},\n\
+         \"execute_us_obs_off\": {exec_us_off},\n  \"obs_overhead_pct\": {overhead_pct:.2},\n  \
+         \"execute_us_history_off\": {exec_us_history_off},\n  \
+         \"history_overhead_pct\": {history_overhead_pct:.2},\n\
          {profile_fields}  \
          \"execute_us_per_run\": {},\n  \"events_total\": {}\n}}\n",
         points.len(),
@@ -1842,6 +2207,219 @@ fn cmd_bench_dist(max_workers: usize, out: PathBuf) -> ExitCode {
     record_bench(&out, &json)
 }
 
+/// Server saturation harness: ramp concurrent closed-loop submit
+/// clients (1, 2, 4, …, `max_clients`) against a live server, each
+/// submitting tiny warm-cache jobs and waiting for completion as fast
+/// as the control loop allows. Throughput climbs with concurrency
+/// until the server saturates; the knee is the smallest ramp step
+/// reaching ≥95% of the peak, and its p99 is the latency cost of
+/// operating there. Appends a `server-saturation` entry (per-step
+/// table, knee, max sustained jobs/s, error/429 counts) to
+/// BENCH_server.json under the versioned history schema.
+///
+/// Without `--addr` an in-process `--metrics` server (local exec,
+/// temp cache) is booted, so the bench also exercises the history
+/// sampler under load. The jobs are warm after one seed submission:
+/// the harness measures the submit→queue→cache→complete control loop —
+/// the saturation behaviour of the *server*, not the simulator.
+fn cmd_bench_server(
+    addr: Option<String>,
+    max_clients: usize,
+    step_ms: u64,
+    out: PathBuf,
+) -> ExitCode {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // The smallest useful job: one axis point, one replicate.
+    let mut m = registry::builtin("paper-default").expect("builtin parses");
+    m.sweep[0].values = vec![4.0].into();
+    m.run.replicates = 1;
+    let toml = m.to_toml();
+
+    let mut cleanup_dir: Option<PathBuf> = None;
+    let addr = match addr {
+        Some(a) => a,
+        None => {
+            let dir = std::env::temp_dir().join(format!("pas_bench_server_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let cache = match ResultCache::open(&dir) {
+                Ok(c) => c,
+                Err(e) => return fail(format!("opening {}: {e}", dir.display())),
+            };
+            let opts = ServerOptions {
+                metrics: true,
+                history_interval: Duration::from_millis(250),
+                history_retention: 240,
+                ..ServerOptions::default()
+            };
+            let server = match Server::bind("127.0.0.1:0", cache, opts) {
+                Ok(s) => s,
+                Err(e) => return fail(format!("binding bench server: {e}")),
+            };
+            let a = match server.local_addr() {
+                Ok(a) => a.to_string(),
+                Err(e) => return fail(format!("bench server addr: {e}")),
+            };
+            std::thread::spawn(move || server.run());
+            cleanup_dir = Some(dir);
+            a
+        }
+    };
+
+    // Seed submission: after this every harness job is a cache hit.
+    let seed = Client::new(addr.clone());
+    let id = match seed.submit_with_retry(&toml, RetryPolicy::default(), |_, _| {}) {
+        Ok(id) => id,
+        Err(e) => return fail(format!("bench seed submit to {addr}: {e}")),
+    };
+    match seed.wait(id, Duration::from_millis(5)) {
+        Ok(s) if s.phase == "completed" => {}
+        Ok(s) => {
+            return fail(format!(
+                "bench seed job {}: {}",
+                s.phase,
+                s.error.unwrap_or_default()
+            ))
+        }
+        Err(e) => return fail(format!("bench seed wait: {e}")),
+    }
+
+    let mut ramp: Vec<usize> = Vec::new();
+    let mut c = 1;
+    while c < max_clients {
+        ramp.push(c);
+        c *= 2;
+    }
+    ramp.push(max_clients);
+
+    struct Step {
+        clients: usize,
+        jobs: u64,
+        jobs_per_s: f64,
+        p50_us: u64,
+        p95_us: u64,
+        p99_us: u64,
+        errors: u64,
+        http_429: u64,
+    }
+    let mut steps: Vec<Step> = Vec::new();
+    for &clients in &ramp {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                let toml = toml.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let client = Client::new(addr);
+                    let mut latencies: Vec<u64> = Vec::new();
+                    let mut errors = 0u64;
+                    let mut http_429 = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let t0 = std::time::Instant::now();
+                        match client.submit(&toml) {
+                            Ok(id) => match client.wait(id, Duration::from_millis(2)) {
+                                Ok(s) if s.phase == "completed" => {
+                                    latencies.push(t0.elapsed().as_micros() as u64)
+                                }
+                                _ => errors += 1,
+                            },
+                            Err(ClientError::Api(429, _)) => {
+                                // Backpressure is an expected saturation
+                                // signal, not a failure: count and yield.
+                                http_429 += 1;
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(_) => {
+                                errors += 1;
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                        }
+                    }
+                    (latencies, errors, http_429)
+                })
+            })
+            .collect();
+        let t0 = std::time::Instant::now();
+        std::thread::sleep(Duration::from_millis(step_ms));
+        stop.store(true, Ordering::Relaxed);
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut errors = 0u64;
+        let mut http_429 = 0u64;
+        for h in handles {
+            match h.join() {
+                Ok((lat, e, r)) => {
+                    latencies.extend(lat);
+                    errors += e;
+                    http_429 += r;
+                }
+                Err(_) => return fail("bench client thread panicked"),
+            }
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        latencies.sort_unstable();
+        let q = |q: f64| -> u64 {
+            if latencies.is_empty() {
+                return 0;
+            }
+            let idx = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len()) - 1;
+            latencies[idx]
+        };
+        let jobs = latencies.len() as u64;
+        let step = Step {
+            clients,
+            jobs,
+            jobs_per_s: jobs as f64 / wall_s,
+            p50_us: q(0.50),
+            p95_us: q(0.95),
+            p99_us: q(0.99),
+            errors,
+            http_429,
+        };
+        eprintln!(
+            "bench --server: {:>4} client(s): {:>8.1} jobs/s, p99 {:>8}us, \
+             {} error(s), {} 429(s)",
+            clients, step.jobs_per_s, step.p99_us, errors, http_429
+        );
+        steps.push(step);
+    }
+    if let Some(dir) = cleanup_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // The knee: smallest concurrency sustaining ≥95% of the peak —
+    // beyond it throughput plateaus and added clients only buy latency.
+    let max_jps = steps.iter().map(|s| s.jobs_per_s).fold(0.0, f64::max);
+    let knee = steps
+        .iter()
+        .find(|s| s.jobs_per_s >= 0.95 * max_jps)
+        .unwrap_or_else(|| steps.last().expect("ramp is non-empty"));
+    let (knee_clients, p99_at_knee) = (knee.clients, knee.p99_us);
+    let errors_total: u64 = steps.iter().map(|s| s.errors).sum();
+    let http_429_total: u64 = steps.iter().map(|s| s.http_429).sum();
+    let rows: Vec<String> = steps
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"clients\": {}, \"jobs\": {}, \"jobs_per_s\": {:.1}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+                 \"errors\": {}, \"http_429\": {}}}",
+                s.clients, s.jobs, s.jobs_per_s, s.p50_us, s.p95_us, s.p99_us, s.errors, s.http_429
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"server\",\n  \"scenario\": \"server-saturation\",\n  \
+         \"step_ms\": {step_ms},\n  \"steps\": [\n{}\n  ],\n  \
+         \"knee_clients\": {knee_clients},\n  \"max_jobs_per_s\": {max_jps:.1},\n  \
+         \"p99_us_at_knee\": {p99_at_knee},\n  \"errors_total\": {errors_total},\n  \
+         \"http_429_total\": {http_429_total}\n}}\n",
+        rows.join(",\n"),
+    );
+    record_bench(&out, &json)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -1864,6 +2442,7 @@ fn main() -> ExitCode {
         Some("worker") => cmd_worker(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),

@@ -1,0 +1,59 @@
+//! The history sampler must be a pure observer: executing every golden
+//! registry scenario while the background sampler thread snapshots the
+//! metrics registry at an aggressive 5ms interval must reproduce the
+//! exact bytes `tests/golden/*.csv` pins for the unsampled path. The
+//! sampler only *reads* atomics the instrumented hot paths write, so
+//! any influence on event order, RNG draws, or float accumulation —
+//! e.g. a lock shared with a writer — would surface here as a byte
+//! diff.
+
+use std::time::Duration;
+
+use pas_obs::history::{start_sampler, HistoryConfig};
+use pas_scenario::{execute, registry, summary_csv, ExecOptions};
+
+fn csv_of(name: &str) -> String {
+    let m = registry::builtin(name).unwrap_or_else(|| panic!("`{name}` registered"));
+    let batch = execute(&m, ExecOptions::default()).unwrap();
+    summary_csv(&batch).render()
+}
+
+#[test]
+fn golden_csvs_are_byte_identical_with_history_sampling_on() {
+    let sampler = start_sampler(HistoryConfig {
+        interval: Duration::from_millis(5),
+        retention: 256,
+    });
+    let goldens = [
+        ("paper-default", include_str!("golden/paper-default.csv")),
+        ("paper-alert", include_str!("golden/paper-alert.csv")),
+        ("wildfire-front", include_str!("golden/wildfire-front.csv")),
+        ("gas-leak-city", include_str!("golden/gas-leak-city.csv")),
+        (
+            "plume-monitoring",
+            include_str!("golden/plume-monitoring.csv"),
+        ),
+    ];
+    for (name, want) in goldens {
+        let got = csv_of(name);
+        assert!(
+            got == want,
+            "`{name}` summary CSV drifted under history sampling\n\
+             --- got ---\n{got}\n--- want ---\n{want}"
+        );
+    }
+
+    // The equality above only means something if the sampler was live:
+    // it must have snapshotted the execution counters the scenarios
+    // bump, and its rings must render.
+    let history = sampler.history();
+    assert!(
+        history.series_count() > 0,
+        "sampler recorded no series while five batches executed"
+    );
+    let json = history.render_json();
+    assert!(
+        json.contains("pas.exec.points.count"),
+        "sampler missed the execution counters:\n{json}"
+    );
+}
